@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table benchmark prints the reproduced rows (the same series the
+paper plots) so a ``pytest benchmarks/ --benchmark-only -s`` run regenerates
+the paper's evaluation in one pass.  Heavy experiments run once per benchmark
+(``pedantic`` with a single round); microbenchmarks use normal rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_and_print(benchmark):
+    """Benchmark a single-shot experiment runner and print its report."""
+
+    def runner(func, *args, **kwargs):
+        result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return runner

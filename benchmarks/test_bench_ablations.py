@@ -1,0 +1,40 @@
+"""Ablation benchmarks (A1-A3 in DESIGN.md)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    run_ablation_distributions,
+    run_ablation_model,
+    run_ablation_server,
+)
+
+
+def test_ablation_model(benchmark, run_and_print):
+    """A1: the three P(hit|FF) evaluation paths agree; the engine is faster."""
+    result = run_and_print(run_ablation_model, fast=False)
+    table = result.tables[0]
+    assert max(table.column("max_gap")) < 5e-3
+    # The closed-form engine beats the literal paper-equation path.
+    assert sum(table.column("t_engine_ms")) < sum(table.column("t_paper_ms"))
+
+
+def test_ablation_server(benchmark, run_and_print):
+    """A2: model-sized allocation beats naive policies end to end."""
+    result = run_and_print(run_ablation_server, fast=True)
+    rows = {row[0]: row for row in result.tables[0].rows}
+    sized, batching = rows["model-sized"], rows["pure-batching"]
+    # hit_rate column index 3; vcr_denied 5 - 1... headers:
+    headers = list(result.tables[0].headers)
+    hit_idx = headers.index("hit_rate")
+    denied_idx = headers.index("vcr_denied")
+    assert sized[hit_idx] > batching[hit_idx] + 0.3
+    assert batching[denied_idx] >= sized[denied_idx]
+
+
+def test_ablation_distributions(benchmark, run_and_print):
+    """A3: distribution family matters at fixed mean."""
+    result = run_and_print(run_ablation_distributions, fast=False)
+    for table in result.tables:
+        mixed = table.column("P(hit) mixed")
+        assert max(mixed) - min(mixed) > 0.02  # material spread
+        assert all(0.0 <= value <= 1.0 for value in mixed)

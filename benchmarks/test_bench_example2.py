@@ -1,0 +1,16 @@
+"""Example 2: hardware-derived cost constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.example2 import run_example2
+
+
+def test_example2(benchmark, run_and_print):
+    result = run_and_print(run_example2, fast=True)
+    constants = {row[0]: row[1] for row in result.tables[0].rows}
+    assert constants["C_b ($/buffer-minute)"] == pytest.approx(750.0)
+    assert constants["C_n ($/stream)"] == pytest.approx(70.0)
+    assert constants["phi = C_b/C_n"] == pytest.approx(10.714, abs=0.01)
+    assert constants["streams per disk"] == 10

@@ -1,0 +1,42 @@
+"""Extension benchmarks: VCR-speed sweep and sizing sensitivity."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_ablation_rates, run_ablation_sensitivity
+
+
+def test_ablation_rates(benchmark, run_and_print):
+    result = run_and_print(run_ablation_rates, fast=False)
+    for table in result.tables:
+        ff = table.column("P(hit|FF)")
+        rw = table.column("P(hit|RW)")
+        # The speed sweep changes P(hit) only mildly around the paper's 3x…
+        assert max(ff) - min(ff) < 0.05
+        assert max(rw) - min(rw) < 0.05
+        # …which justifies the paper's fixed-3x evaluation.
+        assert all(0.0 <= v <= 1.0 for v in ff + rw)
+
+
+def test_ablation_sensitivity(benchmark, run_and_print):
+    result = run_and_print(run_ablation_sensitivity, fast=False)
+    scale_table, mix_table, family_table = result.tables
+    # Scale errors: every row still meets the target.
+    assert all(row[-1] == "yes" for row in scale_table.rows)
+    # Family errors include at least one violation (the deterministic trap).
+    assert any(row[-1] == "NO" for row in family_table.rows)
+    deterministic = next(r for r in family_table.rows if "deterministic" in r[0])
+    # Sized believing ~0.8, reality far below target: the headline hazard.
+    assert deterministic[3] - deterministic[4] > 0.3
+
+
+def test_ablation_population(benchmark, run_and_print):
+    from repro.experiments.ablations import run_ablation_population
+
+    result = run_and_print(run_ablation_population, fast=False)
+    structure, sweep = result.tables
+    shares = dict(zip(structure.column("class"), structure.column("operation_share")))
+    # A quarter of the sessions, well over half of the operations.
+    assert shares["surfer"] > 0.5
+    # Reserve grows as the buffer shrinks (lower hit probability, longer holds).
+    reserves = sweep.column("reserve")
+    assert reserves == sorted(reserves)

@@ -1,0 +1,35 @@
+"""Figure 7 (a)-(d): model vs simulation hit-probability curves.
+
+Regenerates every panel's series (hit probability vs partition count, one
+table per maximum-wait value) and asserts the reproduction targets: close
+model/simulation agreement and the paper's curve shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure7 import run_figure7
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d"])
+def test_figure7(benchmark, run_and_print, panel):
+    result = run_and_print(run_figure7, panel, fast=True)
+    for table in result.tables:
+        models = table.column("model")
+        sims = table.column("simulated")
+        errors = table.column("abs_err")
+        if panel == "b":
+            # The rewind panel carries the paper's documented systematic
+            # bias (~0.06): the model books rewind-to-minute-0 as a miss
+            # while the simulated system can re-enroll.  The bias must be
+            # one-sided (simulation above model) and bounded.
+            assert all(sim >= model - 0.01 for sim, model in zip(sims, models))
+            assert max(errors) < 0.10
+        else:
+            # FF/PAU/mixed: tight agreement, per the paper's Figure 7.
+            assert max(errors) < 0.08
+            assert sum(errors) / len(errors) < 0.05
+        # Shape: P(hit) decreases with n along a fixed-w line.
+        assert models == sorted(models, reverse=True)
+        assert sims == sorted(sims, reverse=True)

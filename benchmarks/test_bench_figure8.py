@@ -1,0 +1,21 @@
+"""Figure 8: feasible (B, n) pairs per movie at 5-minute buffer steps."""
+
+from __future__ import annotations
+
+from repro.experiments.figure8 import run_figure8
+
+
+def test_figure8(benchmark, run_and_print):
+    result = run_and_print(run_figure8, fast=False)
+    assert len(result.tables) == 3  # one per Example-1 movie
+    for table in result.tables:
+        feasible_rows = [row for row in table.rows if row[3] == "yes"]
+        assert feasible_rows, f"no feasible points in {table.caption}"
+        # Along the Eq.-(2) line, more buffer means fewer streams and a
+        # higher hit probability.
+        buffers = [row[0] for row in feasible_rows]
+        streams = [row[1] for row in feasible_rows]
+        hits = [row[2] for row in feasible_rows]
+        order = sorted(range(len(buffers)), key=lambda i: buffers[i])
+        assert [streams[i] for i in order] == sorted(streams, reverse=True)
+        assert all(h >= 0.5 - 1e-9 for h in hits)

@@ -1,0 +1,52 @@
+"""Microbenchmarks of the analytical model's evaluation paths.
+
+These are true pytest-benchmark measurements (many rounds): per-operation
+hit-probability evaluation, CDF-transform construction, and the literal
+paper-equation path for comparison.  They quantify why the interval engine is
+the production path for the Section-5 sizing sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fastforward import p_hit_fastforward
+from repro.core.hitmodel import HitProbabilityModel, VCRMix
+from repro.core.hitsets import CdfTransform, hit_probability
+from repro.core.parameters import SystemConfiguration
+from repro.core.vcrop import VCROperation
+from repro.distributions import GammaDuration, truncate
+
+LENGTH = 120.0
+CONFIG = SystemConfiguration(LENGTH, 60, 60.0)
+DURATION = truncate(GammaDuration.paper_figure7(), LENGTH)
+TRANSFORM = CdfTransform(DURATION, LENGTH)
+
+
+@pytest.mark.parametrize("operation", list(VCROperation), ids=lambda op: op.value)
+def test_engine_per_operation(benchmark, operation):
+    value = benchmark(
+        hit_probability, operation, CONFIG, DURATION, transform=TRANSFORM
+    )
+    assert 0.0 <= value <= 1.0
+
+
+def test_paper_equation_path(benchmark):
+    value = benchmark.pedantic(
+        p_hit_fastforward, args=(CONFIG, DURATION), rounds=3, iterations=1
+    )
+    assert 0.0 <= value <= 1.0
+
+
+def test_cdf_transform_construction(benchmark):
+    transform = benchmark(CdfTransform, DURATION, LENGTH)
+    assert transform.total_mass == pytest.approx(1.0, abs=1e-9)
+
+
+def test_full_breakdown(benchmark):
+    model = HitProbabilityModel(
+        LENGTH, GammaDuration.paper_figure7(), mix=VCRMix.paper_figure7d()
+    )
+    config = model.configuration(60, 60.0)
+    breakdown = benchmark(model.breakdown, config)
+    assert 0.0 <= breakdown.p_hit <= 1.0

@@ -1,0 +1,19 @@
+"""Extension benchmark: VCR reserve sizing across the buffering spectrum."""
+
+from __future__ import annotations
+
+from repro.experiments.reservation import run_reservation
+
+
+def test_reservation_sizing(benchmark, run_and_print):
+    result = run_and_print(run_reservation, fast=False)
+    table = result.tables[0]
+    hits = table.column("P(hit)")
+    reserves = table.column("reserve")
+    totals = table.column("total_streams")
+    # More buffer (later rows) -> higher hit probability -> smaller reserve.
+    assert hits == sorted(hits)
+    assert reserves == sorted(reserves, reverse=True)
+    # The punchline: the best-buffered row needs far fewer total streams
+    # than the batching-heavy row.
+    assert totals[-1] * 2 < totals[0]

@@ -1,0 +1,53 @@
+"""Sizing-pipeline benchmarks: frontier search and multi-movie optimisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import ExponentialDuration, GammaDuration
+from repro.sizing.cost import CostModel, cost_curve
+from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
+from repro.sizing.optimizer import optimize_allocation
+
+
+def _fresh_sets():
+    specs = [
+        MovieSizingSpec("movie1", 75.0, 0.1, GammaDuration(2.0, 4.0)),
+        MovieSizingSpec("movie2", 60.0, 0.5, ExponentialDuration(5.0)),
+        MovieSizingSpec("movie3", 90.0, 0.25, ExponentialDuration(2.0)),
+    ]
+    return [FeasibleSet(spec) for spec in specs]
+
+
+def test_frontier_search_single_movie(benchmark):
+    """max_streams bisection over a 750-point frontier (Example 1's movie 1)."""
+
+    def search():
+        spec = MovieSizingSpec("movie1", 75.0, 0.1, GammaDuration(2.0, 4.0))
+        return FeasibleSet(spec).max_streams()
+
+    best = benchmark.pedantic(search, rounds=3, iterations=1)
+    assert 330 <= best <= 400
+
+
+def test_example1_full_optimisation(benchmark):
+    """The entire Example-1 solve from cold caches."""
+
+    def solve():
+        return optimize_allocation(_fresh_sets(), stream_budget=1230)
+
+    result = benchmark.pedantic(solve, rounds=3, iterations=1)
+    assert result.total_streams == pytest.approx(602, rel=0.05)
+
+
+def test_cost_curve_generation(benchmark):
+    """One Figure-9 panel over warm caches."""
+    sets = _fresh_sets()
+    for fs in sets:
+        fs.max_streams()  # warm the caches as the experiment harness does
+
+    def curve():
+        return cost_curve(sets, CostModel.from_phi(11.0))
+
+    points = benchmark.pedantic(curve, rounds=3, iterations=1)
+    assert len(points) > 10

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Heterogeneous audiences and measurement robustness.
+
+Two analyses a deployment would run before trusting its sizing:
+
+1. **Population blending** — the audience is 25% "surfers" (short think
+   times, long scans) and 75% "passive" viewers.  Surfers are a quarter of
+   the sessions but issue the majority of VCR operations — and fewer than
+   the naive `l/think` estimate suggests, because their own scans shorten
+   their sessions.  The population hit probability and the shared Erlang
+   reserve must use the corrected operation shares.
+
+2. **Sensitivity** — how wrong does the sizing decision get when the
+   measured statistics are off?  Scale errors are forgiven; family and mix
+   errors are not.
+
+Run:  python examples/population_analysis.py
+"""
+
+from repro.core import SystemConfiguration, VCRMix
+from repro.distributions import (
+    DeterministicDuration,
+    ExponentialDuration,
+    GammaDuration,
+)
+from repro.sizing import MovieSizingSpec, PopulationModel, SizingSensitivity, ViewerClass
+
+
+def population_blending() -> None:
+    population = PopulationModel(
+        120.0,
+        [
+            ViewerClass(
+                "surfer", weight=1.0, mix=VCRMix(0.5, 0.3, 0.2),
+                durations=GammaDuration(2.0, 6.0), mean_think_time=5.0,
+            ),
+            ViewerClass(
+                "passive", weight=3.0, mix=VCRMix(0.05, 0.05, 0.9),
+                durations=ExponentialDuration(3.0), mean_think_time=30.0,
+            ),
+        ],
+    )
+    print("audience structure:")
+    for cls in population.classes:
+        print(
+            f"  {cls.name:<8} sessions {population.session_share(cls.name):.0%}  "
+            f"ops/session {population.expected_operations_per_session(cls.name):5.1f}  "
+            f"operation share {population.operation_share(cls.name):.0%}"
+        )
+    print()
+    print(f"{'n':>5} {'B':>6} {'P(hit) blended':>15} {'naive headcount':>16} "
+          f"{'reserve':>8}")
+    for n in (20, 40, 60, 80, 100):
+        config = SystemConfiguration(120.0, n, 120.0 - n)
+        plan = population.plan_reserve(config, total_arrival_rate=0.6)
+        print(
+            f"{n:>5} {120 - n:>6} "
+            f"{population.hit_probability(config):>15.4f} "
+            f"{population.headcount_weighted_hit(config):>16.4f} "
+            f"{plan.reserve_streams:>8d}"
+        )
+    print()
+
+
+def sensitivity() -> None:
+    spec = MovieSizingSpec(
+        "movie", length=90.0, max_wait=1.0,
+        durations=GammaDuration(2.0, 4.0), p_star=0.5,
+    )
+    analysis = SizingSensitivity(spec)
+    print("sizing under mis-measured statistics (sized wrong, evaluated true):")
+    print(f"  {'perturbation':<22} {'n*':>5} {'B*':>7} {'believed':>9} "
+          f"{'delivered':>10} {'ok?':>4}")
+    rows = analysis.duration_scaling([0.5, 2.0])
+    rows += analysis.family_alternatives(
+        {"exponential(8)": ExponentialDuration(8.0),
+         "deterministic(8)": DeterministicDuration(8.0)}
+    )[1:]
+    rows += analysis.mix_alternatives(
+        {"ff-heavy mix": VCRMix(0.6, 0.2, 0.2)}
+    )[1:]
+    for row in rows:
+        print(
+            f"  {row.label:<22} {row.num_streams:>5d} {row.buffer_minutes:>7.1f} "
+            f"{row.predicted_hit:>9.3f} {row.realized_hit:>10.3f} "
+            f"{'yes' if row.meets_target else 'NO':>4}"
+        )
+    print(
+        "\nreading: a 2x error in the measured mean moves the decision by a\n"
+        "stream or two, but fitting the wrong *family* (deterministic where\n"
+        "gamma was true) believes 0.81 and delivers 0.25 — measure the shape."
+    )
+
+
+def main() -> None:
+    population_blending()
+    sensitivity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Full-server simulation: what pre-allocation buys end to end.
+
+Builds a catalog (two popular titles plus a long tail), derives three
+allocations of the same resources — model-sized, naive equal split, and pure
+batching — and runs the complete VOD server (restarts, enrollment, VCR
+operations competing for streams, piggybacking for misses) under each.
+
+Run:  python examples/server_simulation.py
+"""
+
+from repro.distributions import GammaDuration
+from repro.sizing import FeasibleSet, MovieSizingSpec
+from repro.vod import (
+    BufferPool,
+    MovieCatalog,
+    ServerWorkload,
+    VCRBehavior,
+    VODServer,
+)
+from repro.vod.batching import (
+    allocation_buffer_total,
+    allocation_stream_total,
+    equal_split_allocation,
+    pure_batching_allocation,
+)
+from repro.vod.movie import Movie
+
+
+def main() -> None:
+    movies = [
+        Movie(0, "blockbuster", 90.0, popularity=0.40),
+        Movie(1, "new-release", 75.0, popularity=0.30),
+        Movie(2, "tail-1", 100.0, popularity=0.10),
+        Movie(3, "tail-2", 100.0, popularity=0.10),
+        Movie(4, "tail-3", 100.0, popularity=0.10),
+    ]
+    catalog = MovieCatalog(movies, popular_count=2)
+    waits = {0: 1.0, 1: 1.5}
+    behavior = VCRBehavior.paper_figure7(mean_think_time=12.0)
+
+    # Model-sized allocation at P* = 0.5 per movie.
+    sized = {}
+    for movie in catalog.popular:
+        spec = MovieSizingSpec(
+            movie.title, movie.length, waits[movie.movie_id],
+            GammaDuration(2.0, 4.0), p_star=0.5,
+        )
+        feasible = FeasibleSet(spec)
+        sized[movie.movie_id] = feasible.configuration(feasible.max_streams())
+    sized_buffer = allocation_buffer_total(sized)
+
+    policies = {
+        "model-sized": sized,
+        "equal-split": equal_split_allocation(catalog.popular, waits, sized_buffer),
+        "pure-batching": pure_batching_allocation(catalog.popular, waits),
+    }
+    pool_size = max(allocation_stream_total(a) for a in policies.values()) + 35
+
+    print(f"shared stream pool: {pool_size} streams; identical workload per policy\n")
+    for name, allocation in policies.items():
+        server = VODServer(
+            catalog,
+            allocation,
+            num_streams=pool_size,
+            buffer_pool=BufferPool.for_minutes(sized_buffer + 40.0),
+            behavior=behavior,
+            workload=ServerWorkload(arrival_rate=1.2, horizon=1500.0,
+                                    warmup=300.0, seed=2026),
+        )
+        report = server.run()
+        print(
+            f"=== {name}: sum n = {allocation_stream_total(allocation)}, "
+            f"sum B = {allocation_buffer_total(allocation):.1f} min ==="
+        )
+        for line in report.summary_lines():
+            print("  " + line)
+        print()
+    print(
+        "Reading: the model-sized split keeps the resume hit rate near its\n"
+        "P* target, so phase-1 VCR streams come back to the pool; pure\n"
+        "batching pins every miss until piggybacking or the movie end, which\n"
+        "starves VCR requests and the long tail."
+    )
+
+
+if __name__ == "__main__":
+    main()

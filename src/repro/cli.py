@@ -1,0 +1,385 @@
+"""Command-line interface: ``repro-vod`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show the available experiments.
+``run <id> [--fast] [--csv DIR]``
+    Reproduce one figure/table; optionally export each table as CSV.
+``hit [...]``
+    Evaluate the analytical ``P(hit)`` for one configuration from the
+    command line (quick what-if queries).
+``size [...]``
+    Solve a single-movie sizing problem: the smallest buffer meeting a wait
+    and hit-probability target.
+``plan <spec.json> [...]``
+    Multi-movie sizing from a JSON specification file (Example-1 style),
+    including the Erlang VCR-reserve layer.
+``fit <trace.jsonl>``
+    Fit VCR behaviour statistics out of a workload trace.
+``simulate <spec.json> [...]``
+    Size a system from a spec, then run the full VOD-server simulation on
+    the sized allocation and report the realised performance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.hitmodel import HitProbabilityModel, VCRMix
+from repro.core.vcrop import VCROperation
+from repro.distributions.factory import distribution_from_spec
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-vod`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-vod",
+        description=(
+            "Reproduction of Leung, Lui & Golubchik (ICDE 1997): buffer and I/O "
+            "resource pre-allocation for VOD batching and buffering."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_cmd = sub.add_parser("run", help="run one experiment")
+    run_cmd.add_argument("experiment", choices=available_experiments())
+    run_cmd.add_argument("--fast", action="store_true", help="reduced grid/horizon")
+    run_cmd.add_argument("--csv", type=Path, default=None, help="export tables to DIR")
+
+    hit_cmd = sub.add_parser("hit", help="evaluate P(hit) for one configuration")
+    hit_cmd.add_argument("--length", type=float, required=True, help="movie length (min)")
+    hit_cmd.add_argument("--streams", type=int, required=True, help="number of streams n")
+    hit_cmd.add_argument("--buffer", type=float, required=True, help="buffer minutes B")
+    hit_cmd.add_argument(
+        "--duration",
+        type=json.loads,
+        default={"family": "gamma", "shape": 2, "scale": 4},
+        help='duration spec as JSON, e.g. \'{"family": "exponential", "mean": 5}\'',
+    )
+    hit_cmd.add_argument("--p-ff", type=float, default=0.2)
+    hit_cmd.add_argument("--p-rw", type=float, default=0.2)
+    hit_cmd.add_argument("--p-pause", type=float, default=0.6)
+
+    size_cmd = sub.add_parser("size", help="size one movie for (w, P*) targets")
+    size_cmd.add_argument("--length", type=float, required=True)
+    size_cmd.add_argument("--wait", type=float, required=True, help="max wait w (min)")
+    size_cmd.add_argument("--p-star", type=float, default=0.5)
+    size_cmd.add_argument(
+        "--duration",
+        type=json.loads,
+        default={"family": "gamma", "shape": 2, "scale": 4},
+        help="duration spec as JSON",
+    )
+
+    plan_cmd = sub.add_parser(
+        "plan", help="multi-movie sizing from a JSON spec file"
+    )
+    plan_cmd.add_argument("spec", type=Path, help="path to the plan spec (JSON)")
+    plan_cmd.add_argument(
+        "--stream-budget", type=int, default=None, help="total stream cap n_s"
+    )
+    plan_cmd.add_argument(
+        "--blocking-target", type=float, default=0.01,
+        help="VCR denial-probability target for the reserve sizing",
+    )
+
+    fit_cmd = sub.add_parser("fit", help="fit VCR behaviour from a trace file")
+    fit_cmd.add_argument("trace", type=Path, help="JSON-lines trace file")
+
+    sim_cmd = sub.add_parser(
+        "simulate", help="size from a spec, then validate on the full server"
+    )
+    sim_cmd.add_argument("spec", type=Path, help="path to the plan spec (JSON)")
+    sim_cmd.add_argument("--arrival-rate", type=float, default=1.0,
+                         help="total session arrivals per minute")
+    sim_cmd.add_argument("--horizon", type=float, default=1500.0)
+    sim_cmd.add_argument("--warmup", type=float, default=300.0)
+    sim_cmd.add_argument("--seed", type=int, default=7)
+    sim_cmd.add_argument("--mean-patience", type=float, default=None,
+                         help="queued viewers renege after ~this many minutes")
+    sim_cmd.add_argument("--headroom", type=int, default=None,
+                         help="extra streams beyond Σn (default: the Erlang reserve)")
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment_id in available_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, fast=args.fast)
+    print(result.render())
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        for index, table in enumerate(result.tables):
+            path = args.csv / f"{result.experiment_id}_{index}.csv"
+            path.write_text(table.to_csv())
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_hit(args: argparse.Namespace) -> int:
+    mix = VCRMix(p_ff=args.p_ff, p_rw=args.p_rw, p_pause=args.p_pause)
+    model = HitProbabilityModel(
+        args.length, distribution_from_spec(args.duration), mix=mix
+    )
+    config = model.configuration(args.streams, args.buffer)
+    breakdown = model.breakdown(config)
+    print(config.describe())
+    print(f"P(hit|FF)  = {breakdown.p_hit_ff:.4f}   (P(end) = {breakdown.p_end_ff:.4f})")
+    print(f"P(hit|RW)  = {breakdown.p_hit_rw:.4f}")
+    print(f"P(hit|PAU) = {breakdown.p_hit_pause:.4f}")
+    print(f"P(hit)     = {breakdown.p_hit:.4f}   (mix {mix.p_ff}/{mix.p_rw}/{mix.p_pause})")
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    spec = MovieSizingSpec(
+        name="movie",
+        length=args.length,
+        max_wait=args.wait,
+        durations=distribution_from_spec(args.duration),
+        p_star=args.p_star,
+    )
+    feasible = FeasibleSet(spec)
+    best = feasible.best_point()
+    print(
+        f"l={args.length:g} w={args.wait:g} P*={args.p_star:g}: "
+        f"n*={best.num_streams}, B*={best.buffer_minutes:.1f} min "
+        f"(P(hit)={best.hit_probability:.4f}; "
+        f"pure batching would need {spec.pure_batching_streams} streams)"
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Multi-movie sizing from a declarative JSON spec.
+
+    Spec format::
+
+        {
+          "movies": [
+            {"name": "movie1", "length": 75, "wait": 0.1, "p_star": 0.5,
+             "duration": {"family": "gamma", "shape": 2, "scale": 4},
+             "arrival_rate": 0.4, "mean_think_time": 15,
+             "mix": {"p_ff": 0.2, "p_rw": 0.2, "p_pause": 0.6}},
+            ...
+          ]
+        }
+
+    ``arrival_rate``/``mean_think_time``/``mix`` are optional; when
+    ``arrival_rate`` is present the Erlang reserve for that movie is sized
+    too.
+    """
+    from repro.sizing.planner import SystemSizer
+    from repro.sizing.reservation import VCRLoadModel
+
+    spec_data = json.loads(args.spec.read_text())
+    movies = spec_data.get("movies")
+    if not movies:
+        print("spec must contain a non-empty 'movies' list", file=sys.stderr)
+        return 2
+    specs = []
+    extras = []
+    for entry in movies:
+        mix = VCRMix(**entry["mix"]) if "mix" in entry else VCRMix.paper_figure7d()
+        specs.append(
+            MovieSizingSpec(
+                name=entry["name"],
+                length=float(entry["length"]),
+                max_wait=float(entry["wait"]),
+                durations=distribution_from_spec(entry["duration"]),
+                p_star=float(entry.get("p_star", 0.5)),
+                mix=mix,
+            )
+        )
+        extras.append(
+            (entry.get("arrival_rate"), float(entry.get("mean_think_time", 15.0)))
+        )
+    sizer = SystemSizer(specs)
+    report = sizer.solve(stream_budget=args.stream_budget)
+    for line in report.summary_lines():
+        print(line)
+
+    total_reserve = 0
+    for allocation, (arrival_rate, think) in zip(report.result.allocations, extras):
+        if arrival_rate is None:
+            continue
+        feasible = next(
+            fs for fs in sizer.feasible_sets if fs.spec.name == allocation.spec.name
+        )
+        load_model = VCRLoadModel(
+            feasible.model,
+            allocation.configuration(),
+            viewer_arrival_rate=float(arrival_rate),
+            mean_think_time=think,
+        )
+        plan = load_model.plan(blocking_target=args.blocking_target)
+        total_reserve += plan.reserve_streams
+        print(
+            f"VCR reserve for {allocation.spec.name:<12}: {plan.reserve_streams:>4d} "
+            f"streams (load {plan.offered_load:.1f} erl, blocking "
+            f"{plan.achieved_blocking:.4f})"
+        )
+    if total_reserve:
+        print(
+            f"total provisioning: {report.result.total_streams} playback + "
+            f"{total_reserve} reserve = "
+            f"{report.result.total_streams + total_reserve} streams, "
+            f"{report.result.total_buffer_minutes:.1f} buffer-minutes"
+        )
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.workloads.analysis import analyze_trace
+    from repro.workloads.events import Trace
+    from repro.workloads.fitting import fit_behavior
+
+    trace = Trace.load(args.trace)
+    stats = analyze_trace(trace)
+    print(stats.describe())
+    if stats.interarrival is not None:
+        print(f"estimated arrival rate : {stats.arrival_rate:.4f} sessions/min")
+    if stats.mean_think_time is not None:
+        print(f"estimated think time   : {stats.mean_think_time:.2f} min "
+              "(censoring-corrected)")
+    fitted = fit_behavior(trace)
+    print(fitted.describe())
+    return 0
+
+
+def _parse_plan_spec(path: Path):
+    """Shared spec parsing for ``plan`` and ``simulate``."""
+    spec_data = json.loads(path.read_text())
+    movies = spec_data.get("movies")
+    if not movies:
+        raise ValueError("spec must contain a non-empty 'movies' list")
+    specs = []
+    extras = []
+    for entry in movies:
+        mix = VCRMix(**entry["mix"]) if "mix" in entry else VCRMix.paper_figure7d()
+        specs.append(
+            MovieSizingSpec(
+                name=entry["name"],
+                length=float(entry["length"]),
+                max_wait=float(entry["wait"]),
+                durations=distribution_from_spec(entry["duration"]),
+                p_star=float(entry.get("p_star", 0.5)),
+                mix=mix,
+            )
+        )
+        extras.append(entry)
+    return specs, extras
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    """Size from the spec, deploy on the simulated server, report outcomes."""
+    from repro.sizing.planner import SystemSizer
+    from repro.sizing.reservation import VCRLoadModel
+    from repro.vod.buffer import BufferPool
+    from repro.vod.movie import Movie, MovieCatalog
+    from repro.vod.server import ServerWorkload, VODServer
+    from repro.vod.vcr import VCRBehavior
+
+    try:
+        specs, entries = _parse_plan_spec(args.spec)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    sizer = SystemSizer(specs)
+    report = sizer.solve()
+    print("sized allocation:")
+    for line in report.summary_lines():
+        print("  " + line)
+
+    # Catalog: popularity proportional to the spec's arrival shares (equal
+    # split when unspecified).
+    weights = [float(entry.get("popularity", 1.0)) for entry in entries]
+    total_weight = sum(weights)
+    movies = [
+        Movie(index, spec.name, spec.length, popularity=weight / total_weight)
+        for index, (spec, weight) in enumerate(zip(specs, weights))
+    ]
+    catalog = MovieCatalog(movies, popular_count=len(movies))
+    allocation = report.result.as_configuration_map(
+        {spec.name: index for index, spec in enumerate(specs)}
+    )
+
+    headroom = args.headroom
+    if headroom is None:
+        headroom = 0
+        for index, spec in enumerate(specs):
+            share = movies[index].popularity * args.arrival_rate
+            load_model = VCRLoadModel(
+                sizer.feasible_sets[index].model,
+                allocation[index],
+                viewer_arrival_rate=max(share, 1e-6),
+            )
+            headroom += load_model.plan(blocking_target=0.01).reserve_streams
+        print(f"Erlang headroom for VCR service: {headroom} streams")
+
+    first = specs[0]
+    behavior = VCRBehavior(
+        mix=first.mix,
+        durations=(
+            dict(first.durations)
+            if isinstance(first.durations, dict)
+            else {op: first.durations for op in VCROperation}
+        ),
+    )
+    server = VODServer(
+        catalog,
+        allocation,
+        num_streams=report.result.total_streams + headroom,
+        buffer_pool=BufferPool.for_minutes(report.result.total_buffer_minutes + 1.0),
+        behavior=behavior,
+        workload=ServerWorkload(
+            arrival_rate=args.arrival_rate,
+            horizon=args.horizon,
+            warmup=args.warmup,
+            seed=args.seed,
+            mean_patience=args.mean_patience,
+        ),
+    )
+    outcome = server.run()
+    print("\nsimulated outcome:")
+    for line in outcome.summary_lines():
+        print("  " + line)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "hit":
+        return _cmd_hit(args)
+    if args.command == "size":
+        return _cmd_size(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "fit":
+        return _cmd_fit(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

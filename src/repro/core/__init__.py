@@ -1,0 +1,60 @@
+"""The paper's primary contribution: the analytical hit-probability model.
+
+Given a static-partitioned batching-and-buffering configuration
+(:class:`~repro.core.parameters.SystemConfiguration`) and duration
+distributions for the VCR operations, the model predicts the probability that
+a viewer resuming normal playback after a VCR operation lands inside a live
+buffer partition — and can therefore release the I/O stream that served the
+operation (a *hit*, Section 3 of the paper).
+
+Two independent implementations are provided:
+
+* :mod:`repro.core.hitsets` — the *interval engine*: for each viewer state it
+  constructs the exact set of operation durations that produce a hit as a
+  union of intervals (Eq. (1) catch-up kinematics), then unconditions over the
+  viewer's position analytically and over the in-partition offset numerically.
+  Handles FF, RW and PAU uniformly; this is the production path.
+* :mod:`repro.core.fastforward` — a literal transcription of the paper's
+  equations (3)–(21) for the FF operation, used to cross-validate the interval
+  engine term by term.
+
+:class:`~repro.core.hitmodel.HitProbabilityModel` combines the per-operation
+probabilities with the VCR mix (Eq. (22)).
+"""
+
+from repro.core.catchup import (
+    ff_catchup_factor,
+    ff_catchup_time,
+    rw_catchup_factor,
+    rw_catchup_time,
+)
+from repro.core.hitmodel import HitBreakdown, HitProbabilityModel, VCRMix
+from repro.core.hitsets import (
+    fastforward_hit_intervals,
+    hit_probability,
+    pause_hit_intervals,
+    rewind_hit_intervals,
+)
+from repro.core.parameters import SystemConfiguration, VCRRates
+from repro.core.phase2 import Phase2Model
+from repro.core.vcrop import VCROperation
+from repro.core.waiting import WaitingTimeModel
+
+__all__ = [
+    "Phase2Model",
+    "WaitingTimeModel",
+    "SystemConfiguration",
+    "VCRRates",
+    "VCROperation",
+    "VCRMix",
+    "HitBreakdown",
+    "HitProbabilityModel",
+    "ff_catchup_factor",
+    "ff_catchup_time",
+    "rw_catchup_factor",
+    "rw_catchup_time",
+    "fastforward_hit_intervals",
+    "rewind_hit_intervals",
+    "pause_hit_intervals",
+    "hit_probability",
+]

@@ -1,0 +1,76 @@
+"""Catch-up kinematics — Eq. (1) of the paper.
+
+A viewer fast-forwarding at rate ``R_FF`` closes on a target playing at
+``R_PB`` with relative speed ``R_FF − R_PB``; the movie time the viewer
+*traverses* before the catch-up is the initial gap times
+
+    ``alpha = R_FF / (R_FF − R_PB)``.
+
+A rewinding viewer moves toward a target behind him with closing speed
+``R_PB + R_RW``; the movie time rewound before meeting is the gap times
+
+    ``gamma = R_RW / (R_PB + R_RW)``.
+
+These two factors convert distances between viewers into thresholds on the
+operation-duration random variable, which is what makes the hit sets of
+Section 3 unions of intervals in duration space.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import VCRRates
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ff_catchup_factor",
+    "rw_catchup_factor",
+    "ff_catchup_time",
+    "rw_catchup_time",
+    "ff_wall_time_to_catch",
+    "rw_wall_time_to_catch",
+]
+
+
+def ff_catchup_factor(rates: VCRRates) -> float:
+    """``alpha = R_FF / (R_FF − R_PB)`` — always > 1."""
+    return rates.fast_forward / (rates.fast_forward - rates.playback)
+
+
+def rw_catchup_factor(rates: VCRRates) -> float:
+    """``gamma = R_RW / (R_PB + R_RW)`` — always in (0, 1)."""
+    return rates.rewind / (rates.playback + rates.rewind)
+
+
+def ff_catchup_time(rates: VCRRates, gap: float) -> float:
+    """Movie time fast-forwarded before catching a target ``gap`` minutes ahead.
+
+    Eq. (1), FF branch: ``t = alpha * delta``.
+    """
+    _require_non_negative_gap(gap)
+    return ff_catchup_factor(rates) * gap
+
+
+def rw_catchup_time(rates: VCRRates, gap: float) -> float:
+    """Movie time rewound before meeting a target ``gap`` minutes behind.
+
+    Eq. (1), RW branch: ``t = gamma * delta``.
+    """
+    _require_non_negative_gap(gap)
+    return rw_catchup_factor(rates) * gap
+
+
+def ff_wall_time_to_catch(rates: VCRRates, gap: float) -> float:
+    """Wall-clock minutes spent fast-forwarding before the catch-up."""
+    _require_non_negative_gap(gap)
+    return gap / (rates.fast_forward - rates.playback)
+
+
+def rw_wall_time_to_catch(rates: VCRRates, gap: float) -> float:
+    """Wall-clock minutes spent rewinding before the meet."""
+    _require_non_negative_gap(gap)
+    return gap / (rates.playback + rates.rewind)
+
+
+def _require_non_negative_gap(gap: float) -> None:
+    if gap < 0.0:
+        raise ConfigurationError(f"catch-up gap must be non-negative, got {gap}")

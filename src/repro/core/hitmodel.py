@@ -1,0 +1,261 @@
+"""Top-level hit-probability model — Eq. (22) and friends.
+
+:class:`HitProbabilityModel` packages the per-operation probabilities of
+:mod:`repro.core.hitsets` with the VCR mix ``(P_FF, P_RW, P_PAU)`` into the
+paper's headline quantity
+
+    ``P(hit) = P(hit|FF) P_FF + P(hit|RW) P_RW + P(hit|PAU) P_PAU``
+
+for a given system configuration, and is the object the sizing layer sweeps.
+Duration distributions are truncated and renormalised onto ``[0, l]`` on
+construction (the paper defines every pdf there), and the per-distribution
+CDF transforms are cached so that sweeping hundreds of ``(B, n)`` candidates
+for one movie re-uses the expensive part.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.hitsets import CdfTransform, end_probability, hit_probability
+from repro.core.parameters import SystemConfiguration, VCRRates
+from repro.core.vcrop import VCROperation
+from repro.distributions.base import DurationDistribution
+from repro.distributions.truncated import truncate
+from repro.exceptions import ConfigurationError
+
+__all__ = ["VCRMix", "HitBreakdown", "HitProbabilityModel"]
+
+
+@dataclass(frozen=True)
+class VCRMix:
+    """Probabilities that an issued VCR request is FF / RW / PAU.
+
+    Section 3.1.4: "the values of these probabilities can be determined by
+    measuring user behavior".  Must sum to 1 (within tolerance); individual
+    entries may be zero, which the Figure 7(a)–(c) single-operation
+    experiments use.
+    """
+
+    p_ff: float
+    p_rw: float
+    p_pause: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("p_ff", self.p_ff), ("p_rw", self.p_rw), ("p_pause", self.p_pause)):
+            if not (math.isfinite(value) and 0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        total = self.p_ff + self.p_rw + self.p_pause
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+            raise ConfigurationError(f"VCR mix must sum to 1, got {total}")
+
+    @classmethod
+    def only(cls, operation: VCROperation) -> "VCRMix":
+        """A mix concentrated on a single operation (Figures 7(a)–(c))."""
+        return cls(
+            p_ff=1.0 if operation is VCROperation.FAST_FORWARD else 0.0,
+            p_rw=1.0 if operation is VCROperation.REWIND else 0.0,
+            p_pause=1.0 if operation is VCROperation.PAUSE else 0.0,
+        )
+
+    @classmethod
+    def paper_figure7d(cls) -> "VCRMix":
+        """The mixed-workload experiment of Figure 7(d)."""
+        return cls(p_ff=0.2, p_rw=0.2, p_pause=0.6)
+
+    def probability_of(self, operation: VCROperation) -> float:
+        """The mix weight of one operation."""
+        if operation is VCROperation.FAST_FORWARD:
+            return self.p_ff
+        if operation is VCROperation.REWIND:
+            return self.p_rw
+        return self.p_pause
+
+    def as_dict(self) -> dict[VCROperation, float]:
+        """The mix as an operation-keyed dictionary."""
+        return {op: self.probability_of(op) for op in VCROperation}
+
+
+@dataclass(frozen=True)
+class HitBreakdown:
+    """Per-operation hit probabilities plus the Eq.-(22) mixture."""
+
+    p_hit_ff: float
+    p_hit_rw: float
+    p_hit_pause: float
+    p_end_ff: float
+    mix: VCRMix
+
+    @property
+    def p_hit(self) -> float:
+        """The mixed hit probability, Eq. (22)."""
+        return (
+            self.p_hit_ff * self.mix.p_ff
+            + self.p_hit_rw * self.mix.p_rw
+            + self.p_hit_pause * self.mix.p_pause
+        )
+
+    def probability_of(self, operation: VCROperation) -> float:
+        """The per-operation hit probability for ``operation``."""
+        if operation is VCROperation.FAST_FORWARD:
+            return self.p_hit_ff
+        if operation is VCROperation.REWIND:
+            return self.p_hit_rw
+        return self.p_hit_pause
+
+
+class HitProbabilityModel:
+    """Analytical ``P(hit)`` evaluator for one movie.
+
+    Parameters
+    ----------
+    movie_length:
+        ``l`` in minutes.
+    durations:
+        Either a single :class:`DurationDistribution` used for all three
+        operations (the paper's Figure 7 setup) or a mapping from
+        :class:`VCROperation` to distributions.  Distributions whose support
+        extends past ``l`` are truncated and renormalised automatically.
+    mix:
+        The VCR request mix; defaults to Figure 7(d)'s
+        ``(0.2, 0.2, 0.6)``.
+    rates:
+        Playback/FF/RW rates; default 1/3/3 per the paper.
+    include_end_hit:
+        Whether fast-forwarding past the end of the movie counts as a
+        release event (Eq. 21 includes it; set False to reproduce the
+        "pure batching has hit probability zero" reading of Section 3.1).
+    num_offset_nodes:
+        Quadrature nodes for the in-partition-offset integral.
+    """
+
+    def __init__(
+        self,
+        movie_length: float,
+        durations: DurationDistribution | dict[VCROperation, DurationDistribution],
+        mix: VCRMix | None = None,
+        rates: VCRRates | None = None,
+        include_end_hit: bool = True,
+        num_offset_nodes: int = 32,
+    ) -> None:
+        if movie_length <= 0:
+            raise ConfigurationError(f"movie_length must be positive, got {movie_length}")
+        self._movie_length = float(movie_length)
+        self._rates = rates or VCRRates.paper_default()
+        self._mix = mix or VCRMix.paper_figure7d()
+        self._include_end_hit = include_end_hit
+        self._num_offset_nodes = num_offset_nodes
+        if isinstance(durations, DurationDistribution):
+            durations = {op: durations for op in VCROperation}
+        missing = [op for op in VCROperation if op not in durations]
+        if missing:
+            raise ConfigurationError(f"missing duration distributions for {missing}")
+        self._durations = {
+            op: truncate(dist, self._movie_length) for op, dist in durations.items()
+        }
+        self._transforms = {
+            op: CdfTransform(dist, self._movie_length)
+            for op, dist in self._durations.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Accessors.
+    # ------------------------------------------------------------------
+    @property
+    def movie_length(self) -> float:
+        """The movie length ``l`` in minutes."""
+        return self._movie_length
+
+    @property
+    def rates(self) -> VCRRates:
+        """The playback/FF/RW rates the model was built with."""
+        return self._rates
+
+    @property
+    def mix(self) -> VCRMix:
+        """The VCR request mix used by Eq. (22)."""
+        return self._mix
+
+    def duration_of(self, operation: VCROperation) -> DurationDistribution:
+        """The (truncated) duration distribution used for ``operation``."""
+        return self._durations[operation]
+
+    def configuration(self, num_partitions: int, buffer_minutes: float) -> SystemConfiguration:
+        """Build a :class:`SystemConfiguration` bound to this movie's ``l``."""
+        return SystemConfiguration(
+            movie_length=self._movie_length,
+            num_partitions=num_partitions,
+            buffer_minutes=buffer_minutes,
+            rates=self._rates,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+    def hit_probability_for(
+        self, operation: VCROperation, config: SystemConfiguration
+    ) -> float:
+        """``P(hit | operation)`` under this movie's duration statistics."""
+        self._check_config(config)
+        return hit_probability(
+            operation,
+            config,
+            self._durations[operation],
+            include_end_hit=self._include_end_hit,
+            num_offset_nodes=self._num_offset_nodes,
+            transform=self._transforms[operation],
+        )
+
+    def hit_probability(self, config: SystemConfiguration) -> float:
+        """The Eq.-(22) mixed hit probability for ``config``."""
+        return self.breakdown(config).p_hit
+
+    def breakdown(self, config: SystemConfiguration) -> HitBreakdown:
+        """All per-operation components for ``config``.
+
+        Operations with zero mix weight are still evaluated — the breakdown
+        is frequently used to compare single-operation curves (Figure 7).
+        """
+        self._check_config(config)
+        ff_op = VCROperation.FAST_FORWARD
+        return HitBreakdown(
+            p_hit_ff=self.hit_probability_for(ff_op, config),
+            p_hit_rw=self.hit_probability_for(VCROperation.REWIND, config),
+            p_hit_pause=self.hit_probability_for(VCROperation.PAUSE, config),
+            p_end_ff=end_probability(
+                config, self._durations[ff_op], transform=self._transforms[ff_op]
+            ),
+            mix=self._mix,
+        )
+
+    def hit_curve(
+        self, partition_counts, max_wait: float
+    ) -> list[tuple[SystemConfiguration, float]]:
+        """``P(hit)`` along the Eq.-(2) constraint ``B = l − n·w``.
+
+        This is the family of points the paper plots in Figure 7: sweep ``n``
+        at a fixed maximum wait ``w``; the buffer follows from Eq. (2).
+        Partition counts for which ``n·w > l`` are skipped.
+        """
+        points: list[tuple[SystemConfiguration, float]] = []
+        for n in partition_counts:
+            buffer_minutes = self._movie_length - n * max_wait
+            if buffer_minutes < 0.0:
+                continue
+            config = self.configuration(int(n), buffer_minutes)
+            points.append((config, self.hit_probability(config)))
+        return points
+
+    def _check_config(self, config: SystemConfiguration) -> None:
+        if not math.isclose(config.movie_length, self._movie_length, rel_tol=0, abs_tol=1e-9):
+            raise ConfigurationError(
+                f"configuration movie length {config.movie_length} does not match "
+                f"the model's movie length {self._movie_length}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"HitProbabilityModel(l={self._movie_length:g}, mix={self._mix}, "
+            f"rates={self._rates})"
+        )

@@ -1,0 +1,407 @@
+"""The interval engine: exact hit-duration sets and their probabilities.
+
+Section 3 of the paper reduces every resume outcome to geometry.  Fix a
+viewer at movie position ``V_c`` whose partition's leading (first possible)
+viewer is at ``V_f = V_c + d`` with in-partition offset ``d in [0, B/n]``.
+With the Eq. (1) catch-up factors ``alpha`` (FF) and ``gamma`` (RW), the set
+of operation durations ``x`` that end in a hit is a finite union of closed
+intervals:
+
+* **FF** — own partition ``[0, alpha*d]``; ``i``-th partition ahead
+  ``[alpha*(i*l/n + d − B/n), alpha*(i*l/n + d)]``; everything clipped to
+  ``[0, l − V_c]`` because fast-forwarding further reaches the end of the
+  movie — itself a release event with interval ``[l − V_c, l]`` (Eq. 20).
+* **RW** — ``i``-th partition behind (``i = 0`` is the viewer's own
+  partition's trailing stretch) ``[gamma*(i*l/n − d), gamma*(i*l/n − d + B/n)]``
+  clipped to ``[0, V_c]``: rewinding past the start of the movie counts as a
+  miss, the boundary convention the paper states in Section 4.
+* **PAU** — partitions sweep forward past the frozen viewer:
+  ``[i*l/n − d, i*l/n − d + B/n]`` for ``i >= 0`` — periodic with period
+  ``l/n``, independent of ``V_c``.
+
+Unconditioning uses ``V_c ~ U[0, l]`` and ``d ~ U[0, B/n]`` (the paper's
+approximations for ``P(V_c)`` and ``P(V_f)``).  The integral over ``V_c`` has
+a closed form: with ``F`` the duration CDF, ``G(c) = ∫_0^c F`` and
+
+    ``H(c) = G(min(c, l)) + (l − min(c, l)) * F(min(c, l))``
+
+one has ``∫_0^l F(min(c, u)) du = H(c)``, so each clipped interval
+``[lo, hi]`` contributes ``H(hi) − H(lo)`` to the ``V_c``-unconditioned sum
+(for FF via the substitution ``u = l − V_c``; for RW via ``u = V_c``).  Only
+the integral over ``d`` is evaluated numerically (Gauss–Legendre).  This is
+algebraically identical to the paper's case-split equations (3)–(21) — the
+test suite verifies the equivalence against the literal transcription in
+:mod:`repro.core.fastforward` — but is O(n) per configuration instead of a
+triply-nested quadrature, which is what makes the Section 5 sizing sweeps
+cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.core.catchup import ff_catchup_factor, rw_catchup_factor
+from repro.core.parameters import SystemConfiguration
+from repro.core.vcrop import VCROperation
+from repro.distributions.base import DurationDistribution
+from repro.exceptions import ConfigurationError
+from repro.numerics.intervals import Interval, IntervalUnion
+from repro.numerics.quadrature import _gl_nodes
+
+__all__ = [
+    "CdfTransform",
+    "fastforward_hit_intervals",
+    "fastforward_end_interval",
+    "rewind_hit_intervals",
+    "pause_hit_intervals",
+    "hit_intervals",
+    "hit_probability_at",
+    "hit_probability",
+    "end_probability",
+    "DEFAULT_OFFSET_NODES",
+    "DEFAULT_GRID_POINTS",
+]
+
+#: Gauss–Legendre nodes for the in-partition-offset integral.
+DEFAULT_OFFSET_NODES = 32
+#: Grid resolution for the precomputed CDF transform.
+DEFAULT_GRID_POINTS = 4097
+
+
+# ----------------------------------------------------------------------
+# Hit-duration interval sets, per viewer state.
+# ----------------------------------------------------------------------
+def _validate_state(config: SystemConfiguration, v_c: float, offset_d: float) -> None:
+    if not 0.0 <= v_c <= config.movie_length:
+        raise ConfigurationError(
+            f"viewer position {v_c} outside the movie [0, {config.movie_length}]"
+        )
+    if not -1e-12 <= offset_d <= config.partition_span + 1e-12:
+        raise ConfigurationError(
+            f"in-partition offset {offset_d} outside [0, {config.partition_span}]"
+        )
+
+
+def fastforward_hit_intervals(
+    config: SystemConfiguration, v_c: float, offset_d: float
+) -> IntervalUnion:
+    """Durations producing a partition hit when fast-forwarding from ``V_c``.
+
+    Returns the union of the own-partition window and the windows of every
+    reachable partition ahead, clipped to ``[0, l − V_c]`` (beyond which the
+    viewer reaches the movie end — see :func:`fastforward_end_interval`).
+    """
+    _validate_state(config, v_c, offset_d)
+    alpha = ff_catchup_factor(config.rates)
+    span = config.partition_span
+    spacing = config.partition_spacing
+    horizon = config.movie_length - v_c
+    windows: list[Interval] = [Interval(0.0, min(alpha * offset_d, horizon))]
+    i = 1
+    while True:
+        lo = alpha * (i * spacing + offset_d - span)
+        if lo >= horizon:
+            break
+        hi = alpha * (i * spacing + offset_d)
+        windows.append(Interval(lo, min(hi, horizon)))
+        i += 1
+    return IntervalUnion(windows)
+
+
+def fastforward_end_interval(config: SystemConfiguration, v_c: float) -> Interval:
+    """Durations that fast-forward past the movie end (Eq. 20's event)."""
+    return Interval(config.movie_length - v_c, config.movie_length)
+
+
+def rewind_hit_intervals(
+    config: SystemConfiguration, v_c: float, offset_d: float
+) -> IntervalUnion:
+    """Durations producing a partition hit when rewinding from ``V_c``.
+
+    ``i = 0`` is the trailing stretch of the viewer's own partition; larger
+    ``i`` are partitions behind.  Clipped to ``[0, V_c]``: reaching the start
+    of the movie is a miss under the paper's stated convention.
+    """
+    _validate_state(config, v_c, offset_d)
+    gamma = rw_catchup_factor(config.rates)
+    span = config.partition_span
+    spacing = config.partition_spacing
+    windows: list[Interval] = []
+    i = 0
+    while True:
+        lo = gamma * (i * spacing - offset_d)
+        if lo >= v_c:
+            break
+        hi = gamma * (i * spacing - offset_d + span)
+        windows.append(Interval(max(0.0, lo), min(hi, v_c)))
+        i += 1
+    return IntervalUnion(windows)
+
+
+def pause_hit_intervals(
+    config: SystemConfiguration, offset_d: float, max_duration: float | None = None
+) -> IntervalUnion:
+    """Durations after which a paused viewer finds a partition over him.
+
+    Independent of ``V_c``: buffer windows sweep forward past the frozen
+    viewer with period ``l/n``.  ``max_duration`` defaults to the movie
+    length ``l`` (the paper wraps longer pauses modulo ``l``; distributions
+    are defined on ``[0, l]``).
+    """
+    if not -1e-12 <= offset_d <= config.partition_span + 1e-12:
+        raise ConfigurationError(
+            f"in-partition offset {offset_d} outside [0, {config.partition_span}]"
+        )
+    limit = config.movie_length if max_duration is None else max_duration
+    span = config.partition_span
+    spacing = config.partition_spacing
+    windows: list[Interval] = []
+    i = 0
+    while True:
+        lo = i * spacing - offset_d
+        if lo >= limit:
+            break
+        hi = lo + span
+        windows.append(Interval(max(0.0, lo), min(hi, limit)))
+        i += 1
+    return IntervalUnion(windows)
+
+
+def hit_intervals(
+    operation: VCROperation,
+    config: SystemConfiguration,
+    v_c: float,
+    offset_d: float,
+) -> IntervalUnion:
+    """Dispatch to the per-operation hit set (partition hits only)."""
+    if operation is VCROperation.FAST_FORWARD:
+        return fastforward_hit_intervals(config, v_c, offset_d)
+    if operation is VCROperation.REWIND:
+        return rewind_hit_intervals(config, v_c, offset_d)
+    return pause_hit_intervals(config, offset_d)
+
+
+def hit_probability_at(
+    operation: VCROperation,
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    v_c: float,
+    offset_d: float,
+    include_end_hit: bool = True,
+) -> float:
+    """Hit probability conditioned on the full viewer state ``(V_c, d)``.
+
+    For FF the end-of-movie release event (Eq. 20) is included unless
+    ``include_end_hit`` is False.
+    """
+    mass = hit_intervals(operation, config, v_c, offset_d).measure_under(duration.cdf)
+    if include_end_hit and operation is VCROperation.FAST_FORWARD:
+        end = fastforward_end_interval(config, v_c)
+        mass += duration.probability(end.lo, end.hi)
+    return min(1.0, max(0.0, mass))
+
+
+# ----------------------------------------------------------------------
+# CDF transform: F, G = ∫F, and H(c) = ∫_0^l F(min(c, u)) du.
+# ----------------------------------------------------------------------
+class CdfTransform:
+    """Precomputed grid evaluation of ``F``, ``G = ∫_0^c F`` and ``H``.
+
+    Built once per (distribution, movie length) pair; every subsequent query
+    is an O(log grid) interpolation.  ``H`` is the closed-form kernel of the
+    ``V_c``-unconditioning described in the module docstring.
+    """
+
+    __slots__ = ("_duration", "_length", "_xs", "_fs", "_gs", "_g_total")
+
+    def __init__(
+        self,
+        duration: DurationDistribution,
+        movie_length: float,
+        grid_points: int = DEFAULT_GRID_POINTS,
+    ) -> None:
+        if grid_points < 3:
+            raise ConfigurationError(f"grid_points must be >= 3, got {grid_points}")
+        self._duration = duration
+        self._length = float(movie_length)
+        self._xs = np.linspace(0.0, self._length, grid_points)
+        self._fs = np.asarray([duration.cdf(float(x)) for x in self._xs])
+        # Cumulative trapezoid for G(c) = ∫_0^c F(u) du.  Only G needs the
+        # grid; F is evaluated exactly so point masses are not smeared.
+        widths = np.diff(self._xs)
+        areas = 0.5 * (self._fs[1:] + self._fs[:-1]) * widths
+        self._gs = np.concatenate(([0.0], np.cumsum(areas)))
+        self._g_total = float(self._gs[-1])
+
+    @property
+    def movie_length(self) -> float:
+        """The movie length the transform was built for."""
+        return self._length
+
+    @property
+    def total_mass(self) -> float:
+        """``F(l)`` — 1.0 when the distribution is truncated to the movie."""
+        return float(self._fs[-1])
+
+    def F(self, c: float) -> float:
+        """The exact CDF, saturated outside ``[0, l]``."""
+        if c <= 0.0:
+            return 0.0
+        if c >= self._length:
+            return float(self._fs[-1])
+        return self._duration.cdf(c)
+
+    def G(self, c: float) -> float:
+        """``∫_0^c F(u) du`` for ``c`` clamped to ``[0, l]``."""
+        if c <= 0.0:
+            return 0.0
+        if c >= self._length:
+            return self._g_total
+        return float(np.interp(c, self._xs, self._gs))
+
+    def H(self, c: float) -> float:
+        """``∫_0^l F(min(c, u)) du`` — monotone, with ``H(c >= l) = G(l)``."""
+        if c <= 0.0:
+            return 0.0
+        if c >= self._length:
+            return self._g_total
+        return self.G(c) + (self._length - c) * self.F(c)
+
+    def end_mass(self) -> float:
+        """``∫_0^l (1 − F(u)) du = l − G(l)`` — the Eq. (20) numerator."""
+        return self._length - self._g_total
+
+
+# ----------------------------------------------------------------------
+# Fully unconditioned hit probabilities.
+# ----------------------------------------------------------------------
+def _sum_ff(transform: CdfTransform, config: SystemConfiguration, d: float) -> float:
+    """``∫_0^l P(partition hit | FF, V_c, d) dV_c`` via the H kernel."""
+    alpha = ff_catchup_factor(config.rates)
+    span = config.partition_span
+    spacing = config.partition_spacing
+    length = config.movie_length
+    total = transform.H(alpha * d)  # own partition: window [0, alpha*d]
+    i = 1
+    while True:
+        lo = alpha * (i * spacing + d - span)
+        if lo >= length:
+            break
+        hi = alpha * (i * spacing + d)
+        total += transform.H(hi) - transform.H(lo)
+        i += 1
+    return total
+
+
+def _sum_rw(transform: CdfTransform, config: SystemConfiguration, d: float) -> float:
+    """``∫_0^l P(partition hit | RW, V_c, d) dV_c`` via the H kernel."""
+    gamma = rw_catchup_factor(config.rates)
+    span = config.partition_span
+    spacing = config.partition_spacing
+    length = config.movie_length
+    total = 0.0
+    i = 0
+    while True:
+        lo = gamma * (i * spacing - d)
+        if lo >= length:
+            break
+        hi = gamma * (i * spacing - d + span)
+        total += transform.H(hi) - transform.H(max(0.0, lo))
+        i += 1
+    return total
+
+
+def _sum_pause(transform: CdfTransform, config: SystemConfiguration, d: float) -> float:
+    """``P(hit | PAU, d)`` — no ``V_c`` dependence, plain CDF masses."""
+    span = config.partition_span
+    spacing = config.partition_spacing
+    length = config.movie_length
+    total = 0.0
+    i = 0
+    while True:
+        lo = i * spacing - d
+        if lo >= length:
+            break
+        hi = lo + span
+        total += transform.F(hi) - transform.F(max(0.0, lo))
+        i += 1
+    return total
+
+
+def _offset_average(
+    func: Callable[[float], float], span: float, num_nodes: int
+) -> float:
+    """Average of ``func(d)`` over ``d ~ U[0, span]`` by Gauss–Legendre."""
+    if span <= 0.0:
+        return func(0.0)
+    nodes, weights = _gl_nodes(num_nodes)
+    half = 0.5 * span
+    total = 0.0
+    for node, weight in zip(nodes, weights):
+        total += weight * func(half * (node + 1.0))
+    return 0.5 * total  # (half * sum)/span == sum/2
+
+
+def end_probability(
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    transform: CdfTransform | None = None,
+) -> float:
+    """Eq. (20): probability a FF runs past the end of the movie."""
+    transform = transform or CdfTransform(duration, config.movie_length)
+    return transform.end_mass() / config.movie_length
+
+
+def hit_probability(
+    operation: VCROperation,
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    *,
+    include_end_hit: bool = True,
+    num_offset_nodes: int = DEFAULT_OFFSET_NODES,
+    transform: CdfTransform | None = None,
+) -> float:
+    """Unconditioned ``P(hit | operation)`` — Eq. (21) and its RW/PAU analogues.
+
+    Parameters
+    ----------
+    operation:
+        Which VCR function the viewer performed.
+    config:
+        The ``(l, n, B, rates)`` system geometry.
+    duration:
+        Distribution of the operation's duration.  The paper defines it on
+        ``[0, l]``; pass a truncated distribution for exact conformance
+        (:class:`~repro.core.hitmodel.HitProbabilityModel` does this
+        automatically).
+    include_end_hit:
+        Count fast-forwarding past the end of the movie as a release event
+        (the paper's Eq. (21) includes the ``P(end)`` term).
+    num_offset_nodes:
+        Gauss–Legendre nodes for the in-partition-offset integral.
+    transform:
+        Optional precomputed :class:`CdfTransform` (reused across calls by
+        the model object).
+    """
+    transform = transform or CdfTransform(duration, config.movie_length)
+    length = config.movie_length
+    if operation is VCROperation.FAST_FORWARD:
+        value = _offset_average(
+            lambda d: _sum_ff(transform, config, d), config.partition_span, num_offset_nodes
+        ) / length
+        if include_end_hit:
+            value += transform.end_mass() / length
+    elif operation is VCROperation.REWIND:
+        value = _offset_average(
+            lambda d: _sum_rw(transform, config, d), config.partition_span, num_offset_nodes
+        ) / length
+    elif operation is VCROperation.PAUSE:
+        value = _offset_average(
+            lambda d: _sum_pause(transform, config, d), config.partition_span, num_offset_nodes
+        )
+    else:  # pragma: no cover - enum is closed
+        raise ConfigurationError(f"unknown VCR operation {operation!r}")
+    return float(min(1.0, max(0.0, value)))

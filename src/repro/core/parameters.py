@@ -1,0 +1,211 @@
+"""System configuration objects for the static-partitioning model.
+
+The paper's Section 3.1 fixes the geometry of the scheme: a movie of length
+``l`` served by ``n`` I/O streams restarted every ``l/n`` minutes, with ``B``
+minutes' worth of buffer split evenly into ``n`` partitions of span ``B/n``.
+The induced maximum batching wait is ``w = (l − B)/n`` (Eq. 2).  Everything
+the hit model needs is derivable from ``(l, n, B)`` plus the playback/FF/RW
+rates, so those are the stored fields; the rest are properties.
+
+Units: minutes of movie time throughout.  Rates are unit-free multiples of
+real time (playback rate 1 means one movie-minute per wall-minute).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["VCRRates", "SystemConfiguration"]
+
+
+@dataclass(frozen=True)
+class VCRRates:
+    """Playback/fast-forward/rewind speeds (movie-minutes per wall-minute).
+
+    The paper's Figure 7 experiments use FF and RW at three times the normal
+    playback rate; :meth:`paper_default` reproduces that.
+    """
+
+    playback: float = 1.0
+    fast_forward: float = 3.0
+    rewind: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("playback", "fast_forward", "rewind"):
+            value = getattr(self, name)
+            if not (isinstance(value, (int, float)) and math.isfinite(value) and value > 0):
+                raise ConfigurationError(f"{name} rate must be positive and finite, got {value}")
+        if self.fast_forward <= self.playback:
+            raise ConfigurationError(
+                "fast-forward rate must exceed the playback rate "
+                f"(got FF={self.fast_forward}, PB={self.playback}); otherwise a viewer "
+                "can never catch up with a partition ahead (Eq. 1)"
+            )
+
+    @classmethod
+    def paper_default(cls) -> "VCRRates":
+        """Rates used throughout the paper's evaluation: FF = RW = 3x playback."""
+        return cls(playback=1.0, fast_forward=3.0, rewind=3.0)
+
+    @property
+    def speedup_ff(self) -> float:
+        """Fast-forward speed as a multiple of playback."""
+        return self.fast_forward / self.playback
+
+    @property
+    def speedup_rw(self) -> float:
+        """Rewind speed as a multiple of playback."""
+        return self.rewind / self.playback
+
+
+@dataclass(frozen=True)
+class SystemConfiguration:
+    """Geometry of the batching + static-partitioned-buffering scheme.
+
+    Parameters
+    ----------
+    movie_length:
+        ``l`` — movie length in minutes.
+    num_partitions:
+        ``n`` — number of I/O streams, equal to the number of buffer
+        partitions (footnote 1 of the paper).
+    buffer_minutes:
+        ``B`` — total buffer dedicated to normal playback, expressed in
+        minutes of video, *net* of the per-partition safety reserve ``delta``
+        (the paper folds ``delta`` away via ``B = B' − n*delta``).
+    rates:
+        Playback/FF/RW speeds.
+    """
+
+    movie_length: float
+    num_partitions: int
+    buffer_minutes: float
+    rates: VCRRates = field(default_factory=VCRRates.paper_default)
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.movie_length) and self.movie_length > 0):
+            raise ConfigurationError(f"movie_length must be positive, got {self.movie_length}")
+        if not (isinstance(self.num_partitions, int) and self.num_partitions >= 1):
+            raise ConfigurationError(
+                f"num_partitions must be an integer >= 1, got {self.num_partitions!r}"
+            )
+        if not (math.isfinite(self.buffer_minutes) and 0.0 <= self.buffer_minutes):
+            raise ConfigurationError(
+                f"buffer_minutes must be non-negative, got {self.buffer_minutes}"
+            )
+        if self.buffer_minutes > self.movie_length + 1e-12:
+            raise ConfigurationError(
+                f"buffer_minutes ({self.buffer_minutes}) cannot exceed the movie "
+                f"length ({self.movie_length}): Eq. (2) requires B <= l"
+            )
+
+    # ------------------------------------------------------------------
+    # Alternative constructors.
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_wait(
+        cls,
+        movie_length: float,
+        num_partitions: int,
+        max_wait: float,
+        rates: VCRRates | None = None,
+    ) -> "SystemConfiguration":
+        """Build a configuration from ``(l, n, w)`` using Eq. (2): ``B = l − n*w``.
+
+        Raises :class:`ConfigurationError` when ``n*w > l`` (negative buffer).
+        """
+        buffer_minutes = movie_length - num_partitions * max_wait
+        if buffer_minutes < -1e-9:
+            raise ConfigurationError(
+                f"n*w = {num_partitions * max_wait:g} exceeds l = {movie_length:g}; "
+                "no buffer allocation satisfies Eq. (2)"
+            )
+        return cls(
+            movie_length=movie_length,
+            num_partitions=num_partitions,
+            buffer_minutes=max(0.0, buffer_minutes),
+            rates=rates or VCRRates.paper_default(),
+        )
+
+    @classmethod
+    def pure_batching(
+        cls,
+        movie_length: float,
+        num_partitions: int,
+        rates: VCRRates | None = None,
+    ) -> "SystemConfiguration":
+        """The ``B = 0`` degenerate case: one stream per batch, no buffering."""
+        return cls(
+            movie_length=movie_length,
+            num_partitions=num_partitions,
+            buffer_minutes=0.0,
+            rates=rates or VCRRates.paper_default(),
+        )
+
+    def with_buffer(self, buffer_minutes: float) -> "SystemConfiguration":
+        """Copy of this configuration with a different buffer budget."""
+        return replace(self, buffer_minutes=buffer_minutes)
+
+    def with_partitions(self, num_partitions: int) -> "SystemConfiguration":
+        """Copy of this configuration with a different stream count."""
+        return replace(self, num_partitions=num_partitions)
+
+    # ------------------------------------------------------------------
+    # Derived geometry (Section 3.1).
+    # ------------------------------------------------------------------
+    @property
+    def max_wait(self) -> float:
+        """``w = (l − B)/n`` — the worst-case batching wait (Eq. 2)."""
+        return (self.movie_length - self.buffer_minutes) / self.num_partitions
+
+    @property
+    def partition_span(self) -> float:
+        """``B/n`` — minutes of video retained by each partition."""
+        return self.buffer_minutes / self.num_partitions
+
+    @property
+    def partition_spacing(self) -> float:
+        """``l/n`` — phase difference between successive streams."""
+        return self.movie_length / self.num_partitions
+
+    @property
+    def gap(self) -> float:
+        """``l/n − B/n = w`` — un-buffered distance between partitions."""
+        return self.partition_spacing - self.partition_span
+
+    @property
+    def buffer_fraction(self) -> float:
+        """``B/l`` — fraction of the movie resident in memory."""
+        return self.buffer_minutes / self.movie_length
+
+    @property
+    def is_pure_batching(self) -> bool:
+        """True when no buffering is configured (``B == 0``)."""
+        return self.buffer_minutes == 0.0
+
+    @property
+    def is_fully_buffered(self) -> bool:
+        """True when the whole movie fits in the buffer (``B == l``)."""
+        return math.isclose(self.buffer_minutes, self.movie_length, rel_tol=0, abs_tol=1e-12)
+
+    def streams_saved_vs_pure_batching(self) -> float:
+        """``B/w`` — streams saved relative to pure batching at the same wait.
+
+        Section 3.1: "when we dedicate B minutes worth of buffer space for
+        normal playback, then we can save B/w I/O streams".  Undefined
+        (infinite) when ``w == 0``.
+        """
+        if self.max_wait == 0.0:
+            return math.inf
+        return self.buffer_minutes / self.max_wait
+
+    def describe(self) -> str:
+        """Single-line human-readable summary."""
+        return (
+            f"SystemConfiguration(l={self.movie_length:g} min, n={self.num_partitions}, "
+            f"B={self.buffer_minutes:g} min, w={self.max_wait:g} min, "
+            f"span={self.partition_span:g}, spacing={self.partition_spacing:g})"
+        )

@@ -1,0 +1,124 @@
+"""Pause hit probability.
+
+During a pause the viewer's position is frozen while every buffer partition
+keeps sweeping forward at the playback rate, and a fresh stream is restarted
+every ``l/n`` minutes.  The viewer therefore sits under a partition window
+during the periodic episodes
+
+    ``x in [i*l/n − d, i*l/n − d + B/n]``,  ``i = 0, 1, 2, ...``
+
+where ``d`` is his offset behind his partition's leading edge at the moment
+of pausing.  The pattern has period ``l/n`` — a pause hit probability of
+roughly ``B/l`` for long pauses, which is a useful sanity bound.  Pauses
+longer than the movie wrap (``x mod l``, Section 2.1); since the paper
+defines duration pdfs on ``[0, l]`` the wrap never activates for conforming
+distributions, but :func:`wrap_duration` implements it for raw workloads.
+
+As with rewind, the derivation is ours (the paper defers it to the technical
+report); the simulator validates it the same way the paper's Figure 7(c)
+does.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.hitsets import pause_hit_intervals
+from repro.core.parameters import SystemConfiguration
+from repro.distributions.base import DurationDistribution
+from repro.numerics.quadrature import gauss_legendre
+
+__all__ = [
+    "p_hit_pause_direct",
+    "p_hit_pause_own",
+    "p_hit_pause_jump",
+    "wrap_duration",
+    "long_pause_limit",
+]
+
+_NODES = 48
+
+
+def p_hit_pause_direct(
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    num_nodes: int = 32,
+) -> float:
+    """Brute-force quadrature over ``d`` of the conditional pause hit mass.
+
+    Pause hits do not depend on the viewer position ``V_c``, so a single 1-D
+    integral unconditions completely.
+    """
+    span = config.partition_span
+
+    def mass(d: float) -> float:
+        return pause_hit_intervals(config, d).measure_under(duration.cdf)
+
+    if span == 0.0:
+        return min(1.0, max(0.0, mass(0.0)))
+    value = gauss_legendre(mass, 0.0, span, num_nodes=num_nodes) / span
+    return min(1.0, max(0.0, value))
+
+
+def p_hit_pause_own(
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    num_nodes: int = _NODES,
+) -> float:
+    """Probability of resuming while still inside the original partition.
+
+    The ``i = 0`` episode: pause shorter than ``B/n − d``.
+    """
+    span = config.partition_span
+    if span == 0.0:
+        return 0.0
+
+    def mass(d: float) -> float:
+        return duration.probability(0.0, span - d)
+
+    value = gauss_legendre(mass, 0.0, span, num_nodes=num_nodes) / span
+    return min(1.0, max(0.0, value))
+
+
+def p_hit_pause_jump(
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    jump_index: int,
+    num_nodes: int = _NODES,
+) -> float:
+    """Probability of resuming under the ``jump_index``-th later stream."""
+    if jump_index < 1:
+        raise ValueError(f"jump index must be >= 1, got {jump_index}")
+    span = config.partition_span
+    spacing = config.partition_spacing
+    if span == 0.0:
+        return 0.0
+    phase = jump_index * spacing
+
+    def mass(d: float) -> float:
+        return duration.probability(phase - d, phase - d + span)
+
+    value = gauss_legendre(mass, 0.0, span, num_nodes=num_nodes) / span
+    return min(1.0, max(0.0, value))
+
+
+def wrap_duration(x: float, movie_length: float) -> float:
+    """Section 2.1's equivalence: a pause of ``x > l`` behaves like ``x mod l``."""
+    if movie_length <= 0.0:
+        raise ValueError(f"movie_length must be positive, got {movie_length}")
+    if x < 0.0:
+        raise ValueError(f"duration must be non-negative, got {x}")
+    if x < movie_length:
+        return x
+    return math.fmod(x, movie_length)
+
+
+def long_pause_limit(config: SystemConfiguration) -> float:
+    """Hit probability of an infinitely long (uniform-phase) pause: ``B/l``.
+
+    The periodic window pattern covers a ``B/n`` slice of every ``l/n``
+    period, so a pause that forgets its starting phase resumes under a window
+    with probability ``(B/n)/(l/n) = B/l``.  Used as an asymptotic sanity
+    check in the tests.
+    """
+    return config.buffer_fraction

@@ -1,0 +1,129 @@
+"""Rewind hit probability.
+
+The paper derives ``P(hit|RW)`` in its companion technical report (CUHK
+CS-TR-96-03) and omits the algebra; this module re-derives it from the same
+Eq.-(1) kinematics (DESIGN.md Section 2 records the derivation):
+
+* A viewer rewinding at ``R_RW`` meets a target ``Delta`` minutes behind him
+  after rewinding ``gamma * Delta`` movie minutes, ``gamma = R_RW/(R_PB+R_RW)``.
+* The trailing stretch of his own partition is ``B/n − d`` behind (own-window
+  hit for durations up to ``gamma*(B/n − d)``); the ``i``-th partition behind
+  contributes the window ``[gamma*(i*l/n − d), gamma*(i*l/n − d + B/n)]``.
+* Rewinding past the start of the movie is a **miss** — the convention the
+  paper states in Section 4 when explaining why its model slightly
+  under-estimates the RW hit probability; hence every window is clipped to
+  ``[0, V_c]``.
+
+The production evaluation lives in :mod:`repro.core.hitsets`
+(``hit_probability(VCROperation.REWIND, ...)``); this module adds a
+paper-style decomposition (own partition vs. jumps) and a brute-force 2-D
+quadrature used for cross-validation.
+"""
+
+from __future__ import annotations
+
+from repro.core.catchup import rw_catchup_factor
+from repro.core.hitsets import rewind_hit_intervals
+from repro.core.parameters import SystemConfiguration
+from repro.distributions.base import DurationDistribution
+from repro.numerics.quadrature import gauss_legendre
+
+__all__ = [
+    "p_hit_rewind_direct",
+    "p_hit_rewind_own",
+    "p_hit_rewind_jump",
+    "p_start_miss_mass",
+]
+
+_NODES = 48
+
+
+def _average_over_state(
+    config: SystemConfiguration,
+    conditional,
+    num_nodes: int,
+) -> float:
+    """Uncondition ``conditional(V_c, d)`` over ``V_c ~ U[0,l]``, ``d ~ U[0,B/n]``."""
+    span = config.partition_span
+    length = config.movie_length
+
+    def over_vc(d: float) -> float:
+        return gauss_legendre(
+            lambda v_c: conditional(v_c, d), 0.0, length, num_nodes=num_nodes
+        ) / length
+
+    if span == 0.0:
+        return over_vc(0.0)
+    return gauss_legendre(over_vc, 0.0, span, num_nodes=num_nodes) / span
+
+
+def p_hit_rewind_direct(
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    num_nodes: int = 32,
+) -> float:
+    """Brute-force 2-D quadrature of the conditional rewind hit mass."""
+
+    def mass(v_c: float, d: float) -> float:
+        return rewind_hit_intervals(config, v_c, d).measure_under(duration.cdf)
+
+    return min(1.0, max(0.0, _average_over_state(config, mass, num_nodes)))
+
+
+def p_hit_rewind_own(
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    num_nodes: int = _NODES,
+) -> float:
+    """Hit in the trailing stretch of the viewer's own partition only.
+
+    The RW analogue of the paper's ``P(hit_w | FF)``: durations in
+    ``[0, gamma*(B/n − d)]`` clipped at ``V_c``.
+    """
+    gamma = rw_catchup_factor(config.rates)
+    span = config.partition_span
+
+    def mass(v_c: float, d: float) -> float:
+        return duration.probability(0.0, min(gamma * (span - d), v_c))
+
+    return min(1.0, max(0.0, _average_over_state(config, mass, num_nodes)))
+
+
+def p_hit_rewind_jump(
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    jump_index: int,
+    num_nodes: int = _NODES,
+) -> float:
+    """Hit in the ``jump_index``-th partition *behind* the viewer."""
+    if jump_index < 1:
+        raise ValueError(f"jump index must be >= 1, got {jump_index}")
+    gamma = rw_catchup_factor(config.rates)
+    span = config.partition_span
+    spacing = config.partition_spacing
+    phase = jump_index * spacing
+
+    def mass(v_c: float, d: float) -> float:
+        lo = gamma * (phase - d)
+        hi = gamma * (phase - d + span)
+        return duration.probability(min(lo, v_c), min(hi, v_c))
+
+    return min(1.0, max(0.0, _average_over_state(config, mass, num_nodes)))
+
+
+def p_start_miss_mass(
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    num_nodes: int = _NODES,
+) -> float:
+    """Probability that a rewind runs past the start of the movie.
+
+    ``P(X > V_c)`` averaged over the viewer position: the mass the model
+    deliberately books as misses (the paper's stated boundary convention).
+    Useful as a diagnostic — it bounds the model's RW under-estimation.
+    """
+    length = config.movie_length
+    integral = gauss_legendre(
+        lambda v_c: duration.survival(v_c), 0.0, length, num_nodes=num_nodes
+    )
+    return integral / length

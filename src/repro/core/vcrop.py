@@ -1,0 +1,23 @@
+"""The three interactive VCR operations the paper models."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["VCROperation"]
+
+
+class VCROperation(enum.Enum):
+    """Fast-forward with viewing, rewind with viewing, and pause.
+
+    The paper's Section 2: "a VOD system is expected to provide VCR functions
+    such as fast forward with viewing (FF), rewind with viewing (RW), and
+    pause (PAU)".
+    """
+
+    FAST_FORWARD = "FF"
+    REWIND = "RW"
+    PAUSE = "PAU"
+
+    def __str__(self) -> str:
+        return self.value

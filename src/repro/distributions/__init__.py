@@ -1,0 +1,44 @@
+"""Duration distributions for VCR operations.
+
+The paper's central modelling decision is that the hit-probability model is
+*distribution generic*: the duration of a FF/RW/PAU operation is described by
+an arbitrary pdf ``f(x)`` on ``[0, l]`` ("our goal is not to obtain the exact
+distribution ... but rather construct a model which is able to handle a
+general probability distribution", Section 3.1).  This subpackage supplies the
+concrete families used in the paper's evaluation (skewed gamma, exponential)
+plus the families a practitioner would fit to measured VCR statistics
+(uniform, deterministic, lognormal, Weibull, empirical, mixtures) and a
+truncation wrapper that renormalises any distribution onto ``[0, l]``.
+
+Every distribution exposes ``pdf``, ``cdf``, ``mean`` and ``sample`` and is
+immutable after construction.
+"""
+
+from repro.distributions.base import DurationDistribution
+from repro.distributions.deterministic import DeterministicDuration
+from repro.distributions.empirical import EmpiricalDuration
+from repro.distributions.exponential import ExponentialDuration
+from repro.distributions.factory import distribution_from_spec
+from repro.distributions.gamma import GammaDuration
+from repro.distributions.lognormal import LognormalDuration
+from repro.distributions.mixture import MixtureDuration
+from repro.distributions.scaled import ScaledDuration
+from repro.distributions.truncated import TruncatedDuration, truncate
+from repro.distributions.uniform import UniformDuration
+from repro.distributions.weibull import WeibullDuration
+
+__all__ = [
+    "DurationDistribution",
+    "DeterministicDuration",
+    "EmpiricalDuration",
+    "ExponentialDuration",
+    "GammaDuration",
+    "LognormalDuration",
+    "MixtureDuration",
+    "ScaledDuration",
+    "TruncatedDuration",
+    "UniformDuration",
+    "WeibullDuration",
+    "distribution_from_spec",
+    "truncate",
+]

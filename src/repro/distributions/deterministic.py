@@ -1,0 +1,57 @@
+"""Deterministic (point-mass) duration.
+
+Models a fixed-length VCR operation — e.g. a skip-ahead button that always
+jumps a constant amount.  The CDF is a step function; the pdf is reported as
+0 everywhere (the point mass is not representable as a density), so code that
+needs probabilities must use ``cdf``/``probability``, which the hit-set engine
+does exclusively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import DurationDistribution
+
+__all__ = ["DeterministicDuration"]
+
+
+class DeterministicDuration(DurationDistribution):
+    """Point mass at ``value >= 0``."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: float) -> None:
+        self._value = self._require_non_negative("value", value)
+
+    @property
+    def value(self) -> float:
+        """The constant duration."""
+        return self._value
+
+    @property
+    def upper(self) -> float:
+        return self._value
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    def pdf(self, x: float) -> float:
+        return 0.0
+
+    def cdf(self, x: float) -> float:
+        return 1.0 if x >= self._value else 0.0
+
+    def ppf(self, q: float) -> float:
+        if not 0.0 < q < 1.0:
+            return super().ppf(q)
+        return self._value
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            return self._value
+        return np.full(size, self._value)
+
+    def describe(self) -> str:
+        return f"Deterministic({self._value:g})"

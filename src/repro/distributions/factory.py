@@ -1,0 +1,86 @@
+"""Declarative construction of duration distributions.
+
+The CLI and the experiment configuration files describe distributions as
+small dictionaries (``{"family": "gamma", "shape": 2, "scale": 4}``); this
+factory turns those specs into distribution objects.  Keeping the mapping in
+one place means the CLI, the benchmarks, and user config files all accept the
+same vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.distributions.base import DurationDistribution
+from repro.distributions.deterministic import DeterministicDuration
+from repro.distributions.empirical import EmpiricalDuration
+from repro.distributions.exponential import ExponentialDuration
+from repro.distributions.gamma import GammaDuration
+from repro.distributions.lognormal import LognormalDuration
+from repro.distributions.mixture import MixtureDuration
+from repro.distributions.truncated import truncate
+from repro.distributions.uniform import UniformDuration
+from repro.distributions.weibull import WeibullDuration
+from repro.exceptions import DistributionError
+
+__all__ = ["distribution_from_spec"]
+
+
+def distribution_from_spec(spec: Mapping[str, Any]) -> DurationDistribution:
+    """Build a distribution from a declarative spec dictionary.
+
+    Recognised families and their parameters:
+
+    ==============  =====================================================
+    family          parameters
+    ==============  =====================================================
+    exponential     ``mean``
+    gamma           ``shape``, ``scale``
+    uniform         ``lo``, ``hi``
+    deterministic   ``value``
+    lognormal       ``mu``, ``sigma`` — or ``mean``, ``cv``
+    weibull         ``shape``, ``scale`` — or ``mean``, ``shape``
+    empirical       ``samples`` (sequence of floats)
+    mixture         ``components`` (list of specs), ``weights``
+    ==============  =====================================================
+
+    Any family accepts an optional ``truncate_at`` key which conditions the
+    distribution on ``[0, truncate_at]``.
+    """
+    if "family" not in spec:
+        raise DistributionError(f"distribution spec missing 'family': {dict(spec)}")
+    params = {k: v for k, v in spec.items() if k not in ("family", "truncate_at")}
+    family = str(spec["family"]).lower()
+    try:
+        dist = _build(family, params)
+    except TypeError as exc:
+        raise DistributionError(f"bad parameters for family '{family}': {exc}") from exc
+    limit = spec.get("truncate_at")
+    if limit is not None:
+        dist = truncate(dist, float(limit))
+    return dist
+
+
+def _build(family: str, params: dict[str, Any]) -> DurationDistribution:
+    if family == "exponential":
+        return ExponentialDuration(**params)
+    if family == "gamma":
+        return GammaDuration(**params)
+    if family == "uniform":
+        return UniformDuration(**params)
+    if family == "deterministic":
+        return DeterministicDuration(**params)
+    if family == "lognormal":
+        if "mean" in params:
+            return LognormalDuration.from_mean_cv(**params)
+        return LognormalDuration(**params)
+    if family == "weibull":
+        if "mean" in params:
+            return WeibullDuration.from_mean(**params)
+        return WeibullDuration(**params)
+    if family == "empirical":
+        return EmpiricalDuration(**params)
+    if family == "mixture":
+        components = [distribution_from_spec(c) for c in params.pop("components")]
+        return MixtureDuration(components, **params)
+    raise DistributionError(f"unknown distribution family '{family}'")

@@ -1,0 +1,88 @@
+"""Finite mixture of duration distributions.
+
+Real VCR behaviour is multi-modal — short "nudge" scans mixed with long
+"skip the boring part" scans.  A mixture of the base families captures this
+while staying inside the model's general-pdf contract.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import DurationDistribution
+from repro.exceptions import DistributionError
+
+__all__ = ["MixtureDuration"]
+
+
+class MixtureDuration(DurationDistribution):
+    """Convex combination of component distributions.
+
+    Weights must be positive and are normalised to sum to one.
+    """
+
+    __slots__ = ("_components", "_weights")
+
+    def __init__(
+        self,
+        components: Sequence[DurationDistribution],
+        weights: Sequence[float],
+    ) -> None:
+        if len(components) == 0:
+            raise DistributionError("mixture needs at least one component")
+        if len(components) != len(weights):
+            raise DistributionError(
+                f"{len(components)} components but {len(weights)} weights"
+            )
+        ws = [float(w) for w in weights]
+        if any(not math.isfinite(w) or w <= 0.0 for w in ws):
+            raise DistributionError(f"mixture weights must be positive, got {weights}")
+        total = sum(ws)
+        self._components = tuple(components)
+        self._weights = tuple(w / total for w in ws)
+
+    @property
+    def components(self) -> tuple[DurationDistribution, ...]:
+        """The component distributions."""
+        return self._components
+
+    @property
+    def weights(self) -> tuple[float, ...]:
+        """The normalised mixing weights (sum to one)."""
+        return self._weights
+
+    @property
+    def mean(self) -> float:
+        return sum(w * c.mean for w, c in zip(self._weights, self._components))
+
+    @property
+    def upper(self) -> float:
+        return max(c.upper for c in self._components)
+
+    def pdf(self, x: float) -> float:
+        return sum(w * c.pdf(x) for w, c in zip(self._weights, self._components))
+
+    def cdf(self, x: float) -> float:
+        return sum(w * c.cdf(x) for w, c in zip(self._weights, self._components))
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            idx = rng.choice(len(self._components), p=self._weights)
+            return self._components[idx].sample(rng)
+        choices = rng.choice(len(self._components), size=size, p=self._weights)
+        out = np.empty(size, dtype=float)
+        for idx, component in enumerate(self._components):
+            mask = choices == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = component.sample(rng, size=count)
+        return out
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{w:.3f}*{c.describe()}" for w, c in zip(self._weights, self._components)
+        )
+        return f"Mixture({parts})"

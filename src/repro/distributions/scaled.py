@@ -1,0 +1,62 @@
+"""Linear scaling of a duration distribution.
+
+``ScaledDuration(base, factor)`` is the distribution of ``factor * X`` —
+the natural way to express "what if the measured durations are 20% longer
+than we thought" in the sensitivity analysis, without re-fitting the family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import DurationDistribution
+
+__all__ = ["ScaledDuration"]
+
+
+class ScaledDuration(DurationDistribution):
+    """The distribution of ``factor * X`` for a positive scale factor."""
+
+    __slots__ = ("_base", "_factor")
+
+    def __init__(self, base: DurationDistribution, factor: float) -> None:
+        self._factor = self._require_positive("factor", factor)
+        self._base = base
+
+    @property
+    def base(self) -> DurationDistribution:
+        """The unscaled distribution."""
+        return self._base
+
+    @property
+    def factor(self) -> float:
+        """The multiplicative scale factor."""
+        return self._factor
+
+    @property
+    def mean(self) -> float:
+        return self._factor * self._base.mean
+
+    @property
+    def upper(self) -> float:
+        return self._factor * self._base.upper
+
+    def pdf(self, x: float) -> float:
+        if x < 0.0:
+            return 0.0
+        return self._base.pdf(x / self._factor) / self._factor
+
+    def cdf(self, x: float) -> float:
+        return self._base.cdf(x / self._factor)
+
+    def ppf(self, q: float) -> float:
+        if not 0.0 < q < 1.0:
+            return super().ppf(q)
+        return self._factor * self._base.ppf(q)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        draws = self._base.sample(rng, size=size)
+        return draws * self._factor if size is not None else float(draws) * self._factor
+
+    def describe(self) -> str:
+        return f"Scaled({self._factor:g} * {self._base.describe()})"

@@ -1,0 +1,109 @@
+"""Truncation of a duration distribution onto ``[0, limit]``.
+
+The paper defines every VCR-duration pdf on ``[0, l]`` where ``l`` is the
+movie length.  For the parametric families whose support is unbounded
+(exponential, gamma, lognormal, Weibull) this wrapper performs the standard
+conditioning ``X | X <= limit`` and renormalises, so the resulting pdf
+integrates to exactly one on ``[0, limit]`` — which keeps the hit/miss/end
+decomposition of Eq. (21) a proper partition of probability.
+
+Sampling uses inverse-CDF rejection-free transformation: draw
+``U ~ Uniform(0, F(limit))`` and invert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import DurationDistribution
+from repro.exceptions import DistributionError
+
+__all__ = ["TruncatedDuration", "truncate"]
+
+
+class TruncatedDuration(DurationDistribution):
+    """``base`` conditioned on the event ``{X <= limit}``."""
+
+    __slots__ = ("_base", "_limit", "_mass")
+
+    def __init__(self, base: DurationDistribution, limit: float) -> None:
+        limit = self._require_positive("limit", limit)
+        mass = base.cdf(limit)
+        if mass <= 0.0:
+            raise DistributionError(
+                f"cannot truncate {base.describe()} at {limit}: no mass below the limit"
+            )
+        self._base = base
+        self._limit = limit
+        self._mass = mass
+
+    @property
+    def base(self) -> DurationDistribution:
+        """The untruncated distribution."""
+        return self._base
+
+    @property
+    def limit(self) -> float:
+        """The truncation point (the movie length in model use)."""
+        return self._limit
+
+    @property
+    def truncated_mass(self) -> float:
+        """``P(X <= limit)`` under the base distribution."""
+        return self._mass
+
+    @property
+    def upper(self) -> float:
+        return self._limit
+
+    @property
+    def mean(self) -> float:
+        # E[X | X <= limit] = (1/mass) * integral_0^limit x f(x) dx.  Use the
+        # identity integral x f = limit*F(limit) − integral_0^limit F(x) dx to
+        # avoid needing the base pdf (works for the step-CDF families too).
+        from repro.numerics.quadrature import gauss_legendre
+
+        integral_cdf = gauss_legendre(
+            lambda xs: np.asarray([self._base.cdf(float(x)) for x in np.atleast_1d(xs)]),
+            0.0,
+            self._limit,
+            num_nodes=64,
+        )
+        return (self._limit * self._mass - integral_cdf) / self._mass
+
+    def pdf(self, x: float) -> float:
+        if x < 0.0 or x > self._limit:
+            return 0.0
+        return self._base.pdf(x) / self._mass
+
+    def cdf(self, x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        if x >= self._limit:
+            return 1.0
+        return self._base.cdf(x) / self._mass
+
+    def ppf(self, q: float) -> float:
+        if not 0.0 < q < 1.0:
+            return super().ppf(q)
+        return self._base.ppf(q * self._mass)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            return self._base.ppf(float(rng.uniform(0.0, self._mass)))
+        qs = rng.uniform(0.0, self._mass, size=size)
+        return np.asarray([self._base.ppf(float(q)) for q in qs])
+
+    def describe(self) -> str:
+        return f"Truncated({self._base.describe()}, limit={self._limit:g})"
+
+
+def truncate(base: DurationDistribution, limit: float) -> DurationDistribution:
+    """Truncate ``base`` onto ``[0, limit]``; no-op if already within bounds.
+
+    Returns ``base`` unchanged when its support already ends at or before
+    ``limit``, avoiding a useless wrapper layer.
+    """
+    if base.upper <= limit:
+        return base
+    return TruncatedDuration(base, limit)

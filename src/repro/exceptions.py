@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class at an
+application boundary while still discriminating specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid system configuration (e.g. ``B > l`` or ``n < 1``).
+
+    Inherits from :class:`ValueError` because configuration problems are
+    fundamentally bad argument values; ``except ValueError`` also works.
+    """
+
+
+class DistributionError(ReproError, ValueError):
+    """An invalid probability-distribution parameterisation."""
+
+
+class NumericsError(ReproError, ArithmeticError):
+    """A numerical routine failed to converge or received a bad bracket."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ResourceError(SimulationError):
+    """A simulated resource (stream, buffer) was misused, e.g. double release."""
+
+
+class SizingError(ReproError, RuntimeError):
+    """System sizing could not produce a feasible allocation."""
+
+
+class InfeasibleError(SizingError):
+    """No ``(B, n)`` pair satisfies the requested performance targets."""

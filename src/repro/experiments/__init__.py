@@ -1,0 +1,40 @@
+"""Experiment harness: regenerate every figure and table of the paper.
+
+Each module reproduces one artefact of the evaluation and returns an
+:class:`~repro.experiments.reporting.ExperimentResult` that renders the same
+rows/series the paper reports:
+
+======== =============================================================
+id       artefact
+======== =============================================================
+figure7a Fig. 7(a) — model vs simulation, fast-forward only
+figure7b Fig. 7(b) — model vs simulation, rewind only
+figure7c Fig. 7(c) — model vs simulation, pause only
+figure7d Fig. 7(d) — model vs simulation, mixed VCR workload
+figure8  Fig. 8 — feasible (B, n) pairs per movie, 5-minute steps
+figure9  Fig. 9 — system cost vs streams for φ ∈ {3, 4, 6, 10, 11, 16}
+example1 Example 1 — optimal allocation for the three-movie system
+example2 Example 2 — hardware-derived cost constants
+ablation-model          paper equations vs interval engine
+ablation-server         allocation policies on the full server
+ablation-distributions  hit sensitivity to the duration family
+======== =============================================================
+
+Use :func:`repro.experiments.registry.run_experiment` or the CLI
+(``repro-vod run <id>``).
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    run_experiment,
+)
+from repro.experiments.reporting import ExperimentResult, Table
+
+__all__ = [
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+    "ExperimentResult",
+    "Table",
+]

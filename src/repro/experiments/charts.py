@@ -1,0 +1,90 @@
+"""Plain-text line charts for experiment output.
+
+The paper's evaluation is figures; the tables carry the exact numbers but a
+terminal rendering of the curve shapes makes the reproduction reviewable at
+a glance.  :func:`ascii_chart` plots one or more named series on a shared
+character grid with axis annotations; the experiment modules attach charts
+alongside their tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named ``(x, y)`` series as a character-grid line chart.
+
+    Each series gets its own marker; later series overwrite earlier ones on
+    collisions.  Axes are annotated with the data ranges.  Returns a string
+    ending in a newline.
+    """
+    if not series:
+        raise ConfigurationError("ascii_chart needs at least one series")
+    if width < 8 or height < 4:
+        raise ConfigurationError(f"chart must be at least 8x4, got {width}x{height}")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ConfigurationError("ascii_chart needs at least one data point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if not all(map(math.isfinite, (x_lo, x_hi, y_lo, y_hi))):
+        raise ConfigurationError("ascii_chart requires finite data")
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    x_annotation = (
+        " " * (margin + 1)
+        + f"{x_lo:.4g}".ljust(width - 10)
+        + f"{x_hi:.4g}".rjust(10)
+    )
+    lines.append(x_annotation)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines) + "\n"

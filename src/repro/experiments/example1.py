@@ -1,0 +1,108 @@
+"""Example 1: optimal buffer/stream allocation for the three-movie system.
+
+The paper's instance: movies of 75, 60 and 90 minutes with wait targets 0.1,
+0.5 and 0.25 minutes; VCR durations gamma(2, 4) (mean 8) for movie 1 and
+exponential with means 5 and 2 for movies 2 and 3; ``P* = 0.5`` for all.
+Published answer (with ``n_s = 1230``, the pure-batching stream count):
+
+    ``[(B*, n*)] = [(39, 360), (30, 60), (44.5, 182)]`` —
+    113.5 buffer-minutes and 602 streams, saving 628 streams.
+
+The paper does not print the VCR mix used; with the Figure-7(d) mix our
+optimum lands within a few percent of every published number (the published
+pairs sit almost exactly on our P(hit) = 0.5 contour), which is the
+strongest available confirmation of that reading.
+"""
+
+from __future__ import annotations
+
+from repro.core.hitmodel import VCRMix
+from repro.distributions.exponential import ExponentialDuration
+from repro.distributions.gamma import GammaDuration
+from repro.experiments.reporting import ExperimentResult, Table
+from repro.sizing.feasible import MovieSizingSpec
+from repro.sizing.planner import SystemSizer
+
+__all__ = ["run_example1", "paper_example1_specs", "PAPER_EXAMPLE1_ANSWER"]
+
+#: The allocation printed in the paper: name -> (B*, n*).
+PAPER_EXAMPLE1_ANSWER = {
+    "movie1": (39.0, 360),
+    "movie2": (30.0, 60),
+    "movie3": (44.5, 182),
+}
+PAPER_TOTAL_BUFFER = 113.5
+PAPER_TOTAL_STREAMS = 602
+PAPER_BATCHING_STREAMS = 1230
+
+
+def paper_example1_specs(mix: VCRMix | None = None) -> list[MovieSizingSpec]:
+    """The three movies exactly as Example 1 defines them."""
+    mix = mix or VCRMix.paper_figure7d()
+    return [
+        MovieSizingSpec(
+            "movie1", length=75.0, max_wait=0.1,
+            durations=GammaDuration(shape=2.0, scale=4.0), p_star=0.5, mix=mix,
+        ),
+        MovieSizingSpec(
+            "movie2", length=60.0, max_wait=0.5,
+            durations=ExponentialDuration(mean=5.0), p_star=0.5, mix=mix,
+        ),
+        MovieSizingSpec(
+            "movie3", length=90.0, max_wait=0.25,
+            durations=ExponentialDuration(mean=2.0), p_star=0.5, mix=mix,
+        ),
+    ]
+
+
+def run_example1(fast: bool = False) -> ExperimentResult:
+    """Solve Example 1 and put our numbers beside the paper's."""
+    sizer = SystemSizer(paper_example1_specs())
+    report = sizer.solve(stream_budget=PAPER_BATCHING_STREAMS)
+
+    result = ExperimentResult(
+        experiment_id="example1",
+        title="Example 1: optimal (B*, n*) per movie, P*=0.5, n_s=1230",
+    )
+    table = result.add_table(
+        Table(
+            caption="allocation: reproduction vs paper",
+            headers=(
+                "movie", "n* (ours)", "B* (ours)", "P(hit)",
+                "n* (paper)", "B* (paper)", "batching n",
+            ),
+        )
+    )
+    for allocation in report.result.allocations:
+        paper_buffer, paper_streams = PAPER_EXAMPLE1_ANSWER[allocation.spec.name]
+        table.add_row(
+            allocation.spec.name,
+            allocation.num_streams,
+            allocation.buffer_minutes,
+            allocation.hit_probability,
+            paper_streams,
+            paper_buffer,
+            allocation.spec.pure_batching_streams,
+        )
+    totals = result.add_table(
+        Table(
+            caption="totals",
+            headers=("quantity", "ours", "paper"),
+        )
+    )
+    totals.add_row("total streams", report.result.total_streams, PAPER_TOTAL_STREAMS)
+    totals.add_row(
+        "total buffer (min)", report.result.total_buffer_minutes, PAPER_TOTAL_BUFFER
+    )
+    totals.add_row(
+        "streams saved vs batching",
+        report.result.streams_saved,
+        PAPER_BATCHING_STREAMS - PAPER_TOTAL_STREAMS,
+    )
+    result.add_note(
+        "paper's VCR mix is unstated; the Figure-7(d) mix (0.2/0.2/0.6) puts the "
+        "published (B*, n*) pairs almost exactly on our P(hit)=0.5 contour"
+    )
+    for line in report.summary_lines():
+        result.add_note(line)
+    return result

@@ -1,0 +1,65 @@
+"""Figure 8: feasible (B, n) pairs per movie at 5-minute buffer steps.
+
+For each Example-1 movie, the paper plots every ``(B, n)`` pair on the
+Eq.-(2) line whose hit probability meets ``P* = 0.5``, stepping the buffer in
+5-minute increments.  The reproduced table lists, per step, the stream count
+and achieved hit probability; the frontier boundary (the largest feasible
+``n`` / smallest feasible ``B``) is the per-movie optimum Example 1 picks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.example1 import paper_example1_specs
+from repro.experiments.reporting import ExperimentResult, Table
+from repro.sizing.feasible import FeasibleSet
+
+__all__ = ["run_figure8"]
+
+
+def run_figure8(fast: bool = False) -> ExperimentResult:
+    """Reproduce Figure 8's feasible sets (5-minute buffer granularity)."""
+    step = 10.0 if fast else 5.0
+    result = ExperimentResult(
+        experiment_id="figure8",
+        title=f"Figure 8: feasible (B, n) pairs, {step:g}-minute buffer steps, P*=0.5",
+    )
+    for spec in paper_example1_specs():
+        feasible = FeasibleSet(spec)
+        table = result.add_table(
+            Table(
+                caption=(
+                    f"{spec.name}: l={spec.length:g} min, w={spec.max_wait:g} min, "
+                    f"durations {spec.durations.describe()}"
+                ),
+                headers=("B_minutes", "n", "P(hit)", "feasible"),
+            )
+        )
+        for point in feasible.curve(
+            sorted(
+                {
+                    max(1, round((spec.length - b) / spec.max_wait))
+                    for b in _buffer_steps(spec.length, step)
+                }
+            )
+        ):
+            table.add_row(
+                point.buffer_minutes,
+                point.num_streams,
+                point.hit_probability,
+                "yes" if point.meets(spec.p_star) else "no",
+            )
+        best = feasible.best_point()
+        result.add_note(
+            f"{spec.name}: frontier boundary at n={best.num_streams}, "
+            f"B={best.buffer_minutes:.1f} min (P(hit)={best.hit_probability:.4f})"
+        )
+    return result
+
+
+def _buffer_steps(length: float, step: float) -> list[float]:
+    steps = []
+    value = step
+    while value < length:
+        steps.append(value)
+        value += step
+    return steps

@@ -1,0 +1,77 @@
+"""Figure 9: system cost versus total streams for six values of φ.
+
+For the Example-1 three-movie system, each panel prices the minimum-buffer
+allocation at every total-stream budget with ``C = C_n (φ ΣB + Σn)`` and a
+different memory/bandwidth price ratio ``φ ∈ {3, 4, 6, 10, 11, 16}``.
+
+Reproduction target (the paper's reading of its own figure): for large φ
+(1997 prices, memory dominates — panels (e)/(f)) the cost is monotone
+decreasing in the stream count, so the optimum sits at the maximum feasible
+``Σn``; for small φ (cheap memory — panels (a)–(d)) the optimum moves to an
+interior or minimum-stream point.  The crossover, not the absolute dollars,
+is the result.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.example1 import paper_example1_specs
+from repro.experiments.charts import ascii_chart
+from repro.experiments.reporting import ExperimentResult, Table
+from repro.sizing.cost import PAPER_PHI_VALUES, CostModel, cost_curve, optimal_cost_point
+from repro.sizing.feasible import FeasibleSet
+
+__all__ = ["run_figure9"]
+
+
+def run_figure9(fast: bool = False) -> ExperimentResult:
+    """Reproduce all six panels of Figure 9."""
+    feasible_sets = [FeasibleSet(spec) for spec in paper_example1_specs()]
+    max_total = sum(fs.max_streams() for fs in feasible_sets)
+    min_total = len(feasible_sets)
+    num_points = 8 if fast else 24
+    stream_totals = sorted(
+        {
+            int(round(min_total + i * (max_total - min_total) / (num_points - 1)))
+            for i in range(num_points)
+        }
+    )
+
+    result = ExperimentResult(
+        experiment_id="figure9",
+        title="Figure 9: system cost vs number of I/O streams, phi in "
+        f"{tuple(int(p) if p == int(p) else p for p in PAPER_PHI_VALUES)}",
+    )
+    chart_series: dict[str, list[tuple[float, float]]] = {}
+    for phi in PAPER_PHI_VALUES:
+        cost_model = CostModel.from_phi(phi)
+        points = cost_curve(feasible_sets, cost_model, stream_totals=stream_totals)
+        table = result.add_table(
+            Table(
+                caption=f"phi = {phi:g} (C_b = {cost_model.cost_per_buffer_minute:g}, "
+                f"C_n = {cost_model.cost_per_stream:g})",
+                headers=("total_n", "total_B_minutes", "cost_dollars"),
+            )
+        )
+        for point in points:
+            table.add_row(point.total_streams, point.total_buffer_minutes, round(point.cost))
+        chart_series[f"phi={phi:g}"] = [
+            (float(p.total_streams), p.cost / 1000.0) for p in points
+        ]
+        optimum = optimal_cost_point(points)
+        at_max = optimum.total_streams == max(p.total_streams for p in points)
+        result.add_note(
+            f"phi={phi:g}: cost optimum at total n = {optimum.total_streams} "
+            f"(${optimum.cost:,.0f})"
+            + (" — maximum feasible streams, memory-dominated regime" if at_max else
+               " — interior optimum, bandwidth-dominated regime")
+        )
+    result.add_chart(
+        ascii_chart(
+            chart_series,
+            title="system cost (k$) vs total streams",
+            y_label="k$",
+            x_label="total I/O streams",
+            height=18,
+        )
+    )
+    return result

@@ -1,0 +1,62 @@
+"""Registry mapping experiment ids to runner callables."""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable, Dict
+
+from repro.experiments.ablations import (
+    run_ablation_distributions,
+    run_ablation_model,
+    run_ablation_population,
+    run_ablation_rates,
+    run_ablation_sensitivity,
+    run_ablation_server,
+)
+from repro.experiments.example1 import run_example1
+from repro.experiments.example2 import run_example2
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.reservation import run_reservation
+
+__all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]
+
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
+    "figure7a": partial(run_figure7, "a"),
+    "figure7b": partial(run_figure7, "b"),
+    "figure7c": partial(run_figure7, "c"),
+    "figure7d": partial(run_figure7, "d"),
+    "figure8": run_figure8,
+    "figure9": run_figure9,
+    "example1": run_example1,
+    "example2": run_example2,
+    "ablation-model": run_ablation_model,
+    "ablation-server": run_ablation_server,
+    "ablation-distributions": run_ablation_distributions,
+    "ablation-reservation": run_reservation,
+    "ablation-rates": run_ablation_rates,
+    "ablation-sensitivity": run_ablation_sensitivity,
+    "ablation-population": run_ablation_population,
+}
+
+
+def available_experiments() -> list[str]:
+    """All registered experiment ids in presentation order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
+    """Run one experiment by id.
+
+    ``fast`` selects reduced grids/horizons (used by benchmarks and CI);
+    the default settings match the fidelity of the paper's evaluation.
+    """
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
+        ) from None
+    return runner(fast)

@@ -1,0 +1,108 @@
+"""Plain-text tables and experiment result containers.
+
+The paper's figures are line plots; in a text environment we report the same
+data as aligned tables (one row per x-value, one column per series), which is
+also the format the benchmark harness prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table", "ExperimentResult"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An aligned plain-text table with a caption."""
+
+    caption: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; the cell count must match the headers."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {list(self.headers)}") from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        cells = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(header)), *(len(row[i]) for row in cells)) if cells else len(str(header))
+            for i, header in enumerate(self.headers)
+        ]
+        out = io.StringIO()
+        out.write(f"{self.caption}\n")
+        header_line = "  ".join(str(h).rjust(w) for h, w in zip(self.headers, widths))
+        out.write(header_line + "\n")
+        out.write("-" * len(header_line) + "\n")
+        for row in cells:
+            out.write("  ".join(cell.rjust(w) for cell, w in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Render the table as CSV text."""
+        lines = [",".join(str(h) for h in self.headers)]
+        for row in self.rows:
+            lines.append(",".join(_format_cell(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced: tables, charts and notes."""
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        """Attach a table and return it for row filling."""
+        self.tables.append(table)
+        return table
+
+    def add_chart(self, chart: str) -> None:
+        """Attach a pre-rendered ASCII chart shown after the tables."""
+        self.charts.append(chart)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note shown below the tables."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the full experiment report as plain text."""
+        out = io.StringIO()
+        out.write(f"== {self.experiment_id}: {self.title} ==\n\n")
+        for table in self.tables:
+            out.write(table.render())
+            out.write("\n")
+        for chart in self.charts:
+            out.write(chart)
+            out.write("\n")
+        if self.notes:
+            out.write("notes:\n")
+            for note in self.notes:
+                out.write(f"  * {note}\n")
+        return out.getvalue()

@@ -1,0 +1,85 @@
+"""Extension experiment: VCR stream-reserve sizing vs hit probability.
+
+The paper's footnote 3 argues that a low hit probability exhausts the
+resources reserved for VCR service.  This experiment quantifies the claim
+with the Erlang-loss layer: for one movie at a fixed wait target, sweep the
+buffer (hence ``P(hit)``) along the Eq.-(2) line and size the stream reserve
+needed to keep the VCR denial probability at 1%.  The punchline column is
+the *total* stream bill (playback + reserve): buffering pays for itself
+twice — once in playback streams saved, once in reserve streams saved.
+"""
+
+from __future__ import annotations
+
+from repro.core.hitmodel import HitProbabilityModel, VCRMix
+from repro.distributions.gamma import GammaDuration
+from repro.experiments.reporting import ExperimentResult, Table
+from repro.sizing.reservation import VCRLoadModel
+
+__all__ = ["run_reservation"]
+
+
+def run_reservation(fast: bool = False) -> ExperimentResult:
+    """Reserve sizing across the buffering spectrum."""
+    length = 120.0
+    wait = 1.0
+    arrival_rate = 0.5
+    think = 15.0
+    blocking_target = 0.01
+    model = HitProbabilityModel(
+        length, GammaDuration.paper_figure7(), mix=VCRMix.paper_figure7d()
+    )
+    partition_counts = (115, 100, 80, 60, 40, 20) if not fast else (115, 60, 20)
+
+    result = ExperimentResult(
+        experiment_id="ablation-reservation",
+        title=(
+            "Extension: VCR stream reserve (1% denial target) vs hit "
+            f"probability — l={length:g}, w={wait:g}, lambda={arrival_rate:g}/min"
+        ),
+    )
+    table = result.add_table(
+        Table(
+            caption="along B = l − n·w: more buffer -> higher P(hit) -> "
+            "shorter holds -> smaller reserve",
+            headers=(
+                "n_playback", "B_minutes", "P(hit)", "mean_hold_min",
+                "offered_load", "reserve", "total_streams",
+            ),
+        )
+    )
+    rows = []
+    for n in partition_counts:
+        buffer_minutes = length - n * wait
+        if buffer_minutes < 0.0:
+            continue
+        config = model.configuration(n, buffer_minutes)
+        load_model = VCRLoadModel(
+            model, config, viewer_arrival_rate=arrival_rate, mean_think_time=think
+        )
+        plan = load_model.plan(blocking_target=blocking_target)
+        rows.append((n, buffer_minutes, plan))
+        table.add_row(
+            n,
+            buffer_minutes,
+            plan.hit_probability,
+            plan.mean_hold_minutes,
+            plan.offered_load,
+            plan.reserve_streams,
+            n + plan.reserve_streams,
+        )
+    least_buffered = rows[0][2]   # largest n -> smallest B on the Eq.-(2) line
+    most_buffered = rows[-1][2]
+    result.add_note(
+        f"reserve shrinks from {least_buffered.reserve_streams} streams at "
+        f"P(hit)={least_buffered.hit_probability:.3f} to "
+        f"{most_buffered.reserve_streams} at "
+        f"P(hit)={most_buffered.hit_probability:.3f} — footnote 3 of the "
+        "paper, quantified"
+    )
+    result.add_note(
+        "Erlang-B is provably insensitive to the hold-time distribution, and "
+        "the server simulation confirms the predictions are conservative "
+        "(tests/integration/test_phase2_validation.py)"
+    )
+    return result

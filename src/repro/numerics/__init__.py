@@ -1,0 +1,47 @@
+"""Numerical substrate: quadrature, root finding, interval algebra, statistics.
+
+The analytical model of the paper is a stack of nested definite integrals of a
+general probability density over geometrically-derived limits.  Rather than
+depending on symbolic manipulation, the package evaluates them with the
+routines in this subpackage:
+
+* :mod:`repro.numerics.quadrature` — fixed and adaptive quadrature rules.
+* :mod:`repro.numerics.rootfind` — bracketed scalar root finding.
+* :mod:`repro.numerics.intervals` — closed-interval union algebra (the hit
+  duration sets of Section 3 are unions of intervals).
+* :mod:`repro.numerics.stats` — summary statistics and confidence intervals
+  for simulation output analysis.
+"""
+
+from repro.numerics.intervals import Interval, IntervalUnion
+from repro.numerics.quadrature import (
+    adaptive_simpson,
+    fixed_quadrature,
+    gauss_legendre,
+    simpson,
+    trapezoid,
+)
+from repro.numerics.rootfind import bisect, brent, find_bracket
+from repro.numerics.stats import (
+    RunningStat,
+    SummaryStatistics,
+    confidence_interval,
+    summarize,
+)
+
+__all__ = [
+    "Interval",
+    "IntervalUnion",
+    "adaptive_simpson",
+    "fixed_quadrature",
+    "gauss_legendre",
+    "simpson",
+    "trapezoid",
+    "bisect",
+    "brent",
+    "find_bracket",
+    "RunningStat",
+    "SummaryStatistics",
+    "confidence_interval",
+    "summarize",
+]

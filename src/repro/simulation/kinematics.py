@@ -1,0 +1,130 @@
+"""Deterministic partition-window kinematics.
+
+Under static partitioning the movie is restarted every ``l/n`` minutes
+(stream ``j`` starts at ``j * l/n``), each stream's playhead advances at the
+playback rate, and its buffer partition retains the trailing ``B/n`` minutes
+of video while the stream is active.  Everything about the windows is
+therefore a closed-form function of time, which lets the simulator answer
+"does any partition cover movie position ``q`` at time ``t``?" in O(1)
+integer arithmetic instead of scanning streams.
+
+A partition's buffer window *outlives* its I/O stream: when the playhead
+reaches the end of the movie the stream is released, but the retained tail
+``[l − span, l]`` stays in memory until the last enrolled viewer (``span``
+minutes behind) finishes — this is precisely why the paper reserves ``delta``
+per partition, and what makes its *partial hits* (catching only the last
+viewer ``V_l`` of a partition) possible.  The window of a stream started at
+``s_j`` is therefore ``[p_j − span, min(p_j, l)]`` for playhead
+``p_j = t − s_j`` in ``[0, l + span]``.
+
+Derivation of :func:`find_covering_window`: the window covers position ``q``
+iff ``q <= p_j`` and ``p_j − span <= q`` (for ``q <= l`` the cap
+``min(p_j, l)`` is implied by ``q <= p_j``), i.e. ``s_j`` lies in
+``[t − q − span, t − q]``; note ``t − q − span >= t − l − span`` makes the
+liveness bound redundant.  A hit exists iff that range contains a
+non-negative multiple of ``spacing``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.parameters import SystemConfiguration
+from repro.exceptions import SimulationError
+
+__all__ = ["WindowHit", "StreamSchedule", "find_covering_window"]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class WindowHit:
+    """A partition window found to cover a resume position.
+
+    ``stream_index`` identifies the restart (stream ``j`` began at
+    ``j * l/n``); ``lag`` is the viewer's offset ``d`` behind that stream's
+    playhead after joining, which becomes his in-partition offset for
+    subsequent operations.
+    """
+
+    stream_index: int
+    playhead: float
+    lag: float
+
+
+class StreamSchedule:
+    """The periodic restart schedule of one movie's streams."""
+
+    __slots__ = ("_config",)
+
+    def __init__(self, config: SystemConfiguration) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> SystemConfiguration:
+        """The configuration whose restarts this schedule describes."""
+        return self._config
+
+    def start_time(self, stream_index: int) -> float:
+        """Start time of the ``stream_index``-th restart (0-based)."""
+        if stream_index < 0:
+            raise SimulationError(f"stream index must be >= 0, got {stream_index}")
+        return stream_index * self._config.partition_spacing
+
+    def playhead(self, stream_index: int, now: float) -> float | None:
+        """Playhead position of a stream, or ``None`` if not live at ``now``."""
+        position = now - self.start_time(stream_index)
+        if position < -_TOL or position > self._config.movie_length + _TOL:
+            return None
+        return min(max(position, 0.0), self._config.movie_length)
+
+    def next_restart(self, now: float) -> float:
+        """First restart time at or after ``now``."""
+        spacing = self._config.partition_spacing
+        index = math.ceil((now - _TOL) / spacing)
+        return max(0, index) * spacing
+
+    def live_stream_indices(self, now: float) -> range:
+        """Indices of streams active (playhead in ``[0, l]``) at ``now``."""
+        spacing = self._config.partition_spacing
+        lo = math.ceil((now - self._config.movie_length - _TOL) / spacing)
+        hi = math.floor((now + _TOL) / spacing)
+        return range(max(0, lo), max(0, hi + 1))
+
+    def enrollment_open(self, now: float) -> bool:
+        """True when a newly arrived viewer can join a partition at position 0.
+
+        Equivalent to "the most recent restart's enrollment window (length
+        ``B/n``) has not yet closed".
+        """
+        return find_covering_window(self._config, now, 0.0) is not None
+
+
+def find_covering_window(
+    config: SystemConfiguration, now: float, position: float
+) -> WindowHit | None:
+    """The partition window covering ``position`` at time ``now``, if any.
+
+    Returns the *youngest* covering stream (largest start time — smallest
+    lag), which is the partition a resuming viewer would join to maximise the
+    time before his frames are refreshed.  ``None`` means a miss.
+    """
+    if position < -_TOL or position > config.movie_length + _TOL:
+        raise SimulationError(
+            f"position {position} outside the movie [0, {config.movie_length}]"
+        )
+    position = min(max(position, 0.0), config.movie_length)
+    spacing = config.partition_spacing
+    span = config.partition_span
+    lo = max(now - position - span, 0.0)
+    hi = min(now, now - position)
+    if hi < lo - _TOL:
+        return None
+    # Largest multiple of `spacing` in [lo, hi].
+    index = math.floor((hi + _TOL) / spacing)
+    start = index * spacing
+    if start < lo - _TOL or index < 0:
+        return None
+    playhead = now - start
+    return WindowHit(stream_index=index, playhead=playhead, lag=playhead - position)

@@ -1,0 +1,52 @@
+"""System sizing and resource pre-allocation (paper Section 5).
+
+Given per-movie performance targets — maximum batching wait ``w_i`` and
+minimum hit probability ``P_i*`` — this subpackage finds the buffer/stream
+split the paper's three-step procedure produces:
+
+1. :mod:`repro.sizing.feasible` — per movie, the feasible ``(B, n)`` pairs
+   along the Eq.-(2) line ``B = l − n·w`` whose hit probability meets
+   ``P_i*`` (Figure 8);
+2. :mod:`repro.sizing.optimizer` — across movies, pick one pair each to
+   minimise total buffer subject to the stream budget (Example 1's
+   constrained optimisation);
+3. :mod:`repro.sizing.cost` — translate allocations into dollars via
+   ``C = C_n (φ ΣB + Σn)`` and sweep φ (Example 2, Figure 9).
+
+:class:`repro.sizing.planner.SystemSizer` wraps the pipeline end to end and
+emits allocations the VOD-server simulation can execute directly.
+"""
+
+from repro.sizing.cost import CostModel, CostPoint, cost_curve
+from repro.sizing.feasible import FeasiblePoint, FeasibleSet, MovieSizingSpec
+from repro.sizing.optimizer import AllocationResult, optimize_allocation
+from repro.sizing.planner import SizingReport, SystemSizer
+from repro.sizing.population import PopulationModel, ViewerClass
+from repro.sizing.sensitivity import SensitivityRow, SizingSensitivity
+from repro.sizing.reservation import (
+    ReservationPlan,
+    VCRLoadModel,
+    erlang_b,
+    min_servers_for_blocking,
+)
+
+__all__ = [
+    "MovieSizingSpec",
+    "FeasiblePoint",
+    "FeasibleSet",
+    "AllocationResult",
+    "optimize_allocation",
+    "CostModel",
+    "CostPoint",
+    "cost_curve",
+    "SystemSizer",
+    "SizingReport",
+    "VCRLoadModel",
+    "ReservationPlan",
+    "erlang_b",
+    "SizingSensitivity",
+    "SensitivityRow",
+    "PopulationModel",
+    "ViewerClass",
+    "min_servers_for_blocking",
+]

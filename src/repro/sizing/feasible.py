@@ -1,0 +1,197 @@
+"""Per-movie feasible ``(B, n)`` sets — step 1/2 of the Section-5 procedure.
+
+For a movie with length ``l`` and wait target ``w``, Eq. (2) ties the two
+resources together: ``B = l − n·w``.  Sweeping ``n`` from 1 to ``l/w`` walks
+the trade-off from "one stream + almost the whole movie in memory" down to
+pure batching.  Along that line the hit probability is non-increasing in
+``n`` (less buffer, smaller partitions), so the feasible region for a target
+``P*`` is a prefix ``n ∈ {1, ..., n_max}``; :meth:`FeasibleSet.max_streams`
+finds ``n_max`` by bisection with a monotonicity-tolerant verification pass.
+
+Figure 8 of the paper plots these sets at 5-minute buffer steps —
+:meth:`FeasibleSet.points_by_buffer_step` reproduces exactly that view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.hitmodel import HitProbabilityModel, VCRMix
+from repro.core.parameters import SystemConfiguration, VCRRates
+from repro.core.vcrop import VCROperation
+from repro.distributions.base import DurationDistribution
+from repro.exceptions import ConfigurationError, InfeasibleError
+
+__all__ = ["MovieSizingSpec", "FeasiblePoint", "FeasibleSet"]
+
+
+@dataclass(frozen=True)
+class MovieSizingSpec:
+    """Everything sizing needs to know about one movie.
+
+    ``durations`` may be one distribution for all operations (the paper's
+    examples) or a per-operation mapping.
+    """
+
+    name: str
+    length: float
+    max_wait: float
+    durations: DurationDistribution | dict[VCROperation, DurationDistribution]
+    p_star: float = 0.5
+    mix: VCRMix = field(default_factory=VCRMix.paper_figure7d)
+    rates: VCRRates = field(default_factory=VCRRates.paper_default)
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigurationError(f"length must be positive, got {self.length}")
+        if self.max_wait <= 0:
+            raise ConfigurationError(f"max_wait must be positive, got {self.max_wait}")
+        if self.max_wait > self.length:
+            raise ConfigurationError(
+                f"max_wait {self.max_wait} exceeds the movie length {self.length}"
+            )
+        if not 0.0 <= self.p_star <= 1.0:
+            raise ConfigurationError(f"p_star must be in [0, 1], got {self.p_star}")
+
+    def build_model(self, include_end_hit: bool = True) -> HitProbabilityModel:
+        """Instantiate the hit model for this movie's statistics."""
+        return HitProbabilityModel(
+            self.length,
+            self.durations,
+            mix=self.mix,
+            rates=self.rates,
+            include_end_hit=include_end_hit,
+        )
+
+    @property
+    def pure_batching_streams(self) -> int:
+        """Streams pure batching would need for the same wait: ``l / w``."""
+        return max(1, math.ceil(self.length / self.max_wait - 1e-9))
+
+
+@dataclass(frozen=True)
+class FeasiblePoint:
+    """One candidate configuration on the ``B = l − n·w`` line."""
+
+    num_streams: int
+    buffer_minutes: float
+    hit_probability: float
+
+    def meets(self, p_star: float) -> bool:
+        """True when the point's hit probability reaches ``p_star``."""
+        return self.hit_probability >= p_star - 1e-12
+
+
+class FeasibleSet:
+    """Evaluates and caches points of one movie's feasibility frontier."""
+
+    def __init__(self, spec: MovieSizingSpec, include_end_hit: bool = True) -> None:
+        self._spec = spec
+        self._model = spec.build_model(include_end_hit=include_end_hit)
+        self._cache: dict[int, FeasiblePoint] = {}
+
+    @property
+    def spec(self) -> MovieSizingSpec:
+        """The movie spec this frontier belongs to."""
+        return self._spec
+
+    @property
+    def model(self) -> HitProbabilityModel:
+        """The underlying hit-probability model."""
+        return self._model
+
+    @property
+    def max_possible_streams(self) -> int:
+        """``floor(l / w)`` — beyond this the Eq.-(2) buffer goes negative."""
+        return int(math.floor(self._spec.length / self._spec.max_wait + 1e-9))
+
+    # ------------------------------------------------------------------
+    # Point evaluation.
+    # ------------------------------------------------------------------
+    def point(self, num_streams: int) -> FeasiblePoint:
+        """Evaluate (with caching) the configuration with ``n`` streams."""
+        if num_streams < 1 or num_streams > self.max_possible_streams:
+            raise ConfigurationError(
+                f"{self._spec.name}: n={num_streams} outside "
+                f"[1, {self.max_possible_streams}]"
+            )
+        cached = self._cache.get(num_streams)
+        if cached is not None:
+            return cached
+        buffer_minutes = max(0.0, self._spec.length - num_streams * self._spec.max_wait)
+        config = self._model.configuration(num_streams, buffer_minutes)
+        point = FeasiblePoint(
+            num_streams=num_streams,
+            buffer_minutes=buffer_minutes,
+            hit_probability=self._model.hit_probability(config),
+        )
+        self._cache[num_streams] = point
+        return point
+
+    def configuration(self, num_streams: int) -> SystemConfiguration:
+        """The full SystemConfiguration at ``num_streams`` on the Eq.-(2) line."""
+        point = self.point(num_streams)
+        return self._model.configuration(point.num_streams, point.buffer_minutes)
+
+    # ------------------------------------------------------------------
+    # Frontier queries.
+    # ------------------------------------------------------------------
+    def max_streams(self) -> int:
+        """Largest feasible ``n`` (Example 1's per-movie optimum).
+
+        Bisection over the monotone frontier, then a short downward
+        verification walk to absorb any residual non-monotonicity from
+        quadrature noise.
+        """
+        p_star = self._spec.p_star
+        hi = self.max_possible_streams
+        if not self.point(1).meets(p_star):
+            raise InfeasibleError(
+                f"{self._spec.name}: even n=1 (B={self._spec.length - self._spec.max_wait:g}) "
+                f"misses P*={p_star} (got {self.point(1).hit_probability:.4f})"
+            )
+        if self.point(hi).meets(p_star):
+            return hi
+        lo = 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.point(mid).meets(p_star):
+                lo = mid
+            else:
+                hi = mid
+        # Verification walk: step down until the target genuinely holds.
+        while lo > 1 and not self.point(lo).meets(p_star):
+            lo -= 1
+        return lo
+
+    def best_point(self) -> FeasiblePoint:
+        """The minimum-buffer feasible point (maximum feasible ``n``)."""
+        return self.point(self.max_streams())
+
+    def points_by_buffer_step(self, step_minutes: float = 5.0) -> list[FeasiblePoint]:
+        """Figure-8 view: one point per ``step_minutes`` of buffer.
+
+        Walks ``B = step, 2*step, ...`` up to the movie length, converting
+        each to the Eq.-(2) stream count (rounded to the nearest integer on
+        the line), and keeps the feasible ones.
+        """
+        if step_minutes <= 0:
+            raise ConfigurationError(f"step must be positive, got {step_minutes}")
+        points: list[FeasiblePoint] = []
+        seen: set[int] = set()
+        buffer_minutes = step_minutes
+        while buffer_minutes < self._spec.length:
+            n = round((self._spec.length - buffer_minutes) / self._spec.max_wait)
+            if 1 <= n <= self.max_possible_streams and n not in seen:
+                seen.add(n)
+                candidate = self.point(n)
+                if candidate.meets(self._spec.p_star):
+                    points.append(candidate)
+            buffer_minutes += step_minutes
+        return points
+
+    def curve(self, stream_counts: Iterable[int]) -> list[FeasiblePoint]:
+        """Evaluate an arbitrary set of stream counts (plot helper)."""
+        return [self.point(int(n)) for n in stream_counts]

@@ -1,0 +1,34 @@
+"""Full VOD-server simulation substrate.
+
+The analytical model sizes a server; this subpackage *is* that server, in
+simulation: a movie catalog with Zipf popularity, a disk subsystem that turns
+hardware specs into stream capacity, pooled I/O streams and buffer space,
+batching and static-partitioned scheduling policies, viewers with VCR
+behaviour, admission control, and piggybacking as the phase-2 fallback for
+resume misses.  The end-to-end benchmarks (A2 in DESIGN.md) use it to show
+what the paper argues qualitatively: allocations chosen by the hit model keep
+far fewer streams pinned by resumed viewers than naive allocations.
+"""
+
+from repro.vod.buffer import BufferPool
+from repro.vod.disk import DiskArray, DiskModel
+from repro.vod.movie import Movie, MovieCatalog, zipf_popularities
+from repro.vod.piggyback import PiggybackPolicy
+from repro.vod.server import ServerMetricsReport, ServerWorkload, VODServer
+from repro.vod.streams import StreamPool
+from repro.vod.vcr import VCRBehavior
+
+__all__ = [
+    "Movie",
+    "MovieCatalog",
+    "zipf_popularities",
+    "DiskModel",
+    "DiskArray",
+    "BufferPool",
+    "StreamPool",
+    "VCRBehavior",
+    "PiggybackPolicy",
+    "VODServer",
+    "ServerWorkload",
+    "ServerMetricsReport",
+]

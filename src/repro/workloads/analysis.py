@@ -1,0 +1,105 @@
+"""Trace analysis: the summary statistics a fitting pass starts from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.vcrop import VCROperation
+from repro.exceptions import ConfigurationError
+from repro.numerics.stats import SummaryStatistics, summarize
+from repro.workloads.events import Trace
+
+__all__ = ["TraceStatistics", "analyze_trace"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Everything measurable from a trace that the model consumes."""
+
+    num_sessions: int
+    num_events: int
+    operation_counts: dict[VCROperation, int]
+    operation_fractions: dict[VCROperation, float]
+    duration_summaries: dict[VCROperation, SummaryStatistics | None]
+    interarrival: SummaryStatistics | None
+    gap_summary: SummaryStatistics | None
+    mean_think_time: float | None
+    position_quartiles: tuple[float, float, float] | None
+
+    @property
+    def arrival_rate(self) -> float:
+        """Estimated sessions per minute (inverse mean interarrival)."""
+        if self.interarrival is None or self.interarrival.mean == 0.0:
+            raise ConfigurationError("trace has too few sessions to estimate a rate")
+        return 1.0 / self.interarrival.mean
+
+    def describe(self) -> str:
+        """Single-line human-readable summary."""
+        parts = [
+            f"TraceStatistics({self.num_sessions} sessions, {self.num_events} VCR events",
+        ]
+        for op in VCROperation:
+            fraction = self.operation_fractions.get(op, 0.0)
+            parts.append(f"{op.value}={fraction:.2f}")
+        return ", ".join(parts) + ")"
+
+
+def analyze_trace(trace: Trace) -> TraceStatistics:
+    """Reduce a trace to the statistics the fitting layer needs."""
+    events = list(trace.events())
+    counts = {op: 0 for op in VCROperation}
+    durations: dict[VCROperation, list[float]] = {op: [] for op in VCROperation}
+    for event in events:
+        counts[event.operation] += 1
+        durations[event.operation].append(event.duration)
+    total_events = len(events)
+    fractions = {
+        op: (counts[op] / total_events if total_events else 0.0) for op in VCROperation
+    }
+    duration_summaries = {
+        op: (summarize(values) if len(values) >= 2 else None)
+        for op, values in durations.items()
+    }
+
+    arrivals = sorted(session.arrival_minutes for session in trace)
+    interarrival = (
+        summarize(np.diff(arrivals).tolist()) if len(arrivals) >= 3 else None
+    )
+
+    # Raw inter-event gaps (diagnostic only: they include the previous
+    # operation's wall time and are right-censored by the movie end).
+    gaps: list[float] = []
+    for session in trace:
+        previous = 0.0
+        for event in session.events:
+            gaps.append(event.at_minutes - previous)
+            previous = event.at_minutes
+    gap_summary = summarize(gaps) if len(gaps) >= 2 else None
+
+    # Censoring-corrected think-time estimate.  With exponential think times
+    # the MLE under right censoring is total exposure over event count:
+    # exposure is the playback wall time per session (think time accrues
+    # only during normal playback), and each VCR event is one observed
+    # renewal.  This removes both biases of the naive gap mean.
+    exposure = sum(session.playback_minutes() for session in trace)
+    mean_think_time = exposure / total_events if total_events else None
+
+    positions = [event.position for event in events]
+    quartiles: tuple[float, float, float] | None = None
+    if len(positions) >= 4:
+        q1, q2, q3 = np.quantile(positions, [0.25, 0.5, 0.75])
+        quartiles = (float(q1), float(q2), float(q3))
+
+    return TraceStatistics(
+        num_sessions=len(trace),
+        num_events=total_events,
+        operation_counts=counts,
+        operation_fractions=fractions,
+        duration_summaries=duration_summaries,
+        interarrival=interarrival,
+        gap_summary=gap_summary,
+        mean_think_time=mean_think_time,
+        position_quartiles=quartiles,
+    )

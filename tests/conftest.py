@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hitmodel import HitProbabilityModel, VCRMix
+from repro.core.parameters import SystemConfiguration, VCRRates
+from repro.distributions import (
+    ExponentialDuration,
+    GammaDuration,
+    UniformDuration,
+    truncate,
+)
+
+MOVIE_LENGTH = 120.0
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(12345))
+
+
+@pytest.fixture
+def paper_rates() -> VCRRates:
+    return VCRRates.paper_default()
+
+
+@pytest.fixture
+def gamma_duration():
+    """The paper's Figure-7 duration: gamma(2, 4), truncated to the movie."""
+    return truncate(GammaDuration(2.0, 4.0), MOVIE_LENGTH)
+
+
+@pytest.fixture
+def exp_duration():
+    return truncate(ExponentialDuration(5.0), MOVIE_LENGTH)
+
+
+@pytest.fixture
+def uniform_duration():
+    return UniformDuration(0.0, 16.0)
+
+
+@pytest.fixture
+def base_config(paper_rates) -> SystemConfiguration:
+    """A mid-range configuration: l=120, n=30, B=90 (w=1)."""
+    return SystemConfiguration(
+        movie_length=MOVIE_LENGTH,
+        num_partitions=30,
+        buffer_minutes=90.0,
+        rates=paper_rates,
+    )
+
+
+@pytest.fixture
+def figure7_model() -> HitProbabilityModel:
+    return HitProbabilityModel(
+        MOVIE_LENGTH, GammaDuration(2.0, 4.0), mix=VCRMix.paper_figure7d()
+    )

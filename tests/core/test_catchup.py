@@ -1,0 +1,83 @@
+"""Eq.-(1) catch-up kinematics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.catchup import (
+    ff_catchup_factor,
+    ff_catchup_time,
+    ff_wall_time_to_catch,
+    rw_catchup_factor,
+    rw_catchup_time,
+    rw_wall_time_to_catch,
+)
+from repro.core.parameters import VCRRates
+from repro.exceptions import ConfigurationError
+
+
+def test_paper_rates_factors():
+    rates = VCRRates.paper_default()  # FF = RW = 3, PB = 1
+    assert ff_catchup_factor(rates) == pytest.approx(1.5)   # 3/(3−1)
+    assert rw_catchup_factor(rates) == pytest.approx(0.75)  # 3/(3+1)
+
+
+def test_catchup_times_scale_linearly():
+    rates = VCRRates.paper_default()
+    assert ff_catchup_time(rates, 10.0) == pytest.approx(15.0)
+    assert rw_catchup_time(rates, 10.0) == pytest.approx(7.5)
+    assert ff_catchup_time(rates, 0.0) == 0.0
+    assert rw_catchup_time(rates, 0.0) == 0.0
+
+
+def test_kinematic_consistency_ff():
+    """After the FF catch-up, the two viewers are at the same position."""
+    rates = VCRRates(playback=1.0, fast_forward=4.0, rewind=2.0)
+    gap = 6.0
+    wall = ff_wall_time_to_catch(rates, gap)
+    chaser_moved = wall * rates.fast_forward
+    target_moved = wall * rates.playback
+    assert chaser_moved == pytest.approx(target_moved + gap)
+    assert chaser_moved == pytest.approx(ff_catchup_time(rates, gap))
+
+
+def test_kinematic_consistency_rw():
+    """After the RW meet, positions coincide: rewound + target's advance = gap."""
+    rates = VCRRates(playback=1.0, fast_forward=3.0, rewind=2.0)
+    gap = 6.0
+    wall = rw_wall_time_to_catch(rates, gap)
+    rewound = wall * rates.rewind
+    target_moved = wall * rates.playback
+    assert rewound + target_moved == pytest.approx(gap)
+    assert rewound == pytest.approx(rw_catchup_time(rates, gap))
+
+
+def test_negative_gap_rejected():
+    rates = VCRRates.paper_default()
+    for func in (ff_catchup_time, rw_catchup_time, ff_wall_time_to_catch, rw_wall_time_to_catch):
+        with pytest.raises(ConfigurationError):
+            func(rates, -1.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    playback=st.floats(0.25, 4.0),
+    ff_extra=st.floats(0.01, 10.0),
+    rewind=st.floats(0.1, 10.0),
+)
+def test_factor_ranges(playback, ff_extra, rewind):
+    """alpha > 1 always; gamma in (0, 1) always."""
+    rates = VCRRates(playback=playback, fast_forward=playback + ff_extra, rewind=rewind)
+    assert ff_catchup_factor(rates) > 1.0
+    assert 0.0 < rw_catchup_factor(rates) < 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(speedup=st.floats(1.01, 50.0))
+def test_faster_ff_needs_less_traversal(speedup):
+    """As R_FF grows, alpha decreases toward 1 (a jump skips straight there)."""
+    slow = VCRRates(playback=1.0, fast_forward=speedup, rewind=1.0)
+    fast = VCRRates(playback=1.0, fast_forward=speedup * 2.0, rewind=1.0)
+    assert ff_catchup_factor(fast) < ff_catchup_factor(slow)

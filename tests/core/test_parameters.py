@@ -1,0 +1,109 @@
+"""SystemConfiguration / VCRRates: Eq.-(2) geometry and validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import SystemConfiguration, VCRRates
+from repro.exceptions import ConfigurationError
+
+
+class TestVCRRates:
+    def test_paper_default(self):
+        rates = VCRRates.paper_default()
+        assert rates.playback == 1.0
+        assert rates.fast_forward == 3.0 and rates.rewind == 3.0
+        assert rates.speedup_ff == 3.0 and rates.speedup_rw == 3.0
+
+    def test_rejects_ff_not_faster_than_playback(self):
+        with pytest.raises(ConfigurationError, match="fast-forward rate must exceed"):
+            VCRRates(playback=2.0, fast_forward=2.0, rewind=3.0)
+
+    @pytest.mark.parametrize("field", ["playback", "fast_forward", "rewind"])
+    def test_rejects_nonpositive_rates(self, field):
+        kwargs = {"playback": 1.0, "fast_forward": 3.0, "rewind": 3.0, field: 0.0}
+        with pytest.raises(ConfigurationError):
+            VCRRates(**kwargs)
+
+
+class TestSystemConfiguration:
+    def test_derived_geometry(self, base_config):
+        # l=120, n=30, B=90.
+        assert base_config.max_wait == pytest.approx(1.0)
+        assert base_config.partition_span == pytest.approx(3.0)
+        assert base_config.partition_spacing == pytest.approx(4.0)
+        assert base_config.gap == pytest.approx(1.0)
+        assert base_config.buffer_fraction == pytest.approx(0.75)
+
+    def test_gap_equals_max_wait(self, base_config):
+        """Section 3.1: the gap between partitions is the maximum wait."""
+        assert base_config.gap == pytest.approx(base_config.max_wait)
+
+    def test_from_wait_round_trip(self):
+        config = SystemConfiguration.from_wait(120.0, 30, 1.0)
+        assert config.buffer_minutes == pytest.approx(90.0)
+        assert config.max_wait == pytest.approx(1.0)
+
+    def test_from_wait_rejects_overspend(self):
+        with pytest.raises(ConfigurationError, match="exceeds l"):
+            SystemConfiguration.from_wait(120.0, 200, 1.0)
+
+    def test_pure_batching(self):
+        config = SystemConfiguration.pure_batching(120.0, 60)
+        assert config.is_pure_batching
+        assert config.partition_span == 0.0
+        assert config.max_wait == pytest.approx(2.0)  # w = l/n when B = 0
+
+    def test_fully_buffered(self):
+        config = SystemConfiguration(120.0, 4, 120.0)
+        assert config.is_fully_buffered
+        assert config.max_wait == 0.0
+
+    def test_streams_saved(self):
+        config = SystemConfiguration(120.0, 30, 90.0)
+        assert config.streams_saved_vs_pure_batching() == pytest.approx(90.0)
+        full = SystemConfiguration(120.0, 4, 120.0)
+        assert math.isinf(full.streams_saved_vs_pure_batching())
+
+    def test_with_buffer_and_partitions(self, base_config):
+        modified = base_config.with_buffer(60.0).with_partitions(15)
+        assert modified.buffer_minutes == 60.0
+        assert modified.num_partitions == 15
+        assert base_config.buffer_minutes == 90.0  # original untouched
+
+    def test_rejects_buffer_beyond_movie(self):
+        with pytest.raises(ConfigurationError, match="cannot exceed the movie"):
+            SystemConfiguration(120.0, 10, 121.0)
+
+    def test_rejects_bad_partitions(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfiguration(120.0, 0, 10.0)
+        with pytest.raises(ConfigurationError):
+            SystemConfiguration(120.0, 1.5, 10.0)  # type: ignore[arg-type]
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfiguration(0.0, 10, 0.0)
+
+    def test_describe_mentions_parameters(self, base_config):
+        text = base_config.describe()
+        assert "l=120" in text and "n=30" in text and "B=90" in text
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    length=st.floats(10.0, 500.0),
+    n=st.integers(1, 500),
+    fraction=st.floats(0.0, 1.0),
+)
+def test_eq2_identity(length, n, fraction):
+    """Eq. (2): w = (l − B)/n, and span + gap = spacing."""
+    buffer_minutes = length * fraction
+    config = SystemConfiguration(length, n, buffer_minutes)
+    assert config.max_wait == pytest.approx((length - buffer_minutes) / n)
+    assert config.partition_span + config.gap == pytest.approx(config.partition_spacing)
+    assert 0.0 <= config.buffer_fraction <= 1.0

@@ -1,0 +1,104 @@
+"""Pause model: engine vs direct quadrature, periodicity, limits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hitsets import hit_probability
+from repro.core.parameters import SystemConfiguration
+from repro.core.pause import (
+    long_pause_limit,
+    p_hit_pause_direct,
+    p_hit_pause_jump,
+    p_hit_pause_own,
+    wrap_duration,
+)
+from repro.core.vcrop import VCROperation
+from repro.distributions import (
+    DeterministicDuration,
+    GammaDuration,
+    UniformDuration,
+    truncate,
+)
+
+LENGTH = 120.0
+
+
+@pytest.fixture(scope="module")
+def duration():
+    return truncate(GammaDuration(2.0, 4.0), LENGTH)
+
+
+@pytest.mark.parametrize("n,w", [(5, 2.0), (10, 1.0), (30, 1.0), (60, 1.0), (20, 0.5)])
+def test_engine_matches_direct(n, w, duration):
+    config = SystemConfiguration.from_wait(LENGTH, n, w)
+    engine = hit_probability(VCROperation.PAUSE, config, duration)
+    direct = p_hit_pause_direct(config, duration)
+    assert direct == pytest.approx(engine, abs=2e-3)
+
+
+def test_decomposition_sums_to_total(duration):
+    config = SystemConfiguration.from_wait(LENGTH, 20, 1.0)
+    total = p_hit_pause_own(config, duration)
+    for i in range(1, config.num_partitions + 2):
+        total += p_hit_pause_jump(config, duration, i)
+    engine = hit_probability(VCROperation.PAUSE, config, duration)
+    assert total == pytest.approx(engine, abs=3e-3)
+
+
+def test_uniform_long_pause_approaches_buffer_fraction():
+    """A pause uniform over the whole movie forgets its phase: P → B/l."""
+    config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)
+    dist = UniformDuration(0.0, LENGTH)
+    p = hit_probability(VCROperation.PAUSE, config, dist)
+    assert p == pytest.approx(long_pause_limit(config), abs=0.02)
+    assert long_pause_limit(config) == pytest.approx(config.buffer_fraction)
+
+
+def test_deterministic_pause_aligned_with_window():
+    """A pause of exactly i*spacing − span/2 lands mid-window for most d."""
+    config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)  # spacing 4, span 3
+    aligned = DeterministicDuration(8.0)  # i=2 window covers [8−d, 11−d]
+    p = hit_probability(VCROperation.PAUSE, config, aligned)
+    assert p == pytest.approx(1.0, abs=1e-6)
+    # A pause landing exactly in the gaps: x = i*spacing + span → only d=span hits.
+    misaligned = DeterministicDuration(11.5)  # gap is [11−d, 12−d] for d<0.5
+    p_miss = hit_probability(VCROperation.PAUSE, config, misaligned)
+    assert p_miss < 0.9
+
+
+def test_short_pause_mostly_hits_own_partition(duration):
+    """With a large span, short pauses stay in the original partition."""
+    config = SystemConfiguration(LENGTH, 4, 100.0)  # span = 25 >> mean pause 8
+    own = p_hit_pause_own(config, duration)
+    total = hit_probability(VCROperation.PAUSE, config, duration)
+    assert own > 0.5 * total
+
+
+def test_pure_batching_pause_zero(duration):
+    config = SystemConfiguration.pure_batching(LENGTH, 30)
+    assert hit_probability(VCROperation.PAUSE, config, duration) == 0.0
+
+
+def test_jump_rejects_bad_index(duration):
+    config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)
+    with pytest.raises(ValueError):
+        p_hit_pause_jump(config, duration, 0)
+
+
+class TestWrapDuration:
+    def test_identity_below_length(self):
+        assert wrap_duration(30.0, 120.0) == 30.0
+
+    def test_wraps_paper_example(self):
+        """Section 2.1: l=120, x=130 behaves like a 10-minute pause."""
+        assert wrap_duration(130.0, 120.0) == pytest.approx(10.0)
+
+    def test_exact_multiple(self):
+        assert wrap_duration(240.0, 120.0) == pytest.approx(0.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wrap_duration(-1.0, 120.0)
+        with pytest.raises(ValueError):
+            wrap_duration(10.0, 0.0)

@@ -1,0 +1,94 @@
+"""Rewind model: engine vs direct quadrature, decomposition, boundary mass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hitsets import hit_probability
+from repro.core.parameters import SystemConfiguration
+from repro.core.rewind import (
+    p_hit_rewind_direct,
+    p_hit_rewind_jump,
+    p_hit_rewind_own,
+    p_start_miss_mass,
+)
+from repro.core.vcrop import VCROperation
+from repro.distributions import ExponentialDuration, GammaDuration, truncate
+
+LENGTH = 120.0
+
+
+@pytest.fixture(scope="module")
+def duration():
+    return truncate(GammaDuration(2.0, 4.0), LENGTH)
+
+
+@pytest.mark.parametrize("n,w", [(5, 2.0), (10, 1.0), (30, 1.0), (60, 1.0), (20, 0.5)])
+def test_engine_matches_direct(n, w, duration):
+    config = SystemConfiguration.from_wait(LENGTH, n, w)
+    engine = hit_probability(VCROperation.REWIND, config, duration)
+    direct = p_hit_rewind_direct(config, duration)
+    assert direct == pytest.approx(engine, abs=2e-3)
+
+
+def test_decomposition_sums_to_total(duration):
+    """own + jumps (until exhaustion) ~= the full rewind hit probability."""
+    config = SystemConfiguration.from_wait(LENGTH, 20, 1.0)
+    total = p_hit_rewind_own(config, duration)
+    i = 1
+    while True:
+        term = p_hit_rewind_jump(config, duration, i)
+        total += term
+        i += 1
+        if term < 1e-12 or i > 3 * config.num_partitions:
+            break
+    engine = hit_probability(VCROperation.REWIND, config, duration)
+    assert total == pytest.approx(engine, abs=3e-3)
+
+
+def test_jump_terms_decrease(duration):
+    config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)
+    terms = [p_hit_rewind_jump(config, duration, i) for i in range(1, 6)]
+    assert terms[0] > terms[-1]
+    assert all(t >= 0.0 for t in terms)
+
+
+def test_jump_rejects_bad_index(duration):
+    config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)
+    with pytest.raises(ValueError):
+        p_hit_rewind_jump(config, duration, 0)
+
+
+def test_pure_batching_rewind_is_zero(duration):
+    config = SystemConfiguration.pure_batching(LENGTH, 30)
+    assert hit_probability(VCROperation.REWIND, config, duration) == 0.0
+    assert p_hit_rewind_direct(config, duration) == 0.0
+
+
+def test_rw_bounded_by_ff_at_same_config(duration):
+    """gamma < 1 < alpha, rewind has no end-hit and loses mass at minute 0,
+    so P(hit|RW) < P(hit|FF) on this workload."""
+    config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)
+    rw = hit_probability(VCROperation.REWIND, config, duration)
+    ff = hit_probability(VCROperation.FAST_FORWARD, config, duration)
+    assert rw < ff
+
+
+def test_start_miss_mass_properties(duration):
+    config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)
+    mass = p_start_miss_mass(config, duration)
+    # Equals E[X]/l for a [0, l] variable (same identity as P(end)).
+    assert mass == pytest.approx(duration.mean / LENGTH, rel=1e-3)
+    # Shorter rewinds waste less mass at the boundary.
+    short = truncate(ExponentialDuration(1.0), LENGTH)
+    assert p_start_miss_mass(config, short) < mass
+
+
+def test_full_buffer_rewind_not_quite_one(duration):
+    """Even with B = l the model books rewind-past-zero as a miss, so
+    P(hit|RW) = 1 − P(rewind reaches minute 0) < 1."""
+    config = SystemConfiguration(LENGTH, 10, LENGTH)
+    rw = hit_probability(VCROperation.REWIND, config, duration)
+    expected = 1.0 - p_start_miss_mass(config, duration)
+    assert rw == pytest.approx(expected, abs=2e-3)
+    assert rw < 1.0

@@ -1,0 +1,97 @@
+"""Declarative distribution specs used by the CLI and config files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import (
+    DeterministicDuration,
+    EmpiricalDuration,
+    ExponentialDuration,
+    GammaDuration,
+    LognormalDuration,
+    MixtureDuration,
+    TruncatedDuration,
+    UniformDuration,
+    WeibullDuration,
+    distribution_from_spec,
+)
+from repro.exceptions import DistributionError
+
+
+@pytest.mark.parametrize(
+    "spec,expected_type,expected_mean",
+    [
+        ({"family": "exponential", "mean": 5.0}, ExponentialDuration, 5.0),
+        ({"family": "gamma", "shape": 2.0, "scale": 4.0}, GammaDuration, 8.0),
+        ({"family": "uniform", "lo": 0.0, "hi": 10.0}, UniformDuration, 5.0),
+        ({"family": "deterministic", "value": 3.0}, DeterministicDuration, 3.0),
+        ({"family": "lognormal", "mean": 8.0, "cv": 1.0}, LognormalDuration, 8.0),
+        ({"family": "weibull", "mean": 8.0, "shape": 2.0}, WeibullDuration, 8.0),
+    ],
+)
+def test_basic_families(spec, expected_type, expected_mean):
+    dist = distribution_from_spec(spec)
+    assert isinstance(dist, expected_type)
+    assert dist.mean == pytest.approx(expected_mean, rel=1e-9)
+
+
+def test_lognormal_mu_sigma_form():
+    dist = distribution_from_spec({"family": "lognormal", "mu": 1.0, "sigma": 0.5})
+    assert isinstance(dist, LognormalDuration)
+    assert dist.mu == 1.0 and dist.sigma == 0.5
+
+
+def test_weibull_shape_scale_form():
+    dist = distribution_from_spec({"family": "weibull", "shape": 1.5, "scale": 6.0})
+    assert isinstance(dist, WeibullDuration)
+
+
+def test_empirical():
+    dist = distribution_from_spec({"family": "empirical", "samples": [1.0, 2.0, 3.0]})
+    assert isinstance(dist, EmpiricalDuration)
+
+
+def test_mixture_recursive():
+    dist = distribution_from_spec(
+        {
+            "family": "mixture",
+            "components": [
+                {"family": "exponential", "mean": 2.0},
+                {"family": "deterministic", "value": 10.0},
+            ],
+            "weights": [1.0, 1.0],
+        }
+    )
+    assert isinstance(dist, MixtureDuration)
+    assert dist.mean == pytest.approx(6.0)
+
+
+def test_truncate_at():
+    dist = distribution_from_spec(
+        {"family": "exponential", "mean": 5.0, "truncate_at": 10.0}
+    )
+    assert isinstance(dist, TruncatedDuration)
+    assert dist.upper == 10.0
+
+
+def test_case_insensitive_family():
+    assert isinstance(
+        distribution_from_spec({"family": "EXPONENTIAL", "mean": 1.0}),
+        ExponentialDuration,
+    )
+
+
+def test_unknown_family():
+    with pytest.raises(DistributionError, match="unknown distribution family"):
+        distribution_from_spec({"family": "cauchy"})
+
+
+def test_missing_family():
+    with pytest.raises(DistributionError, match="missing 'family'"):
+        distribution_from_spec({"mean": 5.0})
+
+
+def test_bad_parameters_reported():
+    with pytest.raises(DistributionError, match="bad parameters"):
+        distribution_from_spec({"family": "exponential", "rate": 5.0})

@@ -1,0 +1,243 @@
+"""Per-family distribution tests: CDFs, pdfs, means, closed forms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.distributions import (
+    DeterministicDuration,
+    EmpiricalDuration,
+    ExponentialDuration,
+    GammaDuration,
+    LognormalDuration,
+    MixtureDuration,
+    UniformDuration,
+    WeibullDuration,
+)
+from repro.exceptions import DistributionError
+
+
+class TestExponential:
+    def test_cdf_matches_scipy(self):
+        dist = ExponentialDuration(5.0)
+        for x in (0.1, 1.0, 5.0, 20.0):
+            assert dist.cdf(x) == pytest.approx(sps.expon(scale=5.0).cdf(x), abs=1e-12)
+
+    def test_pdf_matches_scipy(self):
+        dist = ExponentialDuration(5.0)
+        for x in (0.1, 1.0, 5.0, 20.0):
+            assert dist.pdf(x) == pytest.approx(sps.expon(scale=5.0).pdf(x), abs=1e-12)
+
+    def test_ppf_inverts_cdf(self):
+        dist = ExponentialDuration(3.0)
+        for q in (0.01, 0.5, 0.99):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-10)
+
+    def test_memoryless(self):
+        dist = ExponentialDuration(4.0)
+        # P(X > s + t) = P(X > s) P(X > t)
+        assert dist.survival(7.0) == pytest.approx(
+            dist.survival(3.0) * dist.survival(4.0), rel=1e-10
+        )
+
+    def test_sample_mean(self, rng):
+        dist = ExponentialDuration(5.0)
+        samples = dist.sample(rng, size=20000)
+        assert float(np.mean(samples)) == pytest.approx(5.0, rel=0.05)
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(DistributionError):
+            ExponentialDuration(0.0)
+        with pytest.raises(DistributionError):
+            ExponentialDuration(-1.0)
+
+
+class TestGamma:
+    def test_cdf_matches_scipy(self):
+        dist = GammaDuration(2.0, 4.0)
+        ref = sps.gamma(a=2.0, scale=4.0)
+        for x in (0.5, 2.0, 8.0, 30.0):
+            assert dist.cdf(x) == pytest.approx(ref.cdf(x), abs=1e-10)
+
+    def test_pdf_matches_scipy(self):
+        dist = GammaDuration(2.5, 3.0)
+        ref = sps.gamma(a=2.5, scale=3.0)
+        for x in (0.5, 2.0, 8.0, 30.0):
+            assert dist.pdf(x) == pytest.approx(ref.pdf(x), abs=1e-10)
+
+    def test_paper_parameterisation(self):
+        dist = GammaDuration.paper_figure7()
+        assert dist.mean == pytest.approx(8.0)
+        assert dist.shape == 2.0 and dist.scale == 4.0
+        assert dist.variance == pytest.approx(32.0)
+
+    def test_pdf_at_origin_by_shape(self):
+        assert GammaDuration(2.0, 1.0).pdf(0.0) == 0.0
+        assert GammaDuration(1.0, 2.0).pdf(0.0) == pytest.approx(0.5)
+        assert GammaDuration(0.5, 1.0).pdf(0.0) == math.inf
+
+    def test_sample_moments(self, rng):
+        dist = GammaDuration(2.0, 4.0)
+        samples = dist.sample(rng, size=30000)
+        assert float(np.mean(samples)) == pytest.approx(8.0, rel=0.05)
+        assert float(np.var(samples)) == pytest.approx(32.0, rel=0.1)
+
+
+class TestUniform:
+    def test_basic_shape(self):
+        dist = UniformDuration(2.0, 6.0)
+        assert dist.mean == 4.0
+        assert dist.cdf(2.0) == 0.0 and dist.cdf(6.0) == 1.0
+        assert dist.cdf(4.0) == 0.5
+        assert dist.pdf(3.0) == 0.25 and dist.pdf(1.0) == 0.0
+        assert dist.upper == 6.0
+
+    def test_ppf(self):
+        dist = UniformDuration(0.0, 10.0)
+        assert dist.ppf(0.3) == pytest.approx(3.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(DistributionError):
+            UniformDuration(5.0, 5.0)
+        with pytest.raises(DistributionError):
+            UniformDuration(-1.0, 3.0)
+
+
+class TestDeterministic:
+    def test_step_cdf(self):
+        dist = DeterministicDuration(4.0)
+        assert dist.cdf(3.999) == 0.0
+        assert dist.cdf(4.0) == 1.0
+        assert dist.mean == 4.0
+        assert dist.upper == 4.0
+
+    def test_sampling_is_constant(self, rng):
+        dist = DeterministicDuration(2.5)
+        assert dist.sample(rng) == 2.5
+        assert np.all(dist.sample(rng, size=10) == 2.5)
+
+    def test_probability_around_atom(self):
+        dist = DeterministicDuration(4.0)
+        assert dist.probability(3.0, 5.0) == 1.0
+        assert dist.probability(4.0, 5.0) == 0.0  # CDF(4)=1 means mass at or below 4
+
+    def test_zero_value_allowed(self):
+        assert DeterministicDuration(0.0).cdf(0.0) == 1.0
+
+
+class TestLognormal:
+    def test_cdf_matches_scipy(self):
+        dist = LognormalDuration(1.0, 0.5)
+        ref = sps.lognorm(s=0.5, scale=math.exp(1.0))
+        for x in (0.5, 2.0, 5.0, 20.0):
+            assert dist.cdf(x) == pytest.approx(ref.cdf(x), abs=1e-12)
+            assert dist.pdf(x) == pytest.approx(ref.pdf(x), abs=1e-12)
+
+    def test_from_mean_cv(self):
+        dist = LognormalDuration.from_mean_cv(8.0, 1.5)
+        assert dist.mean == pytest.approx(8.0, rel=1e-12)
+
+    def test_sample_mean(self, rng):
+        dist = LognormalDuration.from_mean_cv(8.0, 0.8)
+        samples = dist.sample(rng, size=40000)
+        assert float(np.mean(samples)) == pytest.approx(8.0, rel=0.05)
+
+
+class TestWeibull:
+    def test_cdf_matches_scipy(self):
+        dist = WeibullDuration(1.7, 6.0)
+        ref = sps.weibull_min(c=1.7, scale=6.0)
+        for x in (0.5, 2.0, 6.0, 15.0):
+            assert dist.cdf(x) == pytest.approx(ref.cdf(x), abs=1e-12)
+            assert dist.pdf(x) == pytest.approx(ref.pdf(x), abs=1e-12)
+
+    def test_from_mean(self):
+        dist = WeibullDuration.from_mean(8.0, 0.7)
+        assert dist.mean == pytest.approx(8.0, rel=1e-12)
+
+    def test_shape_one_is_exponential(self):
+        weibull = WeibullDuration(1.0, 5.0)
+        exponential = ExponentialDuration(5.0)
+        for x in (0.5, 3.0, 10.0):
+            assert weibull.cdf(x) == pytest.approx(exponential.cdf(x), abs=1e-12)
+
+    def test_ppf_inverts(self):
+        dist = WeibullDuration(0.7, 8.0)
+        for q in (0.1, 0.5, 0.9):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-10)
+
+    def test_sample_mean(self, rng):
+        dist = WeibullDuration.from_mean(8.0, 2.0)
+        assert float(np.mean(dist.sample(rng, size=20000))) == pytest.approx(8.0, rel=0.05)
+
+
+class TestEmpirical:
+    def test_cdf_interpolates(self):
+        dist = EmpiricalDuration([0.0, 10.0])
+        assert dist.cdf(5.0) == pytest.approx(0.5)
+        assert dist.cdf(-1.0) == 0.0 and dist.cdf(11.0) == 1.0
+
+    def test_fit_recovers_distribution(self, rng):
+        source = GammaDuration(2.0, 4.0)
+        samples = source.sample(rng, size=5000)
+        fitted = EmpiricalDuration(samples)
+        assert fitted.mean == pytest.approx(8.0, rel=0.1)
+        for x in (3.0, 8.0, 15.0):
+            assert fitted.cdf(x) == pytest.approx(source.cdf(x), abs=0.03)
+
+    def test_sampling_round_trip(self, rng):
+        dist = EmpiricalDuration([1.0, 2.0, 3.0, 4.0, 5.0])
+        samples = dist.sample(rng, size=5000)
+        assert 1.0 <= float(np.min(samples)) and float(np.max(samples)) <= 5.0
+        # Samples must match the *distribution's* mean (the interpolated CDF
+        # deliberately smooths, so it differs from the raw sample mean on
+        # tiny inputs).
+        assert float(np.mean(samples)) == pytest.approx(dist.mean, rel=0.05)
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDuration([1.0])
+        with pytest.raises(DistributionError):
+            EmpiricalDuration([2.0, 2.0, 2.0])
+        with pytest.raises(DistributionError):
+            EmpiricalDuration([1.0, -2.0])
+        with pytest.raises(DistributionError):
+            EmpiricalDuration([1.0, math.nan])
+
+
+class TestMixture:
+    def test_cdf_is_convex_combination(self):
+        a, b = ExponentialDuration(2.0), ExponentialDuration(10.0)
+        mixture = MixtureDuration([a, b], [0.3, 0.7])
+        for x in (0.5, 2.0, 8.0):
+            assert mixture.cdf(x) == pytest.approx(0.3 * a.cdf(x) + 0.7 * b.cdf(x))
+
+    def test_mean(self):
+        mixture = MixtureDuration(
+            [DeterministicDuration(2.0), DeterministicDuration(10.0)], [1.0, 3.0]
+        )
+        assert mixture.mean == pytest.approx(0.25 * 2.0 + 0.75 * 10.0)
+
+    def test_weights_normalised(self):
+        mixture = MixtureDuration([ExponentialDuration(1.0)], [42.0])
+        assert mixture.weights == (1.0,)
+
+    def test_sampling_hits_both_components(self, rng):
+        mixture = MixtureDuration(
+            [DeterministicDuration(1.0), DeterministicDuration(100.0)], [0.5, 0.5]
+        )
+        samples = mixture.sample(rng, size=1000)
+        assert set(np.unique(samples)) == {1.0, 100.0}
+        assert float(np.mean(samples)) == pytest.approx(50.5, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            MixtureDuration([], [])
+        with pytest.raises(DistributionError):
+            MixtureDuration([ExponentialDuration(1.0)], [0.5, 0.5])
+        with pytest.raises(DistributionError):
+            MixtureDuration([ExponentialDuration(1.0)], [-1.0])

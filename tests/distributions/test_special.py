@@ -1,0 +1,59 @@
+"""Local incomplete-gamma implementation against SciPy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import special as sp
+
+from repro.distributions.special import regularized_lower_gamma
+from repro.exceptions import NumericsError
+
+
+@pytest.mark.parametrize("a", [0.5, 1.0, 2.0, 3.7, 10.0, 50.0])
+@pytest.mark.parametrize("x", [0.0, 0.1, 1.0, 5.0, 25.0, 100.0])
+def test_matches_scipy_grid(a, x):
+    assert regularized_lower_gamma(a, x) == pytest.approx(
+        float(sp.gammainc(a, x)), abs=1e-12
+    )
+
+
+def test_zero_and_negative_x():
+    assert regularized_lower_gamma(2.0, 0.0) == 0.0
+    assert regularized_lower_gamma(2.0, -1.0) == 0.0
+
+
+def test_saturates_to_one():
+    assert regularized_lower_gamma(2.0, 1e6) == pytest.approx(1.0, abs=1e-15)
+
+
+def test_rejects_nonpositive_shape():
+    with pytest.raises(NumericsError):
+        regularized_lower_gamma(0.0, 1.0)
+    with pytest.raises(NumericsError):
+        regularized_lower_gamma(-2.0, 1.0)
+
+
+def test_exponential_special_case():
+    # a = 1 reduces to 1 − exp(−x).
+    import math
+
+    for x in (0.3, 1.0, 4.0):
+        assert regularized_lower_gamma(1.0, x) == pytest.approx(
+            1.0 - math.exp(-x), abs=1e-13
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(a=st.floats(0.05, 80.0), x=st.floats(0.0, 300.0))
+def test_matches_scipy_property(a, x):
+    assert regularized_lower_gamma(a, x) == pytest.approx(
+        float(sp.gammainc(a, x)), abs=1e-10
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.floats(0.1, 30.0), x=st.floats(0.0, 100.0), dx=st.floats(0.0, 50.0))
+def test_monotone_in_x(a, x, dx):
+    assert regularized_lower_gamma(a, x + dx) >= regularized_lower_gamma(a, x) - 1e-13

@@ -1,0 +1,74 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.charts import ascii_chart
+
+
+@pytest.fixture
+def simple_series():
+    return {"rising": [(0.0, 0.0), (5.0, 0.5), (10.0, 1.0)]}
+
+
+class TestAsciiChart:
+    def test_contains_title_axes_legend(self, simple_series):
+        chart = ascii_chart(
+            simple_series, title="demo", y_label="P", x_label="n"
+        )
+        assert chart.startswith("demo\n")
+        assert "* rising" in chart
+        assert "+----" in chart
+        assert chart.endswith("\n")
+
+    def test_extremes_annotated(self, simple_series):
+        chart = ascii_chart(simple_series)
+        assert "0" in chart and "1" in chart and "10" in chart
+
+    def test_markers_placed_at_corners(self, simple_series):
+        chart = ascii_chart(simple_series, width=20, height=5)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        # Top row holds the maximum (rightmost point), bottom row the minimum.
+        assert "*" in lines[0]
+        assert "*" in lines[-1]
+        top_col = lines[0].index("*") - lines[0].index("|")
+        bottom_col = lines[-1].index("*") - lines[-1].index("|")
+        assert top_col > bottom_col
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart(
+            {
+                "a": [(0, 0), (1, 1)],
+                "b": [(0, 1), (1, 0)],
+            }
+        )
+        assert "* a" in chart and "o b" in chart
+        grid = "".join(line for line in chart.splitlines() if "|" in line)
+        assert "*" in grid and "o" in grid
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(0.0, 0.5), (1.0, 0.5)]})
+        assert "flat" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"dot": [(3.0, 7.0)]})
+        assert "dot" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"empty": []})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [(0, 0)]}, width=4)
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [(0.0, float("inf"))]})
+
+    def test_experiment_result_renders_charts(self, simple_series):
+        from repro.experiments.reporting import ExperimentResult
+
+        result = ExperimentResult(experiment_id="x", title="t")
+        result.add_chart(ascii_chart(simple_series, title="embedded"))
+        assert "embedded" in result.render()

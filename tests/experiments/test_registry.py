@@ -1,0 +1,114 @@
+"""Experiment registry and the cheap (analytical-only) experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    run_experiment,
+)
+
+
+def test_all_paper_artifacts_registered():
+    ids = available_experiments()
+    for required in (
+        "figure7a", "figure7b", "figure7c", "figure7d",
+        "figure8", "figure9", "example1", "example2",
+    ):
+        assert required in ids
+    assert any(i.startswith("ablation") for i in ids)
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("figure42")
+
+
+def test_registry_callables_match_listing():
+    assert set(EXPERIMENTS) == set(available_experiments())
+
+
+class TestAnalyticalExperiments:
+    """The experiments that need no simulation run quickly enough to test."""
+
+    def test_example2(self):
+        result = run_experiment("example2", fast=True)
+        constants = result.tables[0]
+        row = {r[0]: r[1] for r in constants.rows}
+        assert row["C_b ($/buffer-minute)"] == pytest.approx(750.0)
+        assert row["C_n ($/stream)"] == pytest.approx(70.0)
+        assert row["streams per disk"] == 10
+
+    def test_ablation_distributions(self):
+        result = run_experiment("ablation-distributions", fast=True)
+        table = result.tables[0]
+        assert len(table.rows) == 6  # six families
+        for row in table.rows:
+            for value in row[1:]:
+                assert 0.0 <= value <= 1.0
+
+    def test_example1_matches_paper_shape(self):
+        result = run_experiment("example1", fast=True)
+        alloc = result.tables[0]
+        ours_n = {row[0]: row[1] for row in alloc.rows}
+        paper_n = {row[0]: row[4] for row in alloc.rows}
+        for name in ("movie1", "movie2", "movie3"):
+            assert ours_n[name] == pytest.approx(paper_n[name], rel=0.07)
+        totals = {row[0]: row[1] for row in result.tables[1].rows}
+        assert totals["total streams"] == pytest.approx(602, rel=0.05)
+        assert totals["total buffer (min)"] == pytest.approx(113.5, rel=0.05)
+
+    def test_figure9_crossover(self):
+        result = run_experiment("figure9", fast=True)
+        assert len(result.tables) == 6
+        # Reconstruct per-phi optima from the notes.
+        optima = {}
+        for note in result.notes:
+            phi = float(note.split("phi=")[1].split(":")[0])
+            optima[phi] = int(note.split("total n = ")[1].split(" ")[0])
+        max_n = max(optima.values())
+        # Memory-dominated regime: optimum at the maximum feasible streams.
+        assert optima[16.0] == max_n
+        assert optima[11.0] == max_n
+        # Cheap-memory regime: interior optimum.
+        assert optima[3.0] < max_n
+
+
+class TestExtensionExperiments:
+    def test_ablation_rates(self):
+        result = run_experiment("ablation-rates", fast=True)
+        for table in result.tables:
+            speedups = table.column("speedup")
+            assert speedups == sorted(speedups)
+            for value in table.column("P(hit|FF)") + table.column("P(hit|RW)"):
+                assert 0.0 <= value <= 1.0
+
+    def test_ablation_sensitivity(self):
+        result = run_experiment("ablation-sensitivity", fast=True)
+        assert len(result.tables) == 3
+        nominal_rows = [t.rows[0] for t in result.tables]
+        for row in nominal_rows:
+            assert row[0] == "nominal"
+            assert row[-1] == "yes"
+
+    def test_ablation_population(self):
+        result = run_experiment("ablation-population", fast=True)
+        structure = result.tables[0]
+        shares = structure.column("operation_share")
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_ablation_reservation(self):
+        result = run_experiment("ablation-reservation", fast=True)
+        table = result.tables[0]
+        reserves = table.column("reserve")
+        hits = table.column("P(hit)")
+        # Along decreasing n (increasing buffer), hits rise and reserves fall.
+        assert hits == sorted(hits)
+        assert reserves == sorted(reserves, reverse=True)
+
+    def test_figure7_fast_includes_charts(self):
+        result = run_experiment("figure7a", fast=True)
+        assert result.charts, "figure7 should attach an ASCII chart per wait"
+        assert "P(hit) vs n" in result.charts[0]

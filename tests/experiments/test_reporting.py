@@ -1,0 +1,54 @@
+"""Table rendering and experiment result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import ExperimentResult, Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(caption="demo", headers=("name", "value"))
+        table.add_row("a", 1.0)
+        table.add_row("long-name", 12.3456789)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "12.3457" in text  # floats formatted to 4 decimals
+
+    def test_row_arity_checked(self):
+        table = Table(caption="demo", headers=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table(caption="demo", headers=("n", "p"))
+        table.add_row(10, 0.5)
+        table.add_row(20, 0.25)
+        assert table.column("n") == [10, 20]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_to_csv(self):
+        table = Table(caption="demo", headers=("n", "p"))
+        table.add_row(10, 0.5)
+        csv = table.to_csv()
+        assert csv.splitlines() == ["n,p", "10,0.5000"]
+
+    def test_empty_table_renders(self):
+        text = Table(caption="empty", headers=("x",)).render()
+        assert "empty" in text
+
+
+class TestExperimentResult:
+    def test_render_includes_tables_and_notes(self):
+        result = ExperimentResult(experiment_id="x", title="Title")
+        table = result.add_table(Table(caption="t", headers=("a",)))
+        table.add_row(1)
+        result.add_note("something notable")
+        text = result.render()
+        assert "== x: Title ==" in text
+        assert "something notable" in text
+        assert "t" in text

@@ -1,0 +1,86 @@
+"""Integration: resource conservation under load and failure injection.
+
+These tests stress the server with deliberately under-provisioned pools and
+check that the accounting invariants survive: no stream is created or leaked,
+every VCR operation resolves, and the books balance at quiescence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SystemConfiguration
+from repro.distributions import ExponentialDuration
+from repro.vod.buffer import BufferPool
+from repro.vod.movie import Movie, MovieCatalog
+from repro.vod.server import ServerWorkload, VODServer
+from repro.vod.vcr import VCRBehavior
+
+
+def run_server(num_streams: int, arrival_rate: float, seed: int = 23):
+    movies = [
+        Movie(0, "hot", 60.0, popularity=0.6),
+        Movie(1, "tail", 80.0, popularity=0.4),
+    ]
+    catalog = MovieCatalog(movies, popular_count=1)
+    allocation = {0: SystemConfiguration(60.0, 8, 36.0)}
+    server = VODServer(
+        catalog,
+        allocation,
+        num_streams=num_streams,
+        buffer_pool=BufferPool.for_minutes(40.0),
+        behavior=VCRBehavior.uniform_duration_model(
+            ExponentialDuration(4.0), mean_think_time=8.0
+        ),
+        workload=ServerWorkload(
+            arrival_rate=arrival_rate, horizon=600.0, warmup=100.0, seed=seed
+        ),
+    )
+    return server, server.run()
+
+
+@pytest.mark.parametrize(
+    "num_streams,arrival_rate",
+    [(50, 0.5), (15, 1.5), (9, 2.0)],
+    ids=["comfortable", "tight", "starved"],
+)
+def test_invariants_under_pressure(num_streams, arrival_rate):
+    server, report = run_server(num_streams, arrival_rate)
+    # Capacity never exceeded (peak of the time-weighted total).
+    peak = server.metrics.time_weighted("streams.total", now=server.env.now).peak
+    assert peak <= num_streams
+    # Every resolved VCR op is a hit, a miss, a denial, or an end release.
+    end_releases = server.metrics.counter_value("vcr.end_release")
+    resolved = report.resume_hits + report.resume_misses + report.vcr_blocked + end_releases
+    # Operations in flight at the horizon may be unresolved; allow that slop.
+    assert resolved <= report.vcr_issued
+    assert report.vcr_issued - resolved <= 25
+    # Miss resolution paths partition the misses (up to in-flight slop).
+    assert (
+        report.piggyback_merged + report.piggyback_ran_to_end + report.resume_stalled
+        <= report.resume_misses + 5
+    )
+
+
+def test_starved_pool_degrades_not_crashes():
+    _, starved = run_server(num_streams=9, arrival_rate=2.0)
+    _, healthy = run_server(num_streams=50, arrival_rate=2.0)
+    assert starved.restarts_starved > 0
+    assert starved.vcr_denial_rate > healthy.vcr_denial_rate
+    assert starved.unpopular_rejection_rate >= healthy.unpopular_rejection_rate
+    # Viewers still complete sessions even when the pool is starved.
+    assert starved.viewers_completed > 0
+
+
+def test_books_balance_across_seeds():
+    for seed in (1, 2, 3):
+        server, report = run_server(num_streams=25, arrival_rate=1.0, seed=seed)
+        # Time-averaged per-purpose occupancy sums to the total.
+        assert report.mean_streams_total == pytest.approx(
+            report.mean_streams_playback
+            + report.mean_streams_vcr
+            + report.mean_streams_miss_hold
+            + report.mean_streams_unpopular,
+            rel=1e-9,
+            abs=1e-9,
+        )

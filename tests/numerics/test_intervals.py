@@ -1,0 +1,130 @@
+"""Interval-union algebra: the geometry underneath the hit sets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.intervals import Interval, IntervalUnion
+
+
+class TestInterval:
+    def test_length_and_membership(self):
+        iv = Interval(1.0, 3.0)
+        assert iv.length == 2.0
+        assert iv.contains(1.0) and iv.contains(3.0) and iv.contains(2.0)
+        assert not iv.contains(0.999) and not iv.contains(3.001)
+
+    def test_degenerate(self):
+        iv = Interval(2.0, 2.0)
+        assert not iv.is_empty
+        assert iv.length == 0.0
+        assert iv.contains(2.0)
+
+    def test_empty(self):
+        iv = Interval(3.0, 1.0)
+        assert iv.is_empty
+        assert iv.length == 0.0
+
+    def test_clip(self):
+        assert Interval(0.0, 10.0).clip(2.0, 5.0) == Interval(2.0, 5.0)
+        assert Interval(0.0, 1.0).clip(2.0, 5.0).is_empty
+
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(2, 4))  # closed: touch counts
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+        assert not Interval(1, 0).overlaps(Interval(0, 1))
+
+
+class TestIntervalUnion:
+    def test_merges_overlaps(self):
+        union = IntervalUnion([Interval(0, 2), Interval(1, 3), Interval(5, 6)])
+        assert union.intervals == (Interval(0, 3), Interval(5, 6))
+        assert union.measure == 4.0
+
+    def test_merges_touching(self):
+        union = IntervalUnion([Interval(0, 1), Interval(1, 2)])
+        assert union.intervals == (Interval(0, 2),)
+
+    def test_drops_empty(self):
+        union = IntervalUnion([Interval(2, 1), Interval(0, 1)])
+        assert union.intervals == (Interval(0, 1),)
+
+    def test_from_pairs_and_iteration(self):
+        union = IntervalUnion.from_pairs([(0, 1), (3, 4)])
+        assert [iv.lo for iv in union] == [0, 3]
+        assert len(union) == 2
+
+    def test_clip_union(self):
+        union = IntervalUnion.from_pairs([(0, 2), (4, 6)]).clip(1, 5)
+        assert union.intervals == (Interval(1, 2), Interval(4, 5))
+
+    def test_complement(self):
+        union = IntervalUnion.from_pairs([(1, 2), (4, 5)])
+        gaps = union.complement(0, 6)
+        assert gaps.intervals == (Interval(0, 1), Interval(2, 4), Interval(5, 6))
+
+    def test_complement_of_empty_is_whole(self):
+        assert IntervalUnion().complement(0, 3).intervals == (Interval(0, 3),)
+
+    def test_union_operation(self):
+        a = IntervalUnion.from_pairs([(0, 1)])
+        b = IntervalUnion.from_pairs([(0.5, 2)])
+        assert a.union(b).intervals == (Interval(0, 2),)
+
+    def test_measure_under_cdf(self):
+        union = IntervalUnion.from_pairs([(0, 1), (2, 3)])
+        # Under the identity CDF (uniform on a long support), mass == measure.
+        assert union.measure_under(lambda x: x) == pytest.approx(2.0)
+
+    def test_contains(self):
+        union = IntervalUnion.from_pairs([(0, 1), (2, 3)])
+        assert union.contains(0.5) and union.contains(2.0)
+        assert not union.contains(1.5)
+
+    def test_equality_and_hash(self):
+        a = IntervalUnion.from_pairs([(0, 1), (1, 2)])
+        b = IntervalUnion.from_pairs([(0, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+pairs_strategy = st.lists(
+    st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+        lambda t: (min(t), max(t))
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pairs=pairs_strategy)
+def test_union_invariants(pairs):
+    union = IntervalUnion.from_pairs(pairs)
+    ivs = union.intervals
+    # Sorted, disjoint (strictly separated after merging), non-empty.
+    for left, right in zip(ivs[:-1], ivs[1:]):
+        assert left.hi < right.lo
+    # Measure is subadditive vs raw lengths and bounded by the hull.
+    raw = sum(max(0.0, hi - lo) for lo, hi in pairs)
+    assert union.measure <= raw + 1e-9
+    if ivs:
+        assert union.measure <= ivs[-1].hi - ivs[0].lo + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(pairs=pairs_strategy)
+def test_complement_partitions_measure(pairs):
+    union = IntervalUnion.from_pairs(pairs).clip(0, 100)
+    gaps = union.complement(0, 100)
+    assert union.measure + gaps.measure == pytest.approx(100.0, abs=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pairs=pairs_strategy, x=st.floats(0, 100))
+def test_membership_matches_components(pairs, x):
+    union = IntervalUnion.from_pairs(pairs)
+    expected = any(lo <= x <= hi for lo, hi in pairs)
+    assert union.contains(x) == expected

@@ -1,0 +1,123 @@
+"""Quadrature rules against integrals with known closed forms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NumericsError
+from repro.numerics.quadrature import (
+    adaptive_simpson,
+    fixed_quadrature,
+    gauss_legendre,
+    simpson,
+    trapezoid,
+)
+
+RULES = [
+    pytest.param(lambda f, a, b: trapezoid(f, a, b, num_points=2001), id="trapezoid"),
+    pytest.param(lambda f, a, b: simpson(f, a, b, num_intervals=512), id="simpson"),
+    pytest.param(lambda f, a, b: adaptive_simpson(f, a, b, tol=1e-11), id="adaptive"),
+    pytest.param(lambda f, a, b: gauss_legendre(f, a, b, num_nodes=48), id="gauss"),
+]
+
+
+@pytest.mark.parametrize("rule", RULES)
+class TestKnownIntegrals:
+    def test_polynomial(self, rule):
+        # ∫_0^2 (3x² − 2x + 1) dx = 8 − 4 + 2 = 6
+        assert rule(lambda x: 3 * x**2 - 2 * x + 1, 0.0, 2.0) == pytest.approx(6.0, abs=1e-6)
+
+    def test_exponential(self, rule):
+        assert rule(math.exp, 0.0, 1.0) == pytest.approx(math.e - 1.0, abs=1e-6)
+
+    def test_sine_full_period(self, rule):
+        assert rule(math.sin, 0.0, 2.0 * math.pi) == pytest.approx(0.0, abs=1e-6)
+
+    def test_empty_interval(self, rule):
+        assert rule(math.exp, 1.5, 1.5) == 0.0
+
+    def test_constant(self, rule):
+        assert rule(lambda x: 4.0, -1.0, 3.0) == pytest.approx(16.0, abs=1e-8)
+
+
+class TestGaussLegendre:
+    def test_exact_for_polynomials_up_to_degree(self):
+        # k nodes integrate degree 2k−1 exactly.
+        value = gauss_legendre(lambda x: x**9, 0.0, 1.0, num_nodes=5)
+        assert value == pytest.approx(0.1, abs=1e-14)
+
+    def test_vectorised_integrand(self):
+        value = gauss_legendre(lambda xs: np.sin(xs), 0.0, math.pi, num_nodes=32)
+        assert value == pytest.approx(2.0, abs=1e-12)
+
+    def test_scalar_only_integrand(self):
+        value = gauss_legendre(lambda x: math.sin(x), 0.0, math.pi, num_nodes=32)
+        assert value == pytest.approx(2.0, abs=1e-12)
+
+    def test_reversed_bounds_sign(self):
+        forward = gauss_legendre(math.exp, 0.0, 1.0)
+        backward = gauss_legendre(math.exp, 1.0, 0.0)
+        assert backward == pytest.approx(-forward, rel=1e-12)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(NumericsError):
+            gauss_legendre(math.exp, 0.0, 1.0, num_nodes=0)
+
+    def test_rejects_infinite_bounds(self):
+        with pytest.raises(NumericsError):
+            gauss_legendre(math.exp, 0.0, math.inf)
+
+
+class TestFixedQuadrature:
+    def test_breakpoints_restore_accuracy_on_kink(self):
+        # |x − 0.3| over [0, 1] = 0.3²/2 + 0.7²/2 = 0.29.
+        kinked = lambda x: abs(x - 0.3)
+        plain = gauss_legendre(kinked, 0.0, 1.0, num_nodes=8)
+        split = fixed_quadrature(kinked, 0.0, 1.0, breakpoints=(0.3,), num_nodes=8)
+        assert split == pytest.approx(0.29, abs=1e-14)
+        assert abs(plain - 0.29) > abs(split - 0.29)
+
+    def test_ignores_external_breakpoints(self):
+        value = fixed_quadrature(math.exp, 0.0, 1.0, breakpoints=(-5.0, 7.0))
+        assert value == pytest.approx(math.e - 1.0, abs=1e-10)
+
+    def test_reversed_bounds(self):
+        value = fixed_quadrature(lambda x: x, 1.0, 0.0, breakpoints=(0.5,))
+        assert value == pytest.approx(-0.5, abs=1e-12)
+
+
+class TestValidation:
+    def test_trapezoid_needs_two_points(self):
+        with pytest.raises(NumericsError):
+            trapezoid(math.exp, 0.0, 1.0, num_points=1)
+
+    def test_simpson_needs_even_intervals(self):
+        with pytest.raises(NumericsError):
+            simpson(math.exp, 0.0, 1.0, num_intervals=3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.floats(-10, 10),
+    width=st.floats(0.01, 20),
+    c0=st.floats(-5, 5),
+    c1=st.floats(-5, 5),
+    c2=st.floats(-5, 5),
+)
+def test_rules_agree_on_quadratics(a, width, c0, c1, c2):
+    """All rules agree with the closed form on arbitrary quadratics."""
+    b = a + width
+
+    def poly(x):
+        return c0 + c1 * x + c2 * x * x
+
+    exact = (
+        c0 * (b - a) + c1 * (b * b - a * a) / 2.0 + c2 * (b**3 - a**3) / 3.0
+    )
+    assert gauss_legendre(poly, a, b) == pytest.approx(exact, rel=1e-9, abs=1e-9)
+    assert adaptive_simpson(poly, a, b) == pytest.approx(exact, rel=1e-7, abs=1e-7)

@@ -1,0 +1,114 @@
+"""Statistics accumulators against NumPy references."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.stats import (
+    RunningStat,
+    confidence_interval,
+    normal_quantile,
+    summarize,
+)
+
+finite_floats = st.floats(-1e6, 1e6)
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(0.5, 0.0), (0.975, 1.959964), (0.025, -1.959964), (0.995, 2.575829), (0.84134, 0.99998)],
+    )
+    def test_known_values(self, p, expected):
+        assert normal_quantile(p) == pytest.approx(expected, abs=2e-4)
+
+    def test_symmetry(self):
+        for p in (0.6, 0.9, 0.999):
+            assert normal_quantile(p) == pytest.approx(-normal_quantile(1 - p), abs=1e-8)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_out_of_range(self, p):
+        with pytest.raises(ValueError):
+            normal_quantile(p)
+
+
+class TestRunningStat:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(3.0, 2.0, size=500)
+        stat = RunningStat()
+        stat.extend(data)
+        assert stat.mean == pytest.approx(float(np.mean(data)), rel=1e-12)
+        assert stat.variance == pytest.approx(float(np.var(data, ddof=1)), rel=1e-9)
+        assert stat.minimum == float(np.min(data))
+        assert stat.maximum == float(np.max(data))
+
+    def test_empty_raises(self):
+        stat = RunningStat()
+        with pytest.raises(ValueError):
+            _ = stat.mean
+
+    def test_single_observation(self):
+        stat = RunningStat()
+        stat.push(7.0)
+        assert stat.mean == 7.0
+        assert stat.variance == 0.0
+
+    def test_merge_matches_pooled(self, rng):
+        a, b = rng.normal(size=100), rng.normal(loc=5, size=37)
+        sa, sb = RunningStat(), RunningStat()
+        sa.extend(a)
+        sb.extend(b)
+        merged = sa.merge(sb)
+        pooled = np.concatenate([a, b])
+        assert merged.count == 137
+        assert merged.mean == pytest.approx(float(np.mean(pooled)), rel=1e-12)
+        assert merged.variance == pytest.approx(float(np.var(pooled, ddof=1)), rel=1e-9)
+
+    def test_merge_with_empty(self):
+        sa, sb = RunningStat(), RunningStat()
+        sa.extend([1.0, 2.0])
+        merged = sa.merge(sb)
+        assert merged.count == 2 and merged.mean == 1.5
+        merged2 = sb.merge(sa)
+        assert merged2.count == 2 and merged2.mean == 1.5
+
+
+class TestSummaries:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+
+    def test_ci_contains_mean_and_shrinks(self, rng):
+        small = rng.normal(size=50)
+        large = rng.normal(size=5000)
+        lo_s, hi_s = confidence_interval(small)
+        lo_l, hi_l = confidence_interval(large)
+        assert lo_s < float(np.mean(small)) < hi_s
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_ci_single_observation_infinite(self):
+        summary = summarize([3.0])
+        lo, hi = summary.ci()
+        assert lo == -math.inf and hi == math.inf
+
+    def test_standard_error(self):
+        summary = summarize([0.0, 2.0, 4.0])
+        assert summary.standard_error() == pytest.approx(2.0 / math.sqrt(3.0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(finite_floats, min_size=2, max_size=200))
+def test_welford_matches_numpy_property(values):
+    stat = RunningStat()
+    stat.extend(values)
+    assert stat.mean == pytest.approx(float(np.mean(values)), rel=1e-8, abs=1e-6)
+    assert stat.variance == pytest.approx(
+        float(np.var(values, ddof=1)), rel=1e-6, abs=1e-4
+    )

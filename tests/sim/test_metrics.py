@@ -1,0 +1,97 @@
+"""Counters, tallies and time-weighted statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.metrics import Counter, MetricsRegistry, TimeWeighted
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("hits")
+        counter.increment()
+        counter.increment(4)
+        assert counter.count == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Counter("hits").increment(-1)
+
+    def test_reset(self):
+        counter = Counter("hits")
+        counter.increment(3)
+        counter.reset()
+        assert counter.count == 0
+
+
+class TestTimeWeighted:
+    def test_piecewise_constant_mean(self):
+        metric = TimeWeighted("streams")
+        metric.update(0.0, 2.0)   # value 2 on [0, 10)
+        metric.update(10.0, 6.0)  # value 6 on [10, 20)
+        assert metric.mean(20.0) == pytest.approx((2.0 * 10 + 6.0 * 10) / 20.0)
+
+    def test_add_delta(self):
+        metric = TimeWeighted("streams", initial_value=3.0)
+        metric.add(5.0, 2.0)
+        assert metric.current == 5.0
+        assert metric.mean(10.0) == pytest.approx((3.0 * 5 + 5.0 * 5) / 10.0)
+
+    def test_peak(self):
+        metric = TimeWeighted("q")
+        metric.update(1.0, 9.0)
+        metric.update(2.0, 1.0)
+        assert metric.peak == 9.0
+
+    def test_mean_at_zero_elapsed(self):
+        metric = TimeWeighted("q", initial_value=4.0)
+        assert metric.mean(0.0) == 4.0
+
+    def test_warmup_reset(self):
+        metric = TimeWeighted("q")
+        metric.update(0.0, 100.0)
+        metric.reset(10.0)  # discard the transient
+        metric.update(15.0, 0.0)
+        # value 100 on [10,15), value 0 on [15,20): mean 50 over 10 units.
+        assert metric.mean(20.0) == pytest.approx(50.0)
+
+    def test_time_backwards_rejected(self):
+        metric = TimeWeighted("q")
+        metric.update(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            metric.update(4.0, 2.0)
+
+
+class TestMetricsRegistry:
+    def test_lazily_creates_and_caches(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.tally("b") is registry.tally("b")
+        assert registry.time_weighted("c") is registry.time_weighted("c")
+
+    def test_counter_value_missing_is_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").increment(3)
+        registry.tally("wait").push(2.0)
+        registry.tally("wait").push(4.0)
+        registry.time_weighted("q", now=0.0).update(0.0, 5.0)
+        snap = registry.snapshot(now=10.0)
+        assert snap["count.hits"] == 3.0
+        assert snap["mean.wait"] == pytest.approx(3.0)
+        assert snap["timeavg.q"] == pytest.approx(5.0)
+
+    def test_reset_all(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").increment(3)
+        registry.tally("wait").push(2.0)
+        registry.time_weighted("q", now=0.0).update(0.0, 7.0)
+        registry.reset_all(now=100.0)
+        assert registry.counter_value("hits") == 0
+        assert registry.tally("wait").count == 0
+        # Time-weighted keeps the current value but restarts the average.
+        assert registry.time_weighted("q").mean(110.0) == pytest.approx(7.0)

@@ -1,0 +1,172 @@
+"""Counted resources: granting, queueing, release, cancel, resize."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ResourceError
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+class TestImmediateGrants:
+    def test_grant_within_capacity(self):
+        env = Environment()
+        resource = Resource(env, 2)
+        r1, r2 = resource.request(), resource.request()
+        assert r1.granted and r2.granted
+        assert resource.in_use == 2 and resource.available == 0
+
+    def test_try_request(self):
+        env = Environment()
+        resource = Resource(env, 1)
+        first = resource.try_request()
+        assert first is not None and first.granted
+        assert resource.try_request() is None
+
+    def test_utilization(self):
+        env = Environment()
+        resource = Resource(env, 4)
+        resource.request()
+        assert resource.utilization == 0.25
+        assert Resource(env, 0).utilization == 0.0
+
+
+class TestQueueing:
+    def test_fifo_handoff(self):
+        env = Environment()
+        resource = Resource(env, 1)
+        order = []
+
+        def user(tag, hold):
+            request = resource.request()
+            yield request
+            order.append(("got", tag, env.now))
+            yield env.timeout(hold)
+            resource.release(request)
+
+        env.process(user("a", 5.0))
+        env.process(user("b", 5.0))
+        env.process(user("c", 5.0))
+        env.run()
+        assert order == [("got", "a", 0.0), ("got", "b", 5.0), ("got", "c", 10.0)]
+
+    def test_release_wakes_waiter(self):
+        env = Environment()
+        resource = Resource(env, 1)
+        holder = resource.request()
+        waiter = resource.request()
+        assert not waiter.granted
+        resource.release(holder)
+        assert waiter.granted
+
+    def test_cancel_skips_in_queue(self):
+        env = Environment()
+        resource = Resource(env, 1)
+        holder = resource.request()
+        first = resource.request()
+        second = resource.request()
+        first.cancel()
+        resource.release(holder)
+        assert not first.granted
+        assert second.granted
+
+    def test_cancel_granted_rejected(self):
+        env = Environment()
+        resource = Resource(env, 1)
+        request = resource.request()
+        with pytest.raises(ResourceError):
+            request.cancel()
+
+    def test_queue_length_excludes_cancelled(self):
+        env = Environment()
+        resource = Resource(env, 0)
+        a = resource.request()
+        resource.request()
+        a.cancel()
+        assert resource.queue_length == 1
+
+
+class TestReleaseErrors:
+    def test_release_ungranted_rejected(self):
+        env = Environment()
+        resource = Resource(env, 0)
+        request = resource.request()
+        with pytest.raises(ResourceError):
+            resource.release(request)
+
+    def test_double_release_rejected(self):
+        env = Environment()
+        resource = Resource(env, 1)
+        request = resource.request()
+        resource.release(request)
+        with pytest.raises(ResourceError):
+            resource.release(request)
+
+    def test_release_against_wrong_pool_rejected(self):
+        env = Environment()
+        a, b = Resource(env, 1), Resource(env, 1)
+        request = a.request()
+        with pytest.raises(ResourceError):
+            b.release(request)
+
+
+class TestResize:
+    def test_grow_wakes_waiters(self):
+        env = Environment()
+        resource = Resource(env, 0)
+        waiting = resource.request()
+        assert not waiting.granted
+        resource.resize(1)
+        assert waiting.granted
+
+    def test_shrink_is_lazy(self):
+        env = Environment()
+        resource = Resource(env, 2)
+        r1, r2 = resource.request(), resource.request()
+        resource.resize(1)
+        assert resource.in_use == 2  # existing grants unaffected
+        resource.release(r1)
+        assert resource.try_request() is None  # now at the new cap
+        resource.release(r2)
+        assert resource.try_request() is not None
+
+    def test_negative_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(ResourceError):
+            Resource(env, -1)
+        with pytest.raises(ResourceError):
+            Resource(env, 1).resize(-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(1, 8),
+    holds=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=40),
+)
+def test_conservation_property(capacity, holds):
+    """Never more than `capacity` concurrent holders; everyone eventually runs."""
+    env = Environment()
+    resource = Resource(env, capacity)
+    active = [0]
+    peak = [0]
+    completed = [0]
+
+    def user(hold):
+        request = resource.request()
+        yield request
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        yield env.timeout(hold)
+        active[0] -= 1
+        resource.release(request)
+        completed[0] += 1
+
+    for hold in holds:
+        env.process(user(hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert completed[0] == len(holds)
+    assert resource.in_use == 0

@@ -1,0 +1,64 @@
+"""Reproducible random streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_streams():
+    a = RandomStreams(7).stream("arrivals").normal(size=10)
+    b = RandomStreams(7).stream("arrivals").normal(size=10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    streams = RandomStreams(7)
+    a = streams.stream("arrivals").normal(size=10)
+    b = streams.stream("durations").normal(size=10)
+    assert not np.array_equal(a, b)
+
+
+def test_creation_order_irrelevant():
+    forward = RandomStreams(7)
+    x1 = forward.stream("a").normal()
+    y1 = forward.stream("b").normal()
+    backward = RandomStreams(7)
+    y2 = backward.stream("b").normal()
+    x2 = backward.stream("a").normal()
+    assert x1 == x2 and y1 == y2
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_reset_re_derives():
+    streams = RandomStreams(7)
+    first = streams.stream("x").normal(size=5)
+    streams.reset()
+    second = streams.stream("x").normal(size=5)
+    assert np.array_equal(first, second)
+
+
+def test_replications_differ_and_are_reproducible():
+    base = RandomStreams(7)
+    rep1 = base.replicate(1).stream("arrivals").normal(size=10)
+    rep2 = base.replicate(2).stream("arrivals").normal(size=10)
+    rep1_again = RandomStreams(7).replicate(1).stream("arrivals").normal(size=10)
+    assert not np.array_equal(rep1, rep2)
+    assert np.array_equal(rep1, rep1_again)
+
+
+def test_replicate_rejects_negative():
+    with pytest.raises(ValueError):
+        RandomStreams(7).replicate(-1)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x").normal(size=10)
+    b = RandomStreams(2).stream("x").normal(size=10)
+    assert not np.array_equal(a, b)

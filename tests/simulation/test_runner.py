@@ -1,0 +1,82 @@
+"""Replication pooling and model-vs-simulation comparison points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hitmodel import HitProbabilityModel, VCRMix
+from repro.core.parameters import SystemConfiguration
+from repro.core.vcrop import VCROperation
+from repro.distributions import GammaDuration
+from repro.simulation.hit_simulator import SimulationSettings
+from repro.simulation.runner import (
+    ComparisonPoint,
+    compare_model_and_simulation,
+    simulate_hit_probability,
+)
+
+SHORT = SimulationSettings(horizon=600.0, warmup=120.0)
+
+
+def test_pooled_replications_accumulate():
+    config = SystemConfiguration(120.0, 30, 90.0)
+    one = simulate_hit_probability(
+        config, GammaDuration(2.0, 4.0), VCRMix.paper_figure7d(),
+        settings=SHORT, replications=1,
+    )
+    three = simulate_hit_probability(
+        config, GammaDuration(2.0, 4.0), VCRMix.paper_figure7d(),
+        settings=SHORT, replications=3,
+    )
+    assert three.overall.trials > one.overall.trials
+    assert three.overall.ci_halfwidth() < one.overall.ci_halfwidth()
+
+
+def test_rejects_zero_replications():
+    config = SystemConfiguration(120.0, 30, 90.0)
+    with pytest.raises(ValueError):
+        simulate_hit_probability(
+            config, GammaDuration(2.0, 4.0), VCRMix.paper_figure7d(), replications=0
+        )
+
+
+def test_comparison_point_helpers():
+    config = SystemConfiguration(120.0, 30, 90.0)
+    point = ComparisonPoint(
+        config=config, max_wait=1.0, model_hit=0.74, simulated_hit=0.75,
+        simulated_ci=0.02, trials=1000,
+    )
+    assert point.num_partitions == 30
+    assert point.absolute_error == pytest.approx(0.01)
+    assert point.within_ci
+
+
+def test_compare_skips_infeasible_n(figure7_model):
+    points = compare_model_and_simulation(
+        figure7_model, [30, 500], max_wait=1.0,
+        settings=SHORT, replications=1,
+        operation=VCROperation.PAUSE,
+    )
+    assert [p.num_partitions for p in points] == [30]
+
+
+def test_compare_single_operation_isolates_mix(figure7_model):
+    points = compare_model_and_simulation(
+        figure7_model, [30], max_wait=1.0,
+        settings=SHORT, replications=1,
+        operation=VCROperation.FAST_FORWARD,
+    )
+    point = points[0]
+    assert point.model_hit == pytest.approx(
+        figure7_model.hit_probability_for(VCROperation.FAST_FORWARD, point.config)
+    )
+    assert point.trials > 0
+
+
+def test_model_tracks_simulation_smoke(figure7_model):
+    """Coarse integration check kept cheap; the full Figure-7 comparison
+    lives in the integration suite and the benchmarks."""
+    points = compare_model_and_simulation(
+        figure7_model, [30], max_wait=1.0, settings=SHORT, replications=2,
+    )
+    assert points[0].absolute_error < 0.08

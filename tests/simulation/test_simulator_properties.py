@@ -1,0 +1,101 @@
+"""Property-based invariants of the hit simulator.
+
+Short randomized runs across the configuration space: whatever the
+geometry, mix and durations, the accounting must balance and the empirical
+rates must be probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hitmodel import VCRMix
+from repro.core.parameters import SystemConfiguration
+from repro.core.vcrop import VCROperation
+from repro.distributions import ExponentialDuration
+from repro.simulation.hit_simulator import HitSimulator, SimulationSettings
+
+FAST = SimulationSettings(horizon=260.0, warmup=40.0, arrival_rate=0.4)
+
+
+@st.composite
+def scenarios(draw):
+    n = draw(st.integers(1, 40))
+    fraction = draw(st.floats(0.0, 1.0))
+    mean = draw(st.floats(0.5, 20.0))
+    p_ff = draw(st.floats(0.0, 1.0))
+    p_rw = (1.0 - p_ff) * draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 10_000))
+    config = SystemConfiguration(120.0, n, 120.0 * fraction)
+    mix = VCRMix(p_ff=p_ff, p_rw=p_rw, p_pause=1.0 - p_ff - p_rw)
+    return config, mix, ExponentialDuration(mean), seed
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scenario=scenarios())
+def test_accounting_invariants(scenario):
+    config, mix, duration, seed = scenario
+    simulator = HitSimulator(config, duration, mix, settings=FAST)
+    result = simulator.run(replication=seed)
+
+    overall = result.overall
+    # Rates are probabilities (or undefined on empty).
+    if overall.trials:
+        assert 0.0 <= overall.rate <= 1.0
+    assert overall.trials == sum(r.trials for r in result.per_operation.values())
+    assert overall.successes == sum(
+        r.successes for r in result.per_operation.values()
+    )
+    for op, observed in result.per_operation.items():
+        assert 0 <= observed.successes <= observed.trials
+        if mix.probability_of(op) == 0.0:
+            assert observed.trials == 0
+    # Session accounting.
+    assert result.viewers_completed <= result.viewers_started
+    assert result.type1_viewers >= 0 and result.type2_viewers >= 0
+    # Diagnostics are subsets of their parent counts.
+    assert result.ff_end_releases <= result.per_operation[
+        VCROperation.FAST_FORWARD
+    ].trials
+    assert result.rewind_start_hits <= result.per_operation[
+        VCROperation.REWIND
+    ].successes + (0 if result.per_operation[VCROperation.REWIND].trials else 0)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scenario=scenarios())
+def test_replication_determinism(scenario):
+    config, mix, duration, seed = scenario
+    simulator = HitSimulator(config, duration, mix, settings=FAST)
+    a = simulator.run(replication=seed)
+    b = simulator.run(replication=seed)
+    assert a.overall.successes == b.overall.successes
+    assert a.overall.trials == b.overall.trials
+    assert a.viewers_started == b.viewers_started
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(1, 30),
+    fraction=st.floats(0.1, 1.0),
+    seed=st.integers(0, 1000),
+)
+def test_full_buffer_dominates(n, fraction, seed):
+    """More buffer at the same n never lowers the pooled empirical hit rate
+    by more than noise (common random numbers make this sharp)."""
+    mix = VCRMix.paper_figure7d()
+    duration = ExponentialDuration(6.0)
+    small = HitSimulator(
+        SystemConfiguration(120.0, n, 120.0 * fraction * 0.5), duration, mix,
+        settings=FAST,
+    ).run(replication=seed)
+    large = HitSimulator(
+        SystemConfiguration(120.0, n, 120.0 * fraction), duration, mix,
+        settings=FAST,
+    ).run(replication=seed)
+    if small.overall.trials and large.overall.trials:
+        assert large.overall.rate >= small.overall.rate - 0.12

@@ -1,0 +1,102 @@
+"""Cost model (Example 2) and cost curves (Figure 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import ExponentialDuration
+from repro.exceptions import ConfigurationError
+from repro.sizing.cost import (
+    PAPER_PHI_VALUES,
+    CostModel,
+    cost_curve,
+    optimal_cost_point,
+)
+from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
+from repro.vod.disk import DiskModel
+
+
+class TestCostModel:
+    def test_paper_constants(self):
+        model = CostModel.from_hardware()
+        assert model.cost_per_buffer_minute == pytest.approx(750.0)
+        assert model.cost_per_stream == pytest.approx(70.0)
+        assert model.phi == pytest.approx(750.0 / 70.0)
+
+    def test_from_phi(self):
+        model = CostModel.from_phi(11.0)
+        assert model.phi == pytest.approx(11.0)
+        assert model.cost_per_stream == 70.0
+
+    def test_eq23(self):
+        """C = C_n (phi * B + n)."""
+        model = CostModel.from_phi(10.0, cost_per_stream=70.0)
+        assert model.system_cost(100.0, 50) == pytest.approx(70.0 * (10.0 * 100.0 + 50))
+
+    def test_custom_hardware(self):
+        slow_disk = DiskModel(capacity_gb=2.0, transfer_rate_mb_s=2.5, cost_dollars=700.0)
+        model = CostModel.from_hardware(disk=slow_disk)
+        assert model.cost_per_stream == pytest.approx(140.0)  # only 5 streams/disk
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(cost_per_buffer_minute=-1.0, cost_per_stream=70.0)
+        with pytest.raises(ConfigurationError):
+            CostModel.from_phi(-1.0)
+
+    def test_paper_phi_values(self):
+        assert PAPER_PHI_VALUES == (3.0, 4.0, 6.0, 10.0, 11.0, 16.0)
+
+
+@pytest.fixture(scope="module")
+def feasible_sets():
+    specs = [
+        MovieSizingSpec("a", 60.0, 2.0, ExponentialDuration(5.0), p_star=0.5),
+        MovieSizingSpec("b", 90.0, 1.5, ExponentialDuration(3.0), p_star=0.5),
+    ]
+    return [FeasibleSet(spec) for spec in specs]
+
+
+class TestCostCurve:
+    def test_buffer_decreases_along_curve(self, feasible_sets):
+        points = cost_curve(feasible_sets, CostModel.from_phi(11.0))
+        assert len(points) >= 3
+        streams = [p.total_streams for p in points]
+        buffers = [p.total_buffer_minutes for p in points]
+        assert streams == sorted(streams)
+        assert buffers == sorted(buffers, reverse=True)
+
+    def test_large_phi_optimum_at_max_streams(self, feasible_sets):
+        points = cost_curve(feasible_sets, CostModel.from_phi(16.0))
+        optimum = optimal_cost_point(points)
+        assert optimum.total_streams == max(p.total_streams for p in points)
+
+    def test_small_phi_optimum_below_max(self, feasible_sets):
+        points = cost_curve(feasible_sets, CostModel.from_phi(0.5))
+        optimum = optimal_cost_point(points)
+        assert optimum.total_streams < max(p.total_streams for p in points)
+
+    def test_explicit_stream_totals(self, feasible_sets):
+        points = cost_curve(
+            feasible_sets, CostModel.from_phi(11.0), stream_totals=[5, 10, 20]
+        )
+        assert [p.total_streams for p in points] == [5, 10, 20]
+
+    def test_infeasible_totals_skipped(self, feasible_sets):
+        points = cost_curve(
+            feasible_sets, CostModel.from_phi(11.0), stream_totals=[1, 10]
+        )
+        assert [p.total_streams for p in points] == [10]
+
+    def test_costs_match_eq23(self, feasible_sets):
+        model = CostModel.from_phi(11.0)
+        for point in cost_curve(feasible_sets, model, stream_totals=[10, 20]):
+            assert point.cost == pytest.approx(
+                model.system_cost(point.total_buffer_minutes, point.total_streams)
+            )
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cost_curve([], CostModel.from_phi(11.0))
+        with pytest.raises(ConfigurationError):
+            optimal_cost_point([])

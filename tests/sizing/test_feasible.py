@@ -1,0 +1,135 @@
+"""Feasible sets: frontier monotonicity, max-n search, Figure-8 steps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hitmodel import VCRMix
+from repro.distributions import ExponentialDuration, GammaDuration
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.sizing.feasible import FeasiblePoint, FeasibleSet, MovieSizingSpec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return MovieSizingSpec(
+        "movie2", length=60.0, max_wait=0.5,
+        durations=ExponentialDuration(5.0), p_star=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def feasible(spec):
+    return FeasibleSet(spec)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_wait(self):
+        with pytest.raises(ConfigurationError):
+            MovieSizingSpec("m", 60.0, 0.0, ExponentialDuration(5.0))
+        with pytest.raises(ConfigurationError):
+            MovieSizingSpec("m", 60.0, 100.0, ExponentialDuration(5.0))
+
+    def test_rejects_bad_p_star(self):
+        with pytest.raises(ConfigurationError):
+            MovieSizingSpec("m", 60.0, 0.5, ExponentialDuration(5.0), p_star=1.5)
+
+    def test_pure_batching_streams(self, spec):
+        assert spec.pure_batching_streams == 120
+
+    def test_build_model(self, spec):
+        model = spec.build_model()
+        assert model.movie_length == 60.0
+
+
+class TestPointEvaluation:
+    def test_point_follows_eq2(self, feasible):
+        point = feasible.point(60)
+        assert point.buffer_minutes == pytest.approx(60.0 - 60 * 0.5)
+        assert 0.0 <= point.hit_probability <= 1.0
+
+    def test_point_cached(self, feasible):
+        assert feasible.point(40) is feasible.point(40)
+
+    def test_out_of_range_rejected(self, feasible):
+        with pytest.raises(ConfigurationError):
+            feasible.point(0)
+        with pytest.raises(ConfigurationError):
+            feasible.point(feasible.max_possible_streams + 1)
+
+    def test_configuration_matches_point(self, feasible):
+        config = feasible.configuration(30)
+        point = feasible.point(30)
+        assert config.num_partitions == 30
+        assert config.buffer_minutes == pytest.approx(point.buffer_minutes)
+
+    def test_frontier_monotone(self, feasible):
+        values = [feasible.point(n).hit_probability for n in (5, 20, 40, 60, 90, 119)]
+        for left, right in zip(values[:-1], values[1:]):
+            assert right <= left + 1e-6
+
+
+class TestMaxStreams:
+    def test_paper_example1_movie2(self, feasible):
+        """The paper's (B*, n*) = (30, 60) point sits at our frontier."""
+        best = feasible.max_streams()
+        assert best == pytest.approx(60, abs=2)
+        point = feasible.point(best)
+        assert point.hit_probability >= 0.5
+        assert feasible.point(best + 1).hit_probability < 0.5
+
+    def test_trivial_target_takes_max(self):
+        spec = MovieSizingSpec(
+            "easy", 60.0, 0.5, ExponentialDuration(5.0), p_star=0.0
+        )
+        feasible = FeasibleSet(spec)
+        assert feasible.max_streams() == feasible.max_possible_streams
+
+    def test_impossible_target_raises(self):
+        spec = MovieSizingSpec(
+            "hard", 60.0, 0.5, ExponentialDuration(5.0), p_star=0.999999
+        )
+        with pytest.raises(InfeasibleError):
+            FeasibleSet(spec).max_streams()
+
+    def test_best_point_meets_target(self, feasible):
+        best = feasible.best_point()
+        assert best.meets(0.5)
+
+
+class TestBufferSteps:
+    def test_figure8_style_steps(self, feasible):
+        points = feasible.points_by_buffer_step(5.0)
+        assert points, "expected a non-empty feasible set"
+        for point in points:
+            assert point.hit_probability >= 0.5 - 1e-12
+            # Buffer values land on the Eq.-(2) line.
+            assert point.buffer_minutes == pytest.approx(
+                60.0 - point.num_streams * 0.5
+            )
+        buffers = [p.buffer_minutes for p in points]
+        assert len(set(round(b, 6) for b in buffers)) == len(buffers)
+
+    def test_min_feasible_buffer_consistent_with_max_streams(self, feasible):
+        points = feasible.points_by_buffer_step(5.0)
+        smallest_buffer = min(p.buffer_minutes for p in points)
+        # The frontier boundary cannot need more buffer than the smallest
+        # feasible 5-minute step.
+        assert feasible.best_point().buffer_minutes <= smallest_buffer + 1e-9
+
+    def test_rejects_bad_step(self, feasible):
+        with pytest.raises(ConfigurationError):
+            feasible.points_by_buffer_step(0.0)
+
+
+def test_gamma_movie1_matches_paper():
+    """Movie 1 of Example 1: paper picks (39, 360); our frontier is within
+    a few percent (the exact VCR mix is unstated in the paper)."""
+    spec = MovieSizingSpec(
+        "movie1", 75.0, 0.1, GammaDuration(2.0, 4.0),
+        p_star=0.5, mix=VCRMix.paper_figure7d(),
+    )
+    best = FeasibleSet(spec).max_streams()
+    assert 330 <= best <= 400
+    buffer_minutes = 75.0 - best * 0.1
+    assert buffer_minutes == pytest.approx(39.0, abs=4.0)

@@ -1,0 +1,115 @@
+"""Multi-movie allocation: greedy optimality, budgets, infeasibility."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.distributions import ExponentialDuration
+from repro.exceptions import InfeasibleError
+from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
+from repro.sizing.optimizer import optimize_allocation
+
+
+def make_sets(p_star=0.5):
+    specs = [
+        MovieSizingSpec("a", 60.0, 2.0, ExponentialDuration(5.0), p_star=p_star),
+        MovieSizingSpec("b", 90.0, 1.0, ExponentialDuration(3.0), p_star=p_star),
+        MovieSizingSpec("c", 45.0, 3.0, ExponentialDuration(8.0), p_star=p_star),
+    ]
+    return [FeasibleSet(spec) for spec in specs]
+
+
+class TestUnconstrained:
+    def test_each_movie_at_its_maximum(self):
+        sets = make_sets()
+        result = optimize_allocation(sets)
+        for fs, allocation in zip(sets, result.allocations):
+            assert allocation.num_streams == fs.max_streams()
+            assert allocation.hit_probability >= 0.5
+
+    def test_totals_and_savings(self):
+        result = optimize_allocation(make_sets())
+        assert result.total_streams == sum(a.num_streams for a in result.allocations)
+        assert result.total_buffer_minutes == pytest.approx(
+            sum(a.buffer_minutes for a in result.allocations)
+        )
+        assert result.pure_batching_streams == 30 + 90 + 15
+        assert result.streams_saved == result.pure_batching_streams - result.total_streams
+        assert result.streams_saved > 0
+
+    def test_by_name_and_rows(self):
+        result = optimize_allocation(make_sets())
+        assert result.by_name("b").spec.length == 90.0
+        with pytest.raises(KeyError):
+            result.by_name("zzz")
+        rows = result.summary_rows()
+        assert len(rows) == 3 and rows[0][0] == "a"
+
+    def test_configuration_map(self):
+        result = optimize_allocation(make_sets())
+        config_map = result.as_configuration_map({"a": 10, "b": 11, "c": 12})
+        assert set(config_map) == {10, 11, 12}
+        assert config_map[11].movie_length == 90.0
+
+
+class TestBudgeted:
+    def test_budget_respected(self):
+        sets = make_sets()
+        unconstrained = optimize_allocation(sets).total_streams
+        budget = unconstrained - 5
+        result = optimize_allocation(sets, stream_budget=budget)
+        assert result.total_streams <= budget
+        for allocation in result.allocations:
+            assert allocation.hit_probability >= 0.5
+
+    def test_budget_slack_changes_nothing(self):
+        sets = make_sets()
+        loose = optimize_allocation(sets, stream_budget=10_000)
+        free = optimize_allocation(sets)
+        assert loose.total_streams == free.total_streams
+
+    def test_greedy_matches_brute_force(self):
+        """On a small instance, exhaustive search confirms greedy optimality."""
+        sets = make_sets()
+        maxima = [fs.max_streams() for fs in sets]
+        waits = [fs.spec.max_wait for fs in sets]
+        lengths = [fs.spec.length for fs in sets]
+        budget = sum(maxima) - 4
+
+        result = optimize_allocation(sets, stream_budget=budget)
+
+        best_buffer = None
+        for combo in itertools.product(*(range(1, m + 1) for m in maxima)):
+            if sum(combo) > budget:
+                continue
+            total_buffer = sum(
+                length - n * wait for length, n, wait in zip(lengths, combo, waits)
+            )
+            if best_buffer is None or total_buffer < best_buffer:
+                best_buffer = total_buffer
+        assert result.total_buffer_minutes == pytest.approx(best_buffer, abs=1e-9)
+
+    def test_budget_below_movie_count_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            optimize_allocation(make_sets(), stream_budget=2)
+
+    def test_impossible_p_star_propagates(self):
+        with pytest.raises(InfeasibleError):
+            optimize_allocation(make_sets(p_star=0.99999))
+
+
+class TestKnapsackStructure:
+    def test_streams_go_to_largest_waits_first(self):
+        """Cutting the budget removes streams from the smallest-wait movie."""
+        sets = make_sets()
+        free = optimize_allocation(sets)
+        cut = optimize_allocation(sets, stream_budget=free.total_streams - 3)
+        reductions = {
+            a.spec.name: free.by_name(a.spec.name).num_streams - a.num_streams
+            for a in cut.allocations
+        }
+        # Movie "b" has the smallest wait (1.0): it should absorb the cut.
+        assert reductions["b"] == 3
+        assert reductions["a"] == 0 and reductions["c"] == 0

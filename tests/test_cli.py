@@ -1,0 +1,166 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "example2", "--fast"])
+        assert args.experiment == "example2" and args.fast
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+    def test_hit_duration_json(self):
+        args = build_parser().parse_args(
+            ["hit", "--length", "120", "--streams", "30", "--buffer", "90",
+             "--duration", '{"family": "exponential", "mean": 5}'],
+        )
+        assert args.duration == {"family": "exponential", "mean": 5}
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure7a" in out and "example1" in out
+
+    def test_hit_output(self, capsys):
+        code = main(
+            ["hit", "--length", "120", "--streams", "30", "--buffer", "90"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P(hit|FF)" in out and "P(hit)" in out
+
+    def test_hit_with_custom_mix(self, capsys):
+        main(
+            ["hit", "--length", "120", "--streams", "30", "--buffer", "90",
+             "--p-ff", "1.0", "--p-rw", "0.0", "--p-pause", "0.0"]
+        )
+        out = capsys.readouterr().out
+        assert "mix 1.0/0.0/0.0" in out
+
+    def test_size_output(self, capsys):
+        code = main(
+            ["size", "--length", "60", "--wait", "0.5",
+             "--duration", '{"family": "exponential", "mean": 5}']
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n*=" in out and "pure batching would need 120" in out
+
+    def test_run_example2_with_csv(self, tmp_path, capsys):
+        code = main(["run", "example2", "--fast", "--csv", str(tmp_path)])
+        assert code == 0
+        csv_files = sorted(tmp_path.glob("example2_*.csv"))
+        assert len(csv_files) == 2
+        assert "C_b" in csv_files[0].read_text()
+
+
+class TestPlanCommand:
+    def test_plan_from_spec(self, tmp_path, capsys):
+        spec = {
+            "movies": [
+                {
+                    "name": "a", "length": 60, "wait": 1.0, "p_star": 0.5,
+                    "duration": {"family": "exponential", "mean": 5},
+                    "arrival_rate": 0.3,
+                },
+                {
+                    "name": "b", "length": 90, "wait": 2.0, "p_star": 0.5,
+                    "duration": {"family": "exponential", "mean": 3},
+                },
+            ]
+        }
+        path = tmp_path / "plan.json"
+        import json
+
+        path.write_text(json.dumps(spec))
+        assert main(["plan", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "VCR reserve for a" in out
+        assert "total provisioning" in out
+        # Movie b has no arrival rate: no reserve line for it.
+        assert "VCR reserve for b" not in out
+
+    def test_plan_rejects_empty_spec(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text('{"movies": []}')
+        assert main(["plan", str(path)]) == 2
+
+
+class TestFitCommand:
+    def test_fit_trace(self, tmp_path, capsys):
+        from repro.vod.vcr import VCRBehavior
+        from repro.workloads.generator import WorkloadGenerator
+
+        generator = WorkloadGenerator.single_movie(
+            90.0, VCRBehavior.paper_figure7(), arrival_rate=0.5, seed=6
+        )
+        trace_path = tmp_path / "trace.jsonl"
+        generator.generate(500.0).save(trace_path)
+        assert main(["fit", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "TraceStatistics" in out
+        assert "FittedBehavior" in out
+        assert "censoring-corrected" in out
+
+
+class TestSimulateCommand:
+    def test_simulate_from_spec(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "movies": [
+                {
+                    "name": "a", "length": 60, "wait": 2.0, "p_star": 0.5,
+                    "duration": {"family": "exponential", "mean": 5},
+                    "popularity": 2.0,
+                },
+                {
+                    "name": "b", "length": 90, "wait": 3.0, "p_star": 0.5,
+                    "duration": {"family": "exponential", "mean": 5},
+                },
+            ]
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(spec))
+        code = main(
+            ["simulate", str(path), "--arrival-rate", "0.8",
+             "--horizon", "500", "--warmup", "100", "--headroom", "15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sized allocation" in out
+        assert "simulated outcome" in out
+        assert "resume hit rate" in out
+
+    def test_simulate_rejects_empty_spec(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text('{"movies": []}')
+        assert main(["simulate", str(path)]) == 2
+
+
+class TestShippedSpecs:
+    def test_example1_spec_plans(self, capsys):
+        from pathlib import Path
+
+        spec = Path(__file__).resolve().parent.parent / "examples" / "specs" / "example1.json"
+        assert spec.exists()
+        assert main(["plan", str(spec), "--stream-budget", "1230"]) == 0
+        out = capsys.readouterr().out
+        assert "movie1" in out and "movie3" in out
+        assert "VCR reserve for movie1" in out

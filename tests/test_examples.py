@@ -1,0 +1,43 @@
+"""Smoke-run the lightweight examples as scripts.
+
+The heavier examples (simulation sweeps) are exercised indirectly through
+the modules they call; the quickstart must always run fast and clean since
+it is the first thing a new user executes.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None, capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys=capsys)
+    assert "P(hit | fast-forward)" in out
+    assert "cheapest configuration" in out
+    assert "pure batching would need 120 streams" in out
+
+
+def test_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        source = script.read_text()
+        assert source.lstrip().startswith(('#!/usr/bin/env python3', '"""')), script
+        assert '"""' in source, f"{script} lacks a module docstring"
+        assert "def main()" in source, f"{script} lacks a main()"

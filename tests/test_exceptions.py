@@ -1,0 +1,59 @@
+"""The exception hierarchy doubles as the matching builtins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DistributionError,
+    InfeasibleError,
+    NumericsError,
+    ReproError,
+    ResourceError,
+    SimulationError,
+    SizingError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type,builtin",
+    [
+        (ConfigurationError, ValueError),
+        (DistributionError, ValueError),
+        (NumericsError, ArithmeticError),
+        (SimulationError, RuntimeError),
+        (ResourceError, RuntimeError),
+        (SizingError, RuntimeError),
+        (InfeasibleError, RuntimeError),
+    ],
+)
+def test_dual_inheritance(exc_type, builtin):
+    assert issubclass(exc_type, ReproError)
+    assert issubclass(exc_type, builtin)
+
+
+def test_catching_base_covers_all():
+    for exc_type in (
+        ConfigurationError, DistributionError, NumericsError,
+        SimulationError, ResourceError, SizingError, InfeasibleError,
+    ):
+        with pytest.raises(ReproError):
+            raise exc_type("boom")
+
+
+def test_specialisation_chains():
+    assert issubclass(ResourceError, SimulationError)
+    assert issubclass(InfeasibleError, SizingError)
+
+
+def test_library_raises_catchable_builtins():
+    """Callers using plain builtin handlers still catch library errors."""
+    from repro.core.parameters import SystemConfiguration
+
+    with pytest.raises(ValueError):
+        SystemConfiguration(120.0, 0, 10.0)
+    from repro.distributions import ExponentialDuration
+
+    with pytest.raises(ValueError):
+        ExponentialDuration(-1.0)

@@ -1,0 +1,78 @@
+"""Admission control: routing, buffer pre-reservation, rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SystemConfiguration
+from repro.exceptions import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.metrics import MetricsRegistry
+from repro.vod.admission import AdmissionController
+from repro.vod.buffer import BufferPool
+from repro.vod.movie import Movie, MovieCatalog
+from repro.vod.streams import StreamPool
+
+
+def build(stream_capacity=20, buffer_minutes=200.0, allocation=None):
+    env = Environment()
+    metrics = MetricsRegistry()
+    streams = StreamPool(env, stream_capacity, metrics)
+    movies = [
+        Movie(0, "hot", 100.0, popularity=0.7),
+        Movie(1, "cold", 100.0, popularity=0.3),
+    ]
+    catalog = MovieCatalog(movies, popular_count=1)
+    if allocation is None:
+        allocation = {0: SystemConfiguration(100.0, 5, 50.0)}
+    buffers = BufferPool.for_minutes(buffer_minutes)
+    controller = AdmissionController(env, catalog, allocation, streams, buffers, metrics)
+    return env, metrics, streams, buffers, catalog, controller
+
+
+class TestConstruction:
+    def test_buffer_pre_reserved(self):
+        _, _, _, buffers, _, _ = build()
+        assert buffers.reserved_minutes_for(0) == pytest.approx(50.0)
+
+    def test_missing_allocation_rejected(self):
+        with pytest.raises(SimulationError, match="no allocation"):
+            build(allocation={})
+
+    def test_overcommitted_buffer_rejected(self):
+        with pytest.raises(SimulationError, match="overcommits"):
+            build(buffer_minutes=10.0)
+
+
+class TestRouting:
+    def test_popular_routes_to_service(self):
+        _, metrics, _, _, catalog, controller = build()
+        decision = controller.admit(catalog.get(0))
+        assert decision.admitted
+        assert decision.service is controller.service_for(0)
+        assert metrics.counter_value("admitted_popular") == 1
+
+    def test_unpopular_gets_dedicated_stream(self):
+        _, metrics, streams, _, catalog, controller = build()
+        decision = controller.admit(catalog.get(1))
+        assert decision.admitted
+        assert decision.dedicated_grant is not None
+        assert streams.in_use == 1
+        assert metrics.counter_value("admitted_unpopular") == 1
+
+    def test_unpopular_rejected_when_dry(self):
+        _, metrics, _, _, catalog, controller = build(stream_capacity=0)
+        decision = controller.admit(catalog.get(1))
+        assert not decision.admitted
+        assert metrics.counter_value("rejected_unpopular") == 1
+
+    def test_service_for_unknown_movie(self):
+        _, _, _, _, _, controller = build()
+        with pytest.raises(SimulationError):
+            controller.service_for(1)
+
+    def test_start_launches_services(self):
+        env, metrics, _, _, _, controller = build()
+        controller.start()
+        env.run(until=1.0)
+        assert metrics.counter_value("restarts") == 1

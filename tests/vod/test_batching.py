@@ -1,0 +1,77 @@
+"""Allocation builders: pure batching, equal split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.vod.batching import (
+    allocation_buffer_total,
+    allocation_stream_total,
+    equal_split_allocation,
+    pure_batching_allocation,
+)
+from repro.vod.movie import Movie
+
+
+@pytest.fixture
+def movies():
+    return [
+        Movie(0, "movie1", 75.0, popularity=0.5),
+        Movie(1, "movie2", 60.0, popularity=0.3),
+        Movie(2, "movie3", 90.0, popularity=0.2),
+    ]
+
+
+@pytest.fixture
+def waits():
+    return {0: 0.1, 1: 0.5, 2: 0.25}
+
+
+class TestPureBatching:
+    def test_example1_stream_counts(self, movies, waits):
+        """Example 1: 750 + 120 + 360 = 1230 streams."""
+        allocation = pure_batching_allocation(movies, waits)
+        assert allocation[0].num_partitions == 750
+        assert allocation[1].num_partitions == 120
+        assert allocation[2].num_partitions == 360
+        assert allocation_stream_total(allocation) == 1230
+        assert allocation_buffer_total(allocation) == 0.0
+
+    def test_all_configs_pure_batching(self, movies, waits):
+        for config in pure_batching_allocation(movies, waits).values():
+            assert config.is_pure_batching
+
+    def test_wait_target_met(self, movies, waits):
+        allocation = pure_batching_allocation(movies, waits)
+        for movie in movies:
+            assert allocation[movie.movie_id].max_wait <= waits[movie.movie_id] + 1e-9
+
+    def test_bad_wait_rejected(self, movies):
+        with pytest.raises(ConfigurationError):
+            pure_batching_allocation(movies, {0: 0.0, 1: 0.5, 2: 0.25})
+
+
+class TestEqualSplit:
+    def test_buffer_split_and_wait_met(self, movies, waits):
+        allocation = equal_split_allocation(movies, waits, total_buffer_minutes=90.0)
+        for movie in movies:
+            config = allocation[movie.movie_id]
+            assert config.max_wait <= waits[movie.movie_id] + 1e-9
+            assert config.buffer_minutes <= movie.length
+        assert allocation_buffer_total(allocation) <= 90.0 + 1e-6
+
+    def test_zero_budget_degenerates_to_batching(self, movies, waits):
+        allocation = equal_split_allocation(movies, waits, total_buffer_minutes=0.0)
+        assert allocation_stream_total(allocation) == 1230
+
+    def test_more_buffer_fewer_streams(self, movies, waits):
+        small = equal_split_allocation(movies, waits, total_buffer_minutes=30.0)
+        large = equal_split_allocation(movies, waits, total_buffer_minutes=150.0)
+        assert allocation_stream_total(large) < allocation_stream_total(small)
+
+    def test_validation(self, movies, waits):
+        with pytest.raises(ConfigurationError):
+            equal_split_allocation(movies, waits, total_buffer_minutes=-1.0)
+        with pytest.raises(ConfigurationError):
+            equal_split_allocation([], {}, total_buffer_minutes=10.0)

@@ -1,0 +1,68 @@
+"""Buffer pool accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ResourceError
+from repro.vod.buffer import BufferPool
+from repro.vod.movie import Movie
+
+
+@pytest.fixture
+def movie():
+    return Movie(0, "m", 120.0, bitrate_mbps=4.0, popularity=1.0)
+
+
+class TestBufferPool:
+    def test_for_minutes_sizing(self):
+        pool = BufferPool.for_minutes(10.0, bitrate_mbps=4.0)
+        assert pool.capacity_megabytes == pytest.approx(300.0)
+
+    def test_reserve_and_release(self, movie):
+        pool = BufferPool.for_minutes(100.0)
+        reservation = pool.reserve(movie, 40.0)
+        assert pool.reserved_megabytes == pytest.approx(1200.0)
+        assert pool.reserved_minutes_for(0) == pytest.approx(40.0)
+        assert pool.utilization() == pytest.approx(0.4)
+        pool.release(reservation)
+        assert pool.reserved_megabytes == 0.0
+
+    def test_exhaustion(self, movie):
+        pool = BufferPool.for_minutes(50.0)
+        pool.reserve(movie, 30.0)
+        assert not pool.can_reserve(movie, 30.0)
+        with pytest.raises(ResourceError, match="exhausted"):
+            pool.reserve(movie, 30.0)
+
+    def test_mixed_bitrates_accounted_in_megabytes(self):
+        pool = BufferPool(600.0)  # MB
+        thin = Movie(1, "thin", 100.0, bitrate_mbps=2.0, popularity=0.5)
+        fat = Movie(2, "fat", 100.0, bitrate_mbps=8.0, popularity=0.5)
+        pool.reserve(thin, 10.0)   # 150 MB
+        pool.reserve(fat, 7.0)     # 420 MB
+        assert pool.available_megabytes == pytest.approx(30.0)
+        assert not pool.can_reserve(fat, 1.0)   # needs 60 MB
+        assert pool.can_reserve(thin, 2.0)      # needs 30 MB
+
+    def test_release_unknown_rejected(self, movie):
+        pool = BufferPool.for_minutes(100.0)
+        other = BufferPool.for_minutes(100.0)
+        reservation = other.reserve(movie, 10.0)
+        with pytest.raises(ResourceError):
+            pool.release(reservation)
+
+    def test_negative_reserve_rejected(self, movie):
+        with pytest.raises(ResourceError):
+            BufferPool.for_minutes(100.0).reserve(movie, -1.0)
+
+    def test_zero_capacity_pool(self, movie):
+        pool = BufferPool(0.0)
+        assert pool.utilization() == 0.0
+        assert pool.can_reserve(movie, 0.0)
+        with pytest.raises(ResourceError):
+            pool.reserve(movie, 1.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ResourceError):
+            BufferPool(-1.0)

@@ -1,0 +1,57 @@
+"""Disk subsystem arithmetic (Example 2's hardware)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.vod.disk import DiskArray, DiskModel
+
+
+class TestDiskModel:
+    def test_paper_example2_streams(self):
+        """5 MB/s over 0.5 MB/s per 4 Mb/s stream: 10 streams per disk."""
+        disk = DiskModel.paper_example2()
+        assert disk.streams_supported(4.0) == 10
+
+    def test_paper_example2_cost_per_stream(self):
+        assert DiskModel.paper_example2().cost_per_stream(4.0) == pytest.approx(70.0)
+
+    def test_minutes_stored(self):
+        disk = DiskModel.paper_example2()
+        # 2 GB = 2048 MB; 30 MB/min -> ~68 minutes.
+        assert disk.minutes_stored(4.0) == pytest.approx(2048.0 / 30.0)
+
+    def test_higher_bitrate_fewer_streams(self):
+        disk = DiskModel.paper_example2()
+        assert disk.streams_supported(8.0) == 5
+
+    def test_stream_too_fat_for_disk(self):
+        disk = DiskModel(transfer_rate_mb_s=0.4)
+        with pytest.raises(ConfigurationError):
+            disk.cost_per_stream(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiskModel(capacity_gb=0.0)
+        with pytest.raises(ConfigurationError):
+            DiskModel.paper_example2().streams_supported(0.0)
+
+
+class TestDiskArray:
+    def test_sizing_for_budget(self):
+        array = DiskArray.for_stream_budget(DiskModel.paper_example2(), 602, 4.0)
+        assert array.num_disks == 61  # ceil(602/10)
+        assert array.total_streams(4.0) == 610
+        assert array.total_cost == pytest.approx(61 * 700.0)
+        assert array.total_capacity_gb == pytest.approx(122.0)
+
+    def test_exact_fit(self):
+        array = DiskArray.for_stream_budget(DiskModel.paper_example2(), 20, 4.0)
+        assert array.num_disks == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiskArray(DiskModel.paper_example2(), 0)
+        with pytest.raises(ConfigurationError):
+            DiskArray.for_stream_budget(DiskModel.paper_example2(), 0, 4.0)

@@ -1,0 +1,112 @@
+"""Movie catalog and Zipf popularity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.vod.movie import Movie, MovieCatalog, zipf_popularities
+
+
+class TestZipf:
+    def test_normalised(self):
+        weights = zipf_popularities(100)
+        assert float(weights.sum()) == pytest.approx(1.0)
+        assert np.all(weights > 0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_popularities(50)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_skew_zero_is_pure_zipf(self):
+        weights = zipf_popularities(10, skew=0.0)
+        assert weights[0] / weights[1] == pytest.approx(2.0)
+
+    def test_higher_skew_flattens(self):
+        steep = zipf_popularities(10, skew=0.0)
+        flat = zipf_popularities(10, skew=0.9)
+        assert flat[0] < steep[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_popularities(0)
+        with pytest.raises(ConfigurationError):
+            zipf_popularities(10, skew=1.0)
+
+
+class TestMovie:
+    def test_buffer_megabytes(self):
+        """Example 2: one minute of 4 Mb/s video is 30 MB."""
+        movie = Movie(0, "m", 120.0, bitrate_mbps=4.0, popularity=1.0)
+        assert movie.buffer_megabytes(1.0) == pytest.approx(30.0)
+        assert movie.buffer_megabytes(0.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            movie.buffer_megabytes(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Movie(0, "m", 0.0)
+        with pytest.raises(ConfigurationError):
+            Movie(0, "m", 100.0, popularity=1.5)
+        with pytest.raises(ConfigurationError):
+            Movie(0, "m", 100.0, bitrate_mbps=0.0)
+
+
+class TestCatalog:
+    def _catalog(self):
+        movies = [
+            Movie(0, "a", 100.0, popularity=0.5),
+            Movie(1, "b", 100.0, popularity=0.3),
+            Movie(2, "c", 100.0, popularity=0.2),
+        ]
+        return MovieCatalog(movies, popular_count=2)
+
+    def test_sorted_by_popularity(self):
+        catalog = self._catalog()
+        assert [m.title for m in catalog.movies] == ["a", "b", "c"]
+        assert [m.title for m in catalog.popular] == ["a", "b"]
+        assert [m.title for m in catalog.unpopular] == ["c"]
+
+    def test_membership_queries(self):
+        catalog = self._catalog()
+        assert catalog.is_popular(0) and not catalog.is_popular(2)
+        assert catalog.get(1).title == "b"
+        with pytest.raises(ConfigurationError):
+            catalog.get(99)
+        assert catalog.popular_request_fraction() == pytest.approx(0.8)
+
+    def test_sampling_follows_popularity(self, rng):
+        catalog = self._catalog()
+        draws = [catalog.sample(rng).movie_id for _ in range(3000)]
+        fraction_a = draws.count(0) / len(draws)
+        assert fraction_a == pytest.approx(0.5, abs=0.05)
+
+    def test_popularity_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            MovieCatalog([Movie(0, "a", 100.0, popularity=0.4)])
+
+    def test_unique_ids_required(self):
+        with pytest.raises(ConfigurationError):
+            MovieCatalog(
+                [
+                    Movie(0, "a", 100.0, popularity=0.5),
+                    Movie(0, "b", 100.0, popularity=0.5),
+                ]
+            )
+
+    def test_synthetic(self):
+        catalog = MovieCatalog.synthetic(count=40, popular_count=5, seed=1)
+        assert len(catalog) == 40
+        assert len(catalog.popular) == 5
+        assert sum(m.popularity for m in catalog) == pytest.approx(1.0)
+        assert all(m.length >= 30.0 for m in catalog)
+
+    def test_synthetic_reproducible(self):
+        a = MovieCatalog.synthetic(count=10, seed=3)
+        b = MovieCatalog.synthetic(count=10, seed=3)
+        assert [m.length for m in a] == [m.length for m in b]
+
+    def test_default_popular_count(self):
+        catalog = MovieCatalog.synthetic(count=40)
+        assert len(catalog.popular) == 4  # 10% head

@@ -1,0 +1,121 @@
+"""MovieService: restart schedule, windows, starvation, enrollment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SystemConfiguration
+from repro.exceptions import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.metrics import MetricsRegistry
+from repro.vod.movie import Movie
+from repro.vod.partitioning import MovieService
+from repro.vod.streams import StreamPool, StreamPurpose
+
+
+def make_service(stream_capacity=50, n=6, buffer_minutes=60.0, length=120.0):
+    env = Environment()
+    metrics = MetricsRegistry()
+    pool = StreamPool(env, stream_capacity, metrics)
+    movie = Movie(0, "m", length, popularity=1.0)
+    config = SystemConfiguration(length, n, buffer_minutes)
+    service = MovieService(env, movie, config, pool, metrics)
+    return env, pool, metrics, service
+
+
+class TestRestarts:
+    def test_periodic_restarts(self):
+        env, pool, metrics, service = make_service()
+        service.start()
+        env.run(until=61.0)  # spacing 20: restarts at 0, 20, 40, 60
+        assert metrics.counter_value("restarts") == 4
+        assert len(service.live_streams) == 4
+
+    def test_start_idempotent(self):
+        env, pool, metrics, service = make_service()
+        service.start()
+        service.start()
+        env.run(until=1.0)
+        assert metrics.counter_value("restarts") == 1
+
+    def test_stream_released_at_movie_end_window_persists(self):
+        env, pool, metrics, service = make_service(n=6, buffer_minutes=60.0)
+        service.start()
+        # Stream 0 ends at t=120; its window tail lives until t=130 (span 10).
+        env.run(until=125.0)
+        heads = [s.start_time for s in service.live_streams]
+        assert 0.0 in heads
+        stream0 = next(s for s in service.live_streams if s.start_time == 0.0)
+        assert stream0.grant is None  # I/O released
+        assert service.find_window(115.0) is not None  # tail still buffered
+        env.run(until=131.0)
+        assert all(s.start_time != 0.0 for s in service.live_streams)
+
+    def test_starved_restart_counted(self):
+        env, pool, metrics, service = make_service(stream_capacity=2)
+        service.start()
+        env.run(until=61.0)  # wants 4 restarts, capacity 2
+        assert metrics.counter_value("restarts") == 2
+        assert metrics.counter_value("restarts_starved") == 2
+
+    def test_steady_state_stream_usage(self):
+        env, pool, metrics, service = make_service(n=6)
+        service.start()
+        env.run(until=500.0)
+        # Exactly n streams hold grants in steady state.
+        assert service.streams_in_use() == 6
+        assert pool.held_for(StreamPurpose.PLAYBACK) == 6
+
+
+class TestWindows:
+    def test_find_window_matches_geometry(self):
+        env, pool, metrics, service = make_service(n=6, buffer_minutes=60.0)
+        service.start()
+        env.run(until=50.0)
+        # Playheads at t=50: 50, 30, 10. Spans 10 -> windows [40,50],[20,30],[0,10].
+        assert service.find_window(45.0) is not None
+        assert service.find_window(35.0) is None
+        assert service.find_window(5.0) is not None
+
+    def test_youngest_window_preferred(self):
+        env, pool, metrics, service = make_service(n=12, buffer_minutes=120.0)
+        service.start()
+        env.run(until=50.0)
+        # Full buffering: spacing 10 = span 10; windows tile; position 30 is
+        # the edge of two windows; the younger stream (playhead 30) wins.
+        window = service.find_window(30.0)
+        assert window is not None
+        assert window.start_time == pytest.approx(20.0)
+
+    def test_enrollment_open_right_after_restart(self):
+        env, pool, metrics, service = make_service(n=6, buffer_minutes=60.0)
+        service.start()
+        env.run(until=0.5)
+        assert service.enrollment_open()
+        env.run(until=11.0)  # span 10 passed, next restart at 20
+        assert not service.enrollment_open()
+
+    def test_wait_for_restart_signal(self):
+        env, pool, metrics, service = make_service()
+        service.start()
+        woken = []
+
+        def waiter():
+            yield env.timeout(15.0)  # between restarts (spacing 20)
+            yield service.wait_for_restart()
+            woken.append(env.now)
+
+        env.process(waiter())
+        env.run(until=30.0)
+        assert woken == [20.0]
+
+
+class TestValidation:
+    def test_config_length_mismatch(self):
+        env = Environment()
+        metrics = MetricsRegistry()
+        pool = StreamPool(env, 10, metrics)
+        movie = Movie(0, "m", 100.0, popularity=1.0)
+        config = SystemConfiguration(120.0, 6, 60.0)
+        with pytest.raises(SimulationError, match="does not match"):
+            MovieService(env, movie, config, pool, metrics)

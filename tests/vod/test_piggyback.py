@@ -1,0 +1,109 @@
+"""Piggyback merge planning."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.parameters import SystemConfiguration
+from repro.exceptions import ConfigurationError
+from repro.vod.piggyback import MergePlan, PiggybackPolicy
+
+
+@pytest.fixture
+def config():
+    # l=120, n=6 -> spacing 20; B=60 -> span 10.
+    return SystemConfiguration(120.0, 6, 60.0)
+
+
+class TestPlanFromGaps:
+    def test_forward_merge_time(self):
+        policy = PiggybackPolicy(rate_tolerance=0.05)
+        plan = policy.plan_from_gaps(gap_ahead=2.0, gap_behind=None, minutes_to_end=100.0)
+        assert plan.direction == "forward"
+        assert plan.wall_minutes == pytest.approx(2.0 / 0.05)
+        assert plan.merges
+
+    def test_backward_when_cheaper(self):
+        policy = PiggybackPolicy(rate_tolerance=0.05)
+        plan = policy.plan_from_gaps(gap_ahead=10.0, gap_behind=1.0, minutes_to_end=100.0)
+        assert plan.direction == "backward"
+        assert plan.wall_minutes == pytest.approx(20.0)
+
+    def test_unreachable_runs_to_end(self):
+        policy = PiggybackPolicy(rate_tolerance=0.05)
+        plan = policy.plan_from_gaps(gap_ahead=None, gap_behind=None, minutes_to_end=30.0)
+        assert not plan.merges
+        assert plan.hold_minutes == pytest.approx(30.0)
+
+    def test_deadline_disqualifies_late_merge(self):
+        policy = PiggybackPolicy(rate_tolerance=0.05)
+        # Merge would need 200 min but the movie ends in ~10.
+        plan = policy.plan_from_gaps(gap_ahead=10.0, gap_behind=None, minutes_to_end=10.0)
+        assert not plan.merges
+        assert plan.hold_minutes == pytest.approx(10.0)
+
+
+class TestPlanAgainstLattice:
+    def test_in_window_is_noop(self, config):
+        policy = PiggybackPolicy()
+        # t=100: playheads 100, 80, 60, ...; windows [90,100], [70,80], ...
+        plan = policy.plan(config, now=100.0, position=95.0)
+        assert plan.direction == "none"
+        assert plan.wall_minutes == 0.0
+
+    def test_wide_gap_runs_to_end(self, config):
+        """With spacing 20 / span 10, a mid-gap viewer is ~5 minutes from a
+        window; at 5% drift the merge needs ~100 wall minutes - longer than
+        the remaining session, so the stream stays pinned.  This is exactly
+        the paper's argument for keeping gaps (waits) small."""
+        policy = PiggybackPolicy(rate_tolerance=0.05)
+        plan = policy.plan(config, now=100.0, position=85.0)
+        assert not plan.merges
+        assert plan.hold_minutes == pytest.approx(35.0)
+
+    def test_narrow_gap_merges(self):
+        # l=120, n=30 -> spacing 4; B=90 -> span 3; gaps are 1 minute wide.
+        config = SystemConfiguration(120.0, 30, 90.0)
+        policy = PiggybackPolicy(rate_tolerance=0.05)
+        # Position 44.5 at t=100 sits mid-gap (44, 45).
+        plan = policy.plan(config, now=100.0, position=44.5)
+        assert plan.direction == "forward"
+        assert plan.merges
+        assert plan.wall_minutes == pytest.approx(0.5 / 0.05)
+
+    def test_pure_batching_never_merges(self):
+        config = SystemConfiguration.pure_batching(120.0, 6)
+        policy = PiggybackPolicy()
+        plan = policy.plan(config, now=100.0, position=85.0)
+        assert not plan.merges
+        assert plan.hold_minutes == pytest.approx((120.0 - 85.0))
+
+    def test_merge_consistency_simulated(self):
+        """Simulate the drift: after wall_minutes at (1+eps), the viewer is
+        inside a window."""
+        config = SystemConfiguration(120.0, 30, 90.0)
+        policy = PiggybackPolicy(rate_tolerance=0.05)
+        now, position = 100.0, 44.5
+        plan = policy.plan(config, now, position)
+        assert plan.direction == "forward"
+        t = plan.wall_minutes
+        viewer_pos = position + t * 1.05
+        from repro.simulation.kinematics import find_covering_window
+
+        assert find_covering_window(config, now + t, min(viewer_pos, 120.0)) is not None
+
+
+class TestValidation:
+    def test_tolerance_range(self):
+        with pytest.raises(ConfigurationError):
+            PiggybackPolicy(rate_tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            PiggybackPolicy(rate_tolerance=1.0)
+
+    def test_merge_plan_hold(self):
+        plan = MergePlan(direction="forward", wall_minutes=5.0, minutes_to_end=30.0)
+        assert plan.hold_minutes == 5.0
+        plan = MergePlan(direction="none", wall_minutes=math.inf, minutes_to_end=30.0)
+        assert plan.hold_minutes == 30.0

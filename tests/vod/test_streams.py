@@ -1,0 +1,108 @@
+"""Stream pool: purpose tagging, retagging, occupancy metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ResourceError
+from repro.sim.engine import Environment
+from repro.vod.streams import StreamPool, StreamPurpose
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestAcquisition:
+    def test_try_acquire_tags(self, env):
+        pool = StreamPool(env, 2)
+        grant = pool.try_acquire(StreamPurpose.VCR)
+        assert grant is not None
+        assert pool.held_for(StreamPurpose.VCR) == 1
+        assert pool.in_use == 1 and pool.available == 1
+
+    def test_try_acquire_exhausted(self, env):
+        pool = StreamPool(env, 1)
+        assert pool.try_acquire(StreamPurpose.PLAYBACK) is not None
+        assert pool.try_acquire(StreamPurpose.VCR) is None
+
+    def test_blocking_acquire_in_process(self, env):
+        pool = StreamPool(env, 1)
+        first = pool.try_acquire(StreamPurpose.PLAYBACK)
+        log = []
+
+        def waiter():
+            request = pool.acquire(StreamPurpose.VCR)
+            yield request
+            grant = pool.attach(request, StreamPurpose.VCR)
+            log.append((env.now, grant.purpose))
+            pool.release(grant)
+
+        def releaser():
+            yield env.timeout(5.0)
+            pool.release(first)
+
+        env.process(waiter())
+        env.process(releaser())
+        env.run()
+        assert log == [(5.0, StreamPurpose.VCR)]
+
+    def test_attach_before_grant_rejected(self, env):
+        pool = StreamPool(env, 0)
+        request = pool.acquire(StreamPurpose.VCR)
+        with pytest.raises(ResourceError):
+            pool.attach(request, StreamPurpose.VCR)
+
+
+class TestReleaseAndRetag:
+    def test_release_returns_capacity(self, env):
+        pool = StreamPool(env, 1)
+        grant = pool.try_acquire(StreamPurpose.VCR)
+        pool.release(grant)
+        assert pool.available == 1
+        assert pool.held_for(StreamPurpose.VCR) == 0
+
+    def test_retag_moves_accounting(self, env):
+        pool = StreamPool(env, 1)
+        grant = pool.try_acquire(StreamPurpose.VCR)
+        grant.retag(pool, StreamPurpose.MISS_HOLD)
+        assert pool.held_for(StreamPurpose.VCR) == 0
+        assert pool.held_for(StreamPurpose.MISS_HOLD) == 1
+        assert pool.in_use == 1  # no release happened
+        pool.release(grant)
+        assert pool.in_use == 0
+
+    def test_hold_minutes_recorded(self, env):
+        pool = StreamPool(env, 1)
+
+        def proc():
+            grant = pool.try_acquire(StreamPurpose.VCR)
+            yield env.timeout(7.5)
+            pool.release(grant)
+
+        env.process(proc())
+        env.run()
+        stat = pool.metrics.tally("hold_minutes.vcr")
+        assert stat.count == 1
+        assert stat.mean == pytest.approx(7.5)
+
+
+class TestOccupancyMetrics:
+    def test_time_weighted_by_purpose(self, env):
+        pool = StreamPool(env, 4)
+
+        def proc():
+            playback = pool.try_acquire(StreamPurpose.PLAYBACK)
+            vcr = pool.try_acquire(StreamPurpose.VCR)
+            yield env.timeout(10.0)
+            pool.release(vcr)
+            yield env.timeout(10.0)
+            pool.release(playback)
+
+        env.process(proc())
+        env.run()
+        metrics = pool.metrics
+        assert metrics.time_weighted("streams.playback").mean(20.0) == pytest.approx(1.0)
+        assert metrics.time_weighted("streams.vcr").mean(20.0) == pytest.approx(0.5)
+        assert metrics.time_weighted("streams.total").mean(20.0) == pytest.approx(1.5)

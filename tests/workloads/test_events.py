@@ -1,0 +1,133 @@
+"""Trace records and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vcrop import VCROperation
+from repro.workloads.events import SessionRecord, Trace, VCREventRecord
+from repro.workloads.events import TraceFormatError
+
+
+def make_session(session_id=0, arrival=1.5, events=2):
+    return SessionRecord(
+        session_id=session_id,
+        arrival_minutes=arrival,
+        movie_id=7,
+        movie_length=120.0,
+        events=tuple(
+            VCREventRecord(
+                at_minutes=10.0 * (i + 1),
+                position=9.0 * (i + 1),
+                operation=VCROperation.PAUSE if i % 2 else VCROperation.FAST_FORWARD,
+                duration=3.5,
+            )
+            for i in range(events)
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip(self):
+        trace = Trace([make_session(0), make_session(1, arrival=4.0, events=3)])
+        restored = Trace.from_jsonl(trace.to_jsonl())
+        assert len(restored) == 2
+        assert restored.sessions[0] == trace.sessions[0]
+        assert restored.sessions[1] == trace.sessions[1]
+
+    def test_save_and_load(self, tmp_path):
+        trace = Trace([make_session()])
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        assert Trace.load(path).sessions == trace.sessions
+
+    def test_blank_lines_ignored(self):
+        trace = Trace([make_session()])
+        text = "\n" + trace.to_jsonl() + "\n\n"
+        assert len(Trace.from_jsonl(text)) == 1
+
+
+class TestAccessors:
+    def test_events_iteration(self):
+        trace = Trace([make_session(events=2), make_session(1, events=1)])
+        assert len(list(trace.events())) == 3
+
+    def test_events_of(self):
+        trace = Trace([make_session(events=4)])
+        ff = trace.events_of(VCROperation.FAST_FORWARD)
+        pause = trace.events_of(VCROperation.PAUSE)
+        assert len(ff) == 2 and len(pause) == 2
+        assert not trace.events_of(VCROperation.REWIND)
+
+    def test_add_and_len(self):
+        trace = Trace()
+        trace.add(make_session())
+        assert len(trace) == 1
+
+
+class TestErrors:
+    def test_invalid_json_line(self):
+        with pytest.raises(TraceFormatError, match="invalid JSON"):
+            Trace.from_jsonl("{not json")
+
+    def test_missing_fields(self):
+        with pytest.raises(TraceFormatError):
+            Trace.from_jsonl('{"session_id": 1}')
+
+    def test_bad_operation(self):
+        session = make_session().to_dict()
+        session["events"][0]["operation"] = "SKIP"
+        import json
+
+        with pytest.raises(TraceFormatError):
+            Trace.from_jsonl(json.dumps(session))
+
+
+class TestWallTimeAndSessionEnd:
+    def test_playback_minutes_subtracts_operation_time(self):
+        session = SessionRecord(
+            session_id=0,
+            arrival_minutes=0.0,
+            movie_id=1,
+            movie_length=120.0,
+            ended_at_minutes=50.0,
+            events=(
+                VCREventRecord(
+                    at_minutes=10.0, position=10.0,
+                    operation=VCROperation.PAUSE, duration=5.0, wall_minutes=5.0,
+                ),
+                VCREventRecord(
+                    at_minutes=20.0, position=15.0,
+                    operation=VCROperation.FAST_FORWARD, duration=9.0,
+                    wall_minutes=3.0,
+                ),
+            ),
+        )
+        assert session.playback_minutes() == 50.0 - 5.0 - 3.0
+
+    def test_playback_minutes_falls_back_to_last_event(self):
+        session = SessionRecord(
+            session_id=0, arrival_minutes=0.0, movie_id=1, movie_length=120.0,
+            events=(
+                VCREventRecord(
+                    at_minutes=30.0, position=30.0,
+                    operation=VCROperation.PAUSE, duration=2.0, wall_minutes=2.0,
+                ),
+            ),
+        )
+        assert session.playback_minutes() == 28.0
+
+    def test_wall_minutes_round_trips(self):
+        session = make_session()
+        restored = Trace.from_jsonl(Trace([session]).to_jsonl()).sessions[0]
+        assert restored.events[0].wall_minutes == session.events[0].wall_minutes
+        assert restored.ended_at_minutes == session.ended_at_minutes
+
+    def test_missing_wall_minutes_defaults_to_zero(self):
+        import json
+
+        data = make_session().to_dict()
+        for event in data["events"]:
+            del event["wall_minutes"]
+        restored = SessionRecord.from_dict(data)
+        assert all(event.wall_minutes == 0.0 for event in restored.events)

@@ -1,0 +1,92 @@
+"""Workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hitmodel import VCRMix
+from repro.core.vcrop import VCROperation
+from repro.distributions import ExponentialDuration, GammaDuration
+from repro.exceptions import ConfigurationError
+from repro.vod.vcr import VCRBehavior
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture
+def generator():
+    return WorkloadGenerator.single_movie(
+        movie_length=120.0,
+        behavior=VCRBehavior.paper_figure7(mean_think_time=12.0),
+        arrival_rate=0.5,
+        seed=9,
+    )
+
+
+class TestGeneration:
+    def test_arrivals_within_horizon(self, generator):
+        trace = generator.generate(horizon_minutes=600.0)
+        arrivals = [s.arrival_minutes for s in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 < a < 600.0 for a in arrivals)
+        # ~0.5/min over 600 minutes: about 300 sessions.
+        assert 220 <= len(trace) <= 380
+
+    def test_deterministic_per_seed_and_replication(self, generator):
+        a = generator.generate(300.0, replication=0)
+        b = generator.generate(300.0, replication=0)
+        c = generator.generate(300.0, replication=1)
+        assert a.to_jsonl() == b.to_jsonl()
+        assert a.to_jsonl() != c.to_jsonl()
+
+    def test_positions_and_durations_valid(self, generator):
+        trace = generator.generate(400.0)
+        for event in trace.events():
+            assert 0.0 <= event.position <= 120.0
+            assert 0.0 <= event.duration <= 120.0
+            assert event.at_minutes >= 0.0
+
+    def test_event_times_increase_within_session(self, generator):
+        trace = generator.generate(400.0)
+        for session in trace:
+            times = [event.at_minutes for event in session.events]
+            assert times == sorted(times)
+
+    def test_operation_mix_respected(self, generator):
+        trace = generator.generate(1200.0)
+        events = list(trace.events())
+        fraction_pause = sum(
+            1 for e in events if e.operation is VCROperation.PAUSE
+        ) / len(events)
+        assert fraction_pause == pytest.approx(0.6, abs=0.05)
+
+    def test_duration_distribution_respected(self, generator):
+        trace = generator.generate(1200.0)
+        durations = [e.duration for e in trace.events()]
+        # gamma(2,4) truncated at 120: mean just under 8.
+        assert float(np.mean(durations)) == pytest.approx(8.0, abs=0.5)
+
+    def test_ff_only_sessions_never_rewind(self):
+        generator = WorkloadGenerator.single_movie(
+            90.0,
+            VCRBehavior.uniform_duration_model(
+                ExponentialDuration(5.0), VCRMix.only(VCROperation.FAST_FORWARD)
+            ),
+            arrival_rate=1.0,
+        )
+        trace = generator.generate(300.0)
+        assert all(
+            e.operation is VCROperation.FAST_FORWARD for e in trace.events()
+        )
+
+
+class TestValidation:
+    def test_bad_arrival_rate(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator.single_movie(
+                120.0, VCRBehavior.paper_figure7(), arrival_rate=0.0
+            )
+
+    def test_bad_horizon(self, generator):
+        with pytest.raises(ConfigurationError):
+            generator.generate(0.0)

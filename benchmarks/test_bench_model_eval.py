@@ -50,3 +50,41 @@ def test_full_breakdown(benchmark):
     config = model.configuration(60, 60.0)
     breakdown = benchmark(model.breakdown, config)
     assert 0.0 <= breakdown.p_hit <= 1.0
+
+
+def test_catchup_factors_memoised(benchmark):
+    """The Eq. (1) factors are derived from the same frozen rate triple on
+    every hit-set evaluation; the memoised path must be a pure lookup."""
+    from repro.core.catchup import ff_catchup_factor, rw_catchup_factor
+    from repro.core.parameters import VCRRates
+
+    rates = VCRRates(playback=1.0, fast_forward=3.0, rewind=3.0)
+
+    def both():
+        return ff_catchup_factor(rates), rw_catchup_factor(rates)
+
+    alpha, gamma = benchmark(both)
+    assert alpha == pytest.approx(1.5)
+    assert gamma == pytest.approx(0.75)
+
+
+def test_truncation_invariants_memoised(benchmark):
+    """Re-truncating the same parametric family reuses the normalisation
+    constant and the 64-node conditional-mean quadrature across instances."""
+    from repro.distributions.truncated import (
+        clear_truncation_cache,
+        truncation_cache_info,
+    )
+
+    clear_truncation_cache()
+    reference = truncate(GammaDuration.paper_figure7(), LENGTH)
+    reference_mean = reference.mean  # pays the quadrature once
+
+    def rebuild():
+        return truncate(GammaDuration.paper_figure7(), LENGTH).mean
+
+    value = benchmark(rebuild)
+    assert value == pytest.approx(reference_mean)
+    info = truncation_cache_info()
+    assert info["hits"] > 0
+    assert info["entries"] >= 1

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The online control plane, end to end: react to a mid-run workload shift.
+
+The paper sizes every movie's ``(B_i, n_i)`` once, offline.  This example
+runs the closed loop that keeps that plan honest while the server is live:
+
+1. a :class:`TelemetryHub` rides the server's observer hooks, maintaining
+   decayed arrival/mix/think estimates and bounded duration windows;
+2. a :class:`CapacityController` ticks every 20 minutes — drift-gated
+   re-fit, Section-5 re-plan under the stream budget, hysteresis;
+3. a :class:`PlanActuator` applies accepted deltas between restarts;
+4. a :class:`RuntimeAdmissionGate` screens long-tail admissions against the
+   deployed plan plus the Erlang VCR reserve.
+
+Halfway through, the workload turns on the plan: popularity mass migrates to
+the long tail and the popular titles' VCR mix goes pause-heavy.  The same
+shifted trace is also run against the untouched static plan, and the
+post-shift service metrics are printed side by side.
+
+Run:  python examples/online_control.py        (a couple of minutes)
+"""
+
+from repro.experiments.online import run_online_arms
+
+
+def main() -> None:
+    outcome = run_online_arms(fast=True)
+    counters = outcome.controller_counters
+    print(
+        f"control plane: {counters['ticks']} ticks, "
+        f"{counters['deltas_emitted']} deltas emitted, "
+        f"{outcome.deltas_applied} applied, "
+        f"{outcome.gate_denied_tail} tail admissions vetoed"
+    )
+    print()
+    header = f"{'post-shift metric':<34}{'static':>12}{'adaptive':>12}"
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("VCR denial rate", "vcr_denial_rate", "{:.3f}"),
+        ("phase-1 VCR streams held (mean)", "mean_streams_vcr", "{:.2f}"),
+        ("miss-hold streams held (mean)", "mean_streams_miss_hold", "{:.2f}"),
+        ("resume stalls", "resume_stalled", "{:d}"),
+        ("starved batch restarts", "restarts_starved", "{:d}"),
+        ("tail sessions admitted", "admitted_unpopular", "{:d}"),
+    ]
+    for label, attr, fmt in rows:
+        static = fmt.format(getattr(outcome.static, attr))
+        adaptive = fmt.format(getattr(outcome.adaptive, attr))
+        print(f"{label:<34}{static:>12}{adaptive:>12}")
+    print()
+    print(
+        "The adaptive arm denies fewer phase-1 VCR requests and actually\n"
+        "holds more streams in VCR service: the gate spends the headroom on\n"
+        "the planned titles' promised service instead of 100-minute tail\n"
+        "sessions, and the controller re-plans for the drifted behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

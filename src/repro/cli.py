@@ -20,6 +20,10 @@ Subcommands
 ``simulate <spec.json> [...]``
     Size a system from a spec, then run the full VOD-server simulation on
     the sized allocation and report the realised performance.
+``runtime --trace <trace.jsonl> [--tick MIN] [...]``
+    Replay a logged trace through the online control plane tick by tick:
+    telemetry ingest, drift-gated re-fit, re-plan, and a log line for every
+    emitted :class:`AllocationDelta`.
 """
 
 from __future__ import annotations
@@ -109,6 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="queued viewers renege after ~this many minutes")
     sim_cmd.add_argument("--headroom", type=int, default=None,
                          help="extra streams beyond Σn (default: the Erlang reserve)")
+
+    runtime_cmd = sub.add_parser(
+        "runtime", help="replay a trace through the online control plane"
+    )
+    runtime_cmd.add_argument(
+        "--trace", type=Path, required=True, help="JSON-lines trace file"
+    )
+    runtime_cmd.add_argument(
+        "--tick", type=float, default=30.0, help="control period in minutes"
+    )
+    runtime_cmd.add_argument(
+        "--wait", type=float, default=2.0, help="per-movie batching wait target w*"
+    )
+    runtime_cmd.add_argument("--p-star", type=float, default=0.5,
+                             help="per-movie hit-probability target P*")
+    runtime_cmd.add_argument(
+        "--stream-budget", type=int, default=None, help="total stream cap n_s"
+    )
     return parser
 
 
@@ -361,6 +383,73 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    """Replay a trace through telemetry → re-fit → re-plan, tick by tick."""
+    from repro.runtime.controller import CapacityController, ControllerPolicy, MovieSlot
+    from repro.runtime.telemetry import TelemetryHub
+    from repro.workloads.events import Trace
+
+    if args.tick <= 0.0:
+        print("--tick must be positive", file=sys.stderr)
+        return 2
+    if not args.trace.exists():
+        print(f"trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    trace = Trace.load(args.trace)
+    sessions = sorted(trace.sessions, key=lambda s: s.arrival_minutes)
+    if not sessions:
+        print("trace contains no sessions", file=sys.stderr)
+        return 2
+    lengths: dict[int, float] = {}
+    for session in sessions:
+        lengths.setdefault(session.movie_id, session.movie_length)
+    slots = [
+        MovieSlot(
+            movie_id=movie_id,
+            name=f"movie{movie_id}",
+            length=length,
+            max_wait=min(args.wait, length),
+            p_star=args.p_star,
+        )
+        for movie_id, length in sorted(lengths.items())
+    ]
+    hub = TelemetryHub()
+    controller = CapacityController(
+        slots,
+        hub,
+        policy=ControllerPolicy(
+            stream_budget=args.stream_budget, cooldown_minutes=args.tick
+        ),
+    )
+    horizon = max(s.arrival_minutes + (s.ended_at_minutes or 0.0) for s in sessions)
+    print(
+        f"replaying {len(sessions)} sessions over {len(slots)} movies "
+        f"({horizon:.0f} min horizon, tick {args.tick:g} min)"
+    )
+    now, index = 0.0, 0
+    while now < horizon:
+        now = min(now + args.tick, horizon)
+        while index < len(sessions) and sessions[index].arrival_minutes <= now:
+            hub.ingest_session(sessions[index])
+            index += 1
+        delta = controller.tick(now)
+        if delta is not None:
+            print(f"[t={now:8.1f}] {delta.describe()}")
+    counters = controller.counters()
+    print("control summary  : " + ", ".join(f"{k}={v}" for k, v in counters.items()))
+    for movie_id, config in sorted(controller.current_allocation.items()):
+        print(
+            f"  movie {movie_id:<4d}: n={config.num_partitions}, "
+            f"B={config.buffer_minutes:.1f} min"
+        )
+    for name, stats in controller.cache.stats().items():
+        print(
+            f"cache[{name}]: hits={stats.hits} misses={stats.misses} "
+            f"hit_rate={stats.hit_rate:.2f}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -378,6 +467,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fit(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "runtime":
+        return _cmd_runtime(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

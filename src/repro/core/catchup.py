@@ -18,6 +18,8 @@ Section 3 unions of intervals in duration space.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.core.parameters import VCRRates
 from repro.exceptions import ConfigurationError
 
@@ -31,14 +33,24 @@ __all__ = [
 ]
 
 
+# VCRRates is a frozen (hashable) dataclass and sizing sweeps derive the two
+# factors from the same handful of rate triples millions of times, so the
+# division is memoised.  The cache is tiny: deployments use one rate set.
+@lru_cache(maxsize=128)
+def _catchup_factors(rates: VCRRates) -> tuple[float, float]:
+    alpha = rates.fast_forward / (rates.fast_forward - rates.playback)
+    gamma = rates.rewind / (rates.playback + rates.rewind)
+    return alpha, gamma
+
+
 def ff_catchup_factor(rates: VCRRates) -> float:
     """``alpha = R_FF / (R_FF − R_PB)`` — always > 1."""
-    return rates.fast_forward / (rates.fast_forward - rates.playback)
+    return _catchup_factors(rates)[0]
 
 
 def rw_catchup_factor(rates: VCRRates) -> float:
     """``gamma = R_RW / (R_PB + R_RW)`` — always in (0, 1)."""
-    return rates.rewind / (rates.playback + rates.rewind)
+    return _catchup_factors(rates)[1]
 
 
 def ff_catchup_time(rates: VCRRates, gap: float) -> float:

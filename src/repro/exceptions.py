@@ -36,6 +36,27 @@ class ResourceError(SimulationError):
     """A simulated resource (stream, buffer) was misused, e.g. double release."""
 
 
+class FittingError(ConfigurationError):
+    """A distribution or behaviour fit could not be performed on the sample.
+
+    Subclasses :class:`ConfigurationError` so existing callers that catch the
+    broader class keep working; the online refit path catches this narrow
+    type to skip a refit instead of crashing mid-cycle.
+    """
+
+
+class InsufficientDataError(FittingError):
+    """Too few samples to fit anything (0–1 samples, or below the floor)."""
+
+
+class DegenerateDataError(FittingError):
+    """The sample admits no meaningful parametric fit (e.g. all-identical).
+
+    Raised only when no deterministic fallback exists; zero-variance samples
+    fall back to a point mass instead of raising.
+    """
+
+
 class SizingError(ReproError, RuntimeError):
     """System sizing could not produce a feasible allocation."""
 

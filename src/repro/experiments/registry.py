@@ -18,6 +18,7 @@ from repro.experiments.example2 import run_example2
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
+from repro.experiments.online import run_online_control
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.reservation import run_reservation
 
@@ -39,6 +40,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "ablation-rates": run_ablation_rates,
     "ablation-sensitivity": run_ablation_sensitivity,
     "ablation-population": run_ablation_population,
+    "online-control": run_online_control,
 }
 
 

@@ -1,0 +1,61 @@
+"""Online capacity control plane: telemetry → re-fit → re-plan → admission.
+
+The paper's sizing procedure (Section 5) assumes the VCR statistics are
+"obtained by statistics while the movie is displayed".  The offline packages
+exercise that path once — :mod:`repro.workloads` fits a trace and
+:mod:`repro.sizing` plans an allocation — but a deployed server must keep the
+loop closed while traffic drifts.  This package is that loop:
+
+* :mod:`repro.runtime.telemetry` — streaming per-movie rolling windows of
+  VCR durations, operation mix, arrival rates and hit/miss counts with
+  exponential decay, fed by a live :class:`repro.vod.server.VODServer` (as an
+  observer) or by a JSON-lines trace replay;
+* :mod:`repro.runtime.refit` — incremental distribution re-fitting gated by
+  a Kolmogorov–Smirnov drift detector, so stationary traffic does no work;
+* :mod:`repro.runtime.modelcache` — a keyed, bounded memoisation layer over
+  hit-model evaluations and feasible-set sweeps (quantised keys, LRU
+  eviction, hit/miss counters);
+* :mod:`repro.runtime.controller` — the background re-planner that turns
+  drift into an :class:`~repro.runtime.controller.AllocationDelta` under the
+  global stream budget, with hysteresis against churn;
+* :mod:`repro.runtime.actuator` — applies deltas to a running server
+  between batch restarts, never mid-window;
+* :mod:`repro.runtime.admission` — gates new sessions against the *current*
+  plan plus the Erlang VCR reserve of :mod:`repro.sizing.reservation`.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.actuator import ActuationReport, PlanActuator
+from repro.runtime.admission import GateDecision, RuntimeAdmissionGate
+from repro.runtime.controller import (
+    AllocationDelta,
+    CapacityController,
+    ControllerPolicy,
+    MovieChange,
+    MovieSlot,
+)
+from repro.runtime.modelcache import CacheStats, LRUCache, ModelEvaluationCache
+from repro.runtime.refit import DriftReport, IncrementalRefitter, RefitPolicy
+from repro.runtime.telemetry import MovieTelemetry, TelemetryHub, TelemetrySnapshot
+
+__all__ = [
+    "ActuationReport",
+    "PlanActuator",
+    "GateDecision",
+    "RuntimeAdmissionGate",
+    "AllocationDelta",
+    "CapacityController",
+    "ControllerPolicy",
+    "MovieChange",
+    "MovieSlot",
+    "CacheStats",
+    "LRUCache",
+    "ModelEvaluationCache",
+    "DriftReport",
+    "IncrementalRefitter",
+    "RefitPolicy",
+    "MovieTelemetry",
+    "TelemetryHub",
+    "TelemetrySnapshot",
+]

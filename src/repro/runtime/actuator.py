@@ -1,0 +1,92 @@
+"""Applies :class:`AllocationDelta` work orders to a running server.
+
+The actuator is deliberately thin: all of the *deciding* happened in the
+controller, and all of the *mechanics* of a safe switch live in the vod layer
+(:meth:`~repro.vod.admission.AdmissionController.reconfigure_movie` moves the
+buffer reservation transactionally, and the restart loop re-reads its spacing
+each cycle so a new ``n`` takes effect at the next restart boundary — never
+mid-window).  What remains here is ordering and accounting:
+
+* **shrinks before grows** — released buffer funds the grows, so a delta
+  that is feasible in aggregate is applied without a transient overcommit;
+* a grow that still does not fit (the pool is shared with reservations the
+  controller does not own) is **rejected**, recorded, and does not stop the
+  remaining changes — a half-applied delta is better than a dead loop, and
+  the next tick re-plans from the deployed state anyway;
+* an attached :class:`~repro.runtime.admission.RuntimeAdmissionGate` is
+  told to adopt the new plan so admissions are judged against what is
+  actually deployed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ResourceError
+from repro.runtime.controller import AllocationDelta, MovieChange
+
+__all__ = ["ActuationReport", "PlanActuator"]
+
+
+@dataclass(frozen=True)
+class ActuationReport:
+    """What one delta application actually did."""
+
+    at_minutes: float
+    applied: tuple[MovieChange, ...]
+    rejected: tuple[tuple[MovieChange, str], ...]
+
+    @property
+    def fully_applied(self) -> bool:
+        """True when every change landed."""
+        return not self.rejected
+
+    def describe(self) -> str:
+        """Single-line summary for logs."""
+        ok = ", ".join(f"{c.name}:{c.old_streams}->{c.new_streams}" for c in self.applied)
+        bad = ", ".join(f"{c.name}({why})" for c, why in self.rejected)
+        return (
+            f"ActuationReport(t={self.at_minutes:g}, applied=[{ok or '-'}]"
+            + (f", rejected=[{bad}]" if bad else "")
+            + ")"
+        )
+
+
+class PlanActuator:
+    """Pushes accepted deltas into a :class:`~repro.vod.server.VODServer`."""
+
+    def __init__(self, server, gate=None) -> None:
+        self._server = server
+        self._gate = gate
+        self.deltas_applied = 0
+        self.changes_applied = 0
+        self.changes_rejected = 0
+
+    def apply(self, delta: AllocationDelta) -> ActuationReport:
+        """Apply one delta, shrink-first; never raises on a failed grow."""
+        # Buffer shrinks first: ascending buffer delta puts the movies that
+        # release space ahead of the movies that need it.
+        ordered = sorted(
+            delta.changes,
+            key=lambda c: c.new_buffer_minutes - (c.old_buffer_minutes or 0.0),
+        )
+        applied: list[MovieChange] = []
+        rejected: list[tuple[MovieChange, str]] = []
+        for change in ordered:
+            config = delta.configurations[change.movie_id]
+            try:
+                self._server.reconfigure_movie(change.movie_id, config)
+            except ResourceError as exc:
+                rejected.append((change, str(exc)))
+                continue
+            applied.append(change)
+        if self._gate is not None:
+            self._gate.adopt(delta)
+        self.deltas_applied += 1
+        self.changes_applied += len(applied)
+        self.changes_rejected += len(rejected)
+        return ActuationReport(
+            at_minutes=delta.at_minutes,
+            applied=tuple(applied),
+            rejected=tuple(rejected),
+        )

@@ -1,0 +1,97 @@
+"""Plan-aware admission gating for the running server.
+
+The static :class:`~repro.vod.admission.AdmissionController` admits a
+long-tail session whenever a stream is free *right now* — it has no notion
+of the commitments the plan has made.  Under a popularity shift that is
+precisely how the popular titles starve: tail sessions soak up the streams
+the planner intended for restarts and the VCR reserve, and each one pins its
+stream for an entire movie length.
+
+:class:`RuntimeAdmissionGate` closes that hole.  It tracks the currently
+deployed plan (via :meth:`adopt`, called by the actuator on every delta) and
+screens arrivals *before* routing:
+
+* a session for a **planned** movie is always allowed — the plan's streams
+  and buffer already cover it;
+* a **tail** session is allowed only if, after taking its dedicated stream,
+  the free pool still covers the plan's unfilled playback slots plus the
+  Erlang-B VCR reserve of :mod:`repro.sizing.reservation` — the paper's
+  argument that VCR service lives or dies on pre-allocated headroom, applied
+  at admission time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.controller import AllocationDelta
+from repro.vod.movie import Movie
+from repro.vod.streams import StreamPool, StreamPurpose
+
+__all__ = ["GateDecision", "RuntimeAdmissionGate"]
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """The gate's verdict on one arrival."""
+
+    allowed: bool
+    reason: str
+
+
+class RuntimeAdmissionGate:
+    """Screens arrivals against the deployed plan plus the VCR reserve."""
+
+    def __init__(
+        self, planned_streams: int = 0, reserve_streams: int = 0, planned_movie_ids=()
+    ) -> None:
+        if planned_streams < 0 or reserve_streams < 0:
+            raise ConfigurationError("planned/reserve stream counts must be >= 0")
+        self.planned_streams = planned_streams
+        self.reserve_streams = reserve_streams
+        self._planned_ids = set(planned_movie_ids)
+        self.allowed_popular = 0
+        self.allowed_tail = 0
+        self.denied_tail = 0
+
+    # ------------------------------------------------------------------
+    # Plan adoption.
+    # ------------------------------------------------------------------
+    def adopt(self, delta: AllocationDelta) -> None:
+        """Track a newly actuated plan (called by the actuator)."""
+        self.planned_streams = delta.total_streams
+        self.reserve_streams = delta.reserve_streams
+        self._planned_ids = set(delta.configurations)
+
+    def update(self, planned_streams: int, reserve_streams: int, planned_movie_ids) -> None:
+        """Install plan numbers directly (static deployments, tests)."""
+        self.planned_streams = planned_streams
+        self.reserve_streams = reserve_streams
+        self._planned_ids = set(planned_movie_ids)
+
+    # ------------------------------------------------------------------
+    # Screening (the server calls this before routing an arrival).
+    # ------------------------------------------------------------------
+    def screen(self, movie: Movie, streams: StreamPool, now: float) -> GateDecision:
+        """Admit or veto one arrival against the current commitments."""
+        if movie.movie_id in self._planned_ids:
+            self.allowed_popular += 1
+            return GateDecision(allowed=True, reason="planned movie: covered by plan")
+        # Streams the plan still intends to claim for playback restarts.
+        unfilled_playback = max(
+            0, self.planned_streams - streams.held_for(StreamPurpose.PLAYBACK)
+        )
+        committed = unfilled_playback + self.reserve_streams
+        if streams.available - 1 >= committed:
+            self.allowed_tail += 1
+            return GateDecision(allowed=True, reason="tail: headroom above reserve")
+        self.denied_tail += 1
+        return GateDecision(
+            allowed=False,
+            reason=(
+                f"tail denied: {streams.available} free <= "
+                f"{unfilled_playback} unfilled playback + "
+                f"{self.reserve_streams} VCR reserve"
+            ),
+        )

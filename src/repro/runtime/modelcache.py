@@ -1,0 +1,248 @@
+"""Keyed, bounded memoisation for hit-model and feasible-set evaluations.
+
+The controller re-plans on every accepted drift, and a re-plan sweeps the
+``B = l − n·w`` line of every movie through :class:`HitProbabilityModel` —
+tens of quadrature-heavy evaluations per movie per tick.  Between ticks most
+of that work repeats: only the drifted movies change, and even a drifted
+movie usually changes only its duration fits, not its length or wait target.
+
+:class:`ModelEvaluationCache` exploits this with two bounded LRU maps:
+
+* a **model cache** keyed by the structural signature of a
+  :class:`~repro.sizing.feasible.MovieSizingSpec` (name, geometry, mix,
+  rates, and the recursive parameter tuple of every duration distribution),
+  so unchanged movies reuse the constructed model — including its truncated
+  distributions and CDF transforms, the expensive part;
+* an **evaluation cache** keyed by ``(spec signature, n, quantised B)``, so
+  repeated frontier sweeps (bisection in ``max_streams``, the optimiser's
+  marginal-gain walk) cost a dictionary lookup each.
+
+Buffer minutes are quantised onto a fixed grid before keying — floats that
+differ below the grid resolution are physically the same configuration and
+must not miss.  Hit/miss/eviction counters are exposed per cache so the
+benchmark suite (and operators) can verify the cache is actually working.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.hitmodel import HitProbabilityModel
+from repro.exceptions import ConfigurationError
+from repro.sizing.feasible import FeasiblePoint, FeasibleSet, MovieSizingSpec, spec_signature
+
+__all__ = ["CacheStats", "LRUCache", "ModelEvaluationCache", "CachedFeasibleSet"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time view of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 before any lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction and counters."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ConfigurationError(f"maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable):
+        """The cached value, or None on a miss (misses are counted)."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self._misses += 1
+            return None
+        self._data.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert (or refresh) a value, evicting the LRU entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+            self._evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        # Membership tests do not disturb recency or the counters.
+        return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry; the counters survive (they are cumulative)."""
+        self._data.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """The current counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            entries=len(self._data),
+            maxsize=self._maxsize,
+        )
+
+
+class ModelEvaluationCache:
+    """Shared memoisation layer for model construction and ``P(hit)`` sweeps."""
+
+    def __init__(
+        self,
+        max_models: int = 64,
+        max_evaluations: int = 8192,
+        buffer_quantum_minutes: float = 1e-4,
+    ) -> None:
+        if buffer_quantum_minutes <= 0.0:
+            raise ConfigurationError(
+                f"buffer_quantum_minutes must be positive, got {buffer_quantum_minutes}"
+            )
+        self._models = LRUCache(max_models)
+        self._evaluations = LRUCache(max_evaluations)
+        self._quantum = buffer_quantum_minutes
+
+    # ------------------------------------------------------------------
+    # Keys.
+    # ------------------------------------------------------------------
+    def _quantise(self, buffer_minutes: float) -> int:
+        return round(buffer_minutes / self._quantum)
+
+    # ------------------------------------------------------------------
+    # Cached lookups.
+    # ------------------------------------------------------------------
+    def model_for(
+        self, spec: MovieSizingSpec, include_end_hit: bool = True
+    ) -> HitProbabilityModel:
+        """The hit model of a spec, constructed at most once per signature."""
+        key = (spec_signature(spec), include_end_hit)
+        model = self._models.get(key)
+        if model is None:
+            model = spec.build_model(include_end_hit=include_end_hit)
+            self._models.put(key, model)
+        return model
+
+    def hit_probability(
+        self,
+        spec: MovieSizingSpec,
+        num_streams: int,
+        buffer_minutes: float,
+        include_end_hit: bool = True,
+    ) -> float:
+        """``P(hit)`` at one ``(n, B)`` point, memoised on the quantised key."""
+        key = (
+            spec_signature(spec),
+            include_end_hit,
+            int(num_streams),
+            self._quantise(buffer_minutes),
+        )
+        cached = self._evaluations.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        model = self.model_for(spec, include_end_hit=include_end_hit)
+        config = model.configuration(num_streams, buffer_minutes)
+        value = model.hit_probability(config)
+        self._evaluations.put(key, value)
+        return value
+
+    def feasible_set(
+        self, spec: MovieSizingSpec, include_end_hit: bool = True
+    ) -> "CachedFeasibleSet":
+        """A :class:`FeasibleSet` whose sweeps route through this cache."""
+        return CachedFeasibleSet(spec, self, include_end_hit=include_end_hit)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def model_stats(self) -> CacheStats:
+        """Counters of the model-construction cache."""
+        return self._models.stats
+
+    @property
+    def evaluation_stats(self) -> CacheStats:
+        """Counters of the ``P(hit)`` point cache."""
+        return self._evaluations.stats
+
+    def stats(self) -> dict[str, CacheStats]:
+        """Both caches' counters, keyed for reports."""
+        return {"models": self.model_stats, "evaluations": self.evaluation_stats}
+
+    def clear(self) -> None:
+        """Drop all cached models and evaluations (counters survive)."""
+        self._models.clear()
+        self._evaluations.clear()
+
+
+class CachedFeasibleSet(FeasibleSet):
+    """A feasibility frontier that reads and feeds a shared evaluation cache.
+
+    Identical contract to :class:`FeasibleSet`; the only difference is that
+    :meth:`point` resolves ``P(hit)`` through the shared
+    :class:`ModelEvaluationCache`, so two frontiers built for the same spec —
+    e.g. this tick's re-plan and the next tick's — share every evaluation.
+    """
+
+    def __init__(
+        self,
+        spec: MovieSizingSpec,
+        shared_cache: ModelEvaluationCache,
+        include_end_hit: bool = True,
+    ) -> None:
+        super().__init__(
+            spec,
+            include_end_hit=include_end_hit,
+            model=shared_cache.model_for(spec, include_end_hit=include_end_hit),
+        )
+        self._shared = shared_cache
+        self._include_end_hit = include_end_hit
+
+    def point(self, num_streams: int) -> FeasiblePoint:
+        if num_streams < 1 or num_streams > self.max_possible_streams:
+            raise ConfigurationError(
+                f"{self.spec.name}: n={num_streams} outside "
+                f"[1, {self.max_possible_streams}]"
+            )
+        cached = self._cache.get(num_streams)
+        if cached is not None:
+            return cached
+        buffer_minutes = max(0.0, self.spec.length - num_streams * self.spec.max_wait)
+        point = FeasiblePoint(
+            num_streams=num_streams,
+            buffer_minutes=buffer_minutes,
+            hit_probability=self._shared.hit_probability(
+                self.spec,
+                num_streams,
+                buffer_minutes,
+                include_end_hit=self._include_end_hit,
+            ),
+        )
+        self._cache[num_streams] = point
+        return point

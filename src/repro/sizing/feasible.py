@@ -18,13 +18,78 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import numpy as np
+
 from repro.core.hitmodel import HitProbabilityModel, VCRMix
 from repro.core.parameters import SystemConfiguration, VCRRates
 from repro.core.vcrop import VCROperation
 from repro.distributions.base import DurationDistribution
 from repro.exceptions import ConfigurationError, InfeasibleError
 
-__all__ = ["MovieSizingSpec", "FeasiblePoint", "FeasibleSet"]
+__all__ = [
+    "MovieSizingSpec",
+    "FeasiblePoint",
+    "FeasibleSet",
+    "distribution_signature",
+    "spec_signature",
+]
+
+
+def distribution_signature(dist: DurationDistribution) -> tuple:
+    """A hashable structural fingerprint of a duration distribution.
+
+    Walks the ``__slots__`` of the concrete class (every distribution in
+    :mod:`repro.distributions` is slotted): scalars contribute their value,
+    nested distributions recurse, and array-valued slots (empirical knots)
+    contribute their rounded contents.  Two distributions with equal
+    signatures are behaviourally identical, which is what signature-keyed
+    caches and warm restarts need; private caches (``None``-able scalars set
+    lazily) are excluded by construction because they start as ``None``.
+    """
+    parts: list = [type(dist).__qualname__]
+    for klass in type(dist).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            value = getattr(dist, slot, None)
+            if isinstance(value, DurationDistribution):
+                parts.append(distribution_signature(value))
+            elif isinstance(value, (tuple, list, np.ndarray)):
+                parts.append(tuple(round(float(v), 12) for v in value))
+            elif isinstance(value, (int, float, bool)) or value is None:
+                parts.append(value)
+            else:
+                parts.append(repr(value))
+    return tuple(parts)
+
+
+def spec_signature(spec: "MovieSizingSpec") -> tuple:
+    """A hashable fingerprint of everything that shapes a spec's frontier.
+
+    Equal signatures mean the spec would produce an identical
+    :class:`HitProbabilityModel` and feasibility frontier — the test both the
+    runtime evaluation cache and :meth:`SystemSizer.refreshed
+    <repro.sizing.planner.SystemSizer.refreshed>` use to decide whether old
+    results can be reused.
+    """
+    if isinstance(spec.durations, dict):
+        durations_sig = tuple(
+            (op.value, distribution_signature(spec.durations[op]))
+            for op in VCROperation
+        )
+    else:
+        durations_sig = distribution_signature(spec.durations)
+    return (
+        spec.name,
+        round(spec.length, 9),
+        round(spec.max_wait, 9),
+        round(spec.p_star, 12),
+        (round(spec.mix.p_ff, 12), round(spec.mix.p_rw, 12), round(spec.mix.p_pause, 12)),
+        (
+            round(spec.rates.playback, 12),
+            round(spec.rates.fast_forward, 12),
+            round(spec.rates.rewind, 12),
+        ),
+        durations_sig,
+    )
 
 
 @dataclass(frozen=True)
@@ -87,9 +152,16 @@ class FeasiblePoint:
 class FeasibleSet:
     """Evaluates and caches points of one movie's feasibility frontier."""
 
-    def __init__(self, spec: MovieSizingSpec, include_end_hit: bool = True) -> None:
+    def __init__(
+        self,
+        spec: MovieSizingSpec,
+        include_end_hit: bool = True,
+        model: HitProbabilityModel | None = None,
+    ) -> None:
         self._spec = spec
-        self._model = spec.build_model(include_end_hit=include_end_hit)
+        # An injected model lets a shared cache supply an already-built one
+        # (the truncation + CDF-transform setup is the expensive part).
+        self._model = model or spec.build_model(include_end_hit=include_end_hit)
         self._cache: dict[int, FeasiblePoint] = {}
 
     @property

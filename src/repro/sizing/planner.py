@@ -19,7 +19,7 @@ from typing import Mapping, Sequence
 from repro.core.parameters import SystemConfiguration
 from repro.exceptions import ConfigurationError
 from repro.sizing.cost import CostModel
-from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
+from repro.sizing.feasible import FeasibleSet, MovieSizingSpec, spec_signature
 from repro.sizing.optimizer import AllocationResult, optimize_allocation
 
 __all__ = ["SizingReport", "SystemSizer"]
@@ -78,6 +78,8 @@ class SystemSizer:
         specs: Sequence[MovieSizingSpec],
         cost_model: CostModel | None = None,
         include_end_hit: bool = True,
+        feasible_factory=None,
+        _reuse: Mapping[str, FeasibleSet] | None = None,
     ) -> None:
         if not specs:
             raise ConfigurationError("sizing needs at least one movie spec")
@@ -86,9 +88,38 @@ class SystemSizer:
             raise ConfigurationError(f"movie names must be unique, got {names}")
         self._specs = tuple(specs)
         self._cost_model = cost_model or CostModel.from_hardware()
+        self._include_end_hit = include_end_hit
+        # feasible_factory lets callers route frontier evaluation through a
+        # shared cache (duck-typed: any (spec, include_end_hit) -> FeasibleSet).
+        self._feasible_factory = feasible_factory or (
+            lambda spec, end_hit: FeasibleSet(spec, include_end_hit=end_hit)
+        )
+        reuse = _reuse or {}
         self._feasible = [
-            FeasibleSet(spec, include_end_hit=include_end_hit) for spec in specs
+            reuse.get(spec.name) or self._feasible_factory(spec, include_end_hit)
+            for spec in specs
         ]
+
+    def refreshed(self, specs: Sequence[MovieSizingSpec]) -> "SystemSizer":
+        """A warm-restarted sizer for updated specs.
+
+        Movies whose spec signature is unchanged keep their existing
+        :class:`FeasibleSet` — with every frontier point already evaluated —
+        so an online re-plan only pays for the movies that actually drifted.
+        """
+        unchanged: dict[str, FeasibleSet] = {}
+        by_name = {spec.name: fs for spec, fs in zip(self._specs, self._feasible)}
+        for spec in specs:
+            existing = by_name.get(spec.name)
+            if existing is not None and spec_signature(existing.spec) == spec_signature(spec):
+                unchanged[spec.name] = existing
+        return SystemSizer(
+            specs,
+            cost_model=self._cost_model,
+            include_end_hit=self._include_end_hit,
+            feasible_factory=self._feasible_factory,
+            _reuse=unchanged,
+        )
 
     @property
     def feasible_sets(self) -> tuple[FeasibleSet, ...]:

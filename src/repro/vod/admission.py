@@ -17,7 +17,7 @@ from repro.core.parameters import SystemConfiguration
 from repro.exceptions import ResourceError, SimulationError
 from repro.sim.engine import Environment
 from repro.sim.metrics import MetricsRegistry
-from repro.vod.buffer import BufferPool
+from repro.vod.buffer import BufferPool, BufferReservation
 from repro.vod.movie import Movie, MovieCatalog
 from repro.vod.partitioning import MovieService
 from repro.vod.streams import StreamGrant, StreamPool, StreamPurpose
@@ -53,6 +53,7 @@ class AdmissionController:
         self._buffers = buffers
         self._metrics = metrics
         self._services: dict[int, MovieService] = {}
+        self._reservations: dict[int, BufferReservation] = {}
         for movie in catalog.popular:
             if movie.movie_id not in allocation:
                 raise SimulationError(
@@ -64,7 +65,9 @@ class AdmissionController:
             # the "pre-allocation" of the paper's title.  Fails fast when the
             # allocation overcommits B_s.
             try:
-                buffers.reserve(movie, config.buffer_minutes)
+                self._reservations[movie.movie_id] = buffers.reserve(
+                    movie, config.buffer_minutes
+                )
             except ResourceError as exc:
                 raise SimulationError(
                     f"allocation overcommits the buffer pool at {movie.title!r}: {exc}"
@@ -89,6 +92,41 @@ class AdmissionController:
     def services(self) -> tuple[MovieService, ...]:
         """Every popular movie's service object."""
         return tuple(self._services.values())
+
+    def current_allocation(self) -> dict[int, SystemConfiguration]:
+        """The deployed ``{movie_id: configuration}`` map."""
+        return {mid: service.config for mid, service in self._services.items()}
+
+    def reconfigure_movie(self, movie_id: int, config: SystemConfiguration) -> None:
+        """Move one movie's buffer reservation and service to a new config.
+
+        The buffer delta is applied transactionally: the old reservation is
+        released only after the new one is granted for a grow, and a shrink
+        can never fail.  A grow that does not fit raises
+        :class:`ResourceError` and leaves the old configuration untouched —
+        the actuator applies shrinks first so the freed space funds the
+        grows.
+        """
+        service = self.service_for(movie_id)
+        old = self._reservations[movie_id]
+        if config.buffer_minutes != old.minutes:
+            movie = service.movie
+            if config.buffer_minutes < old.minutes:
+                self._buffers.release(old)
+                self._reservations[movie_id] = self._buffers.reserve(
+                    movie, config.buffer_minutes
+                )
+            else:
+                grown = self._buffers.reserve(
+                    movie, config.buffer_minutes - old.minutes
+                )
+                # Both slices belong to the movie; fold them into one record.
+                self._buffers.release(old)
+                self._buffers.release(grown)
+                self._reservations[movie_id] = self._buffers.reserve(
+                    movie, config.buffer_minutes
+                )
+        service.reconfigure(config)
 
     def admit(self, movie: Movie) -> AdmissionDecision:
         """Route one arriving request."""

@@ -10,6 +10,7 @@ long tail (served by dedicated streams).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -149,6 +150,30 @@ class MovieCatalog:
     def popular_request_fraction(self) -> float:
         """Fraction of the request stream that targets the popular head."""
         return sum(m.popularity for m in self.popular)
+
+    def set_popularities(self, popularity_by_id: dict[int, float]) -> None:
+        """Replace the request-sampling weights mid-experiment.
+
+        Models a popularity shift in the arrival stream: the weights change,
+        the *membership* of the popular head does not — titles keep their
+        ranks so the services and allocations attached to them stay valid
+        (a real deployment re-ranks on a much slower timescale than the
+        within-run shifts the control-plane experiments exercise).
+        """
+        unknown = set(popularity_by_id) - set(self._by_id)
+        if unknown:
+            raise ConfigurationError(f"unknown movie ids {sorted(unknown)}")
+        updated = [
+            dataclasses.replace(
+                m, popularity=popularity_by_id.get(m.movie_id, m.popularity)
+            )
+            for m in self._movies
+        ]
+        total = sum(m.popularity for m in updated)
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-6):
+            raise ConfigurationError(f"popularities must sum to 1, got {total}")
+        self._movies = tuple(updated)
+        self._by_id = {m.movie_id: m for m in self._movies}
 
     def sample(self, rng: np.random.Generator) -> Movie:
         """Draw a movie according to popularity."""

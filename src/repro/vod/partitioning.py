@@ -84,10 +84,11 @@ class MovieService:
         self._env.process(self._restart_loop(), name=f"restarts:{self.movie.title}")
 
     def _restart_loop(self) -> Generator[Event, None, None]:
-        spacing = self.config.partition_spacing
         while True:
             self._attempt_restart()
-            yield self._env.timeout(spacing)
+            # Re-read the spacing every cycle so a reconfiguration takes
+            # effect at the next restart boundary, never mid-window.
+            yield self._env.timeout(self.config.partition_spacing)
 
     def _attempt_restart(self) -> None:
         grant = self._streams.try_acquire(StreamPurpose.PLAYBACK)
@@ -115,6 +116,27 @@ class MovieService:
         if self.config.partition_span > 0.0:
             yield self._env.timeout(self.config.partition_span / playback)
         self._live.remove(stream)
+
+    def reconfigure(self, config: SystemConfiguration) -> None:
+        """Adopt a new ``(B, n)`` for this movie's service.
+
+        Semantics of a live switch: the restart *spacing* is picked up at the
+        next restart boundary (the loop re-reads it each cycle — a window in
+        flight is never cut), while the partition *span* applies to window
+        queries immediately, which models the buffer slice being regrown or
+        shrunk for all partitions at once.  Streams already live keep running
+        to their natural end, so the stream population converges to the new
+        ``n`` within one movie length.
+        """
+        if abs(config.movie_length - self.movie.length) > 1e-6:
+            raise SimulationError(
+                f"reconfiguration length {config.movie_length} does not match "
+                f"movie {self.movie.title!r} length {self.movie.length}"
+            )
+        if config != self.config:
+            self.config = config
+            self._metrics.counter(f"reconfigured.{self.movie.movie_id}").increment()
+            self._metrics.counter("reconfigured").increment()
 
     # ------------------------------------------------------------------
     # Queries.

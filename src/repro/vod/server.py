@@ -132,6 +132,8 @@ class VODServer:
         behavior: VCRBehavior | Mapping[int, VCRBehavior],
         workload: ServerWorkload,
         piggyback: PiggybackPolicy | None = None,
+        observers: tuple = (),
+        gate=None,
     ) -> None:
         self._catalog = catalog
         self._allocation = dict(allocation)
@@ -148,6 +150,12 @@ class VODServer:
                 )
         self._workload = workload
         self._piggyback = piggyback or PiggybackPolicy()
+        # Observers see session/VCR/resume events (duck-typed: any subset of
+        # on_session_start / on_vcr / on_playback / on_resume /
+        # on_session_end); the gate may veto admissions before routing.
+        self._observers = tuple(observers)
+        self._gate = gate
+        self._started = False
         self._env = Environment()
         self._metrics = MetricsRegistry()
         self._streams = StreamPool(self._env, num_streams, self._metrics)
@@ -171,14 +179,67 @@ class VODServer:
     # ------------------------------------------------------------------
     def run(self) -> ServerMetricsReport:
         """Execute the workload and reduce to a report."""
+        self.start()
+        # Warm up, reset the books, then measure.
+        self.step(self._workload.warmup)
+        self._metrics.reset_all(self._env.now)
+        self.step(self._workload.horizon)
+        return self.report()
+
+    def start(self) -> None:
+        """Launch the restart schedules and the arrival process (idempotent).
+
+        Separated from :meth:`run` so a control plane can drive the clock in
+        ticks with :meth:`step` and reconfigure between them.
+        """
+        if self._started:
+            return
+        self._started = True
         streams = RandomStreams(self._workload.seed)
         self._admission.start()
         self._env.process(self._arrival_process(streams), name="arrivals")
-        # Warm up, reset the books, then measure.
-        self._env.run(until=self._workload.warmup)
-        self._metrics.reset_all(self._env.now)
-        self._env.run(until=self._workload.horizon)
+
+    def step(self, until: float) -> float:
+        """Advance the simulation clock to ``until``; returns the new now."""
+        if not self._started:
+            raise SimulationError("step() before start()")
+        if until > self._env.now:
+            self._env.run(until=until)
+        return self._env.now
+
+    def report(self) -> ServerMetricsReport:
+        """Reduce the metrics accumulated since the last reset to a report."""
         return self._report()
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration (driven by the runtime actuator).
+    # ------------------------------------------------------------------
+    def current_allocation(self) -> dict[int, SystemConfiguration]:
+        """The deployed ``{movie_id: configuration}`` map."""
+        return self._admission.current_allocation()
+
+    def set_behavior(self, movie_id: int, behavior: VCRBehavior) -> None:
+        """Swap the ground-truth behaviour new sessions of one movie draw from.
+
+        This is the experiment-side lever for injecting a mid-run behaviour
+        shift (viewers already in flight keep their old behaviour); the
+        control plane only ever sees its effects through telemetry.
+        """
+        if movie_id not in self._behaviors:
+            raise SimulationError(f"movie {movie_id} has no behaviour to replace")
+        self._behaviors[movie_id] = behavior
+
+    def reconfigure_movie(self, movie_id: int, config: SystemConfiguration) -> None:
+        """Adopt a new ``(B, n)`` for one popular movie.
+
+        Buffer deltas move through the pool transactionally and the new
+        restart spacing is picked up at the next restart boundary — see
+        :meth:`repro.vod.admission.AdmissionController.reconfigure_movie`.
+        Raises :class:`~repro.exceptions.ResourceError` when a buffer grow
+        does not fit.
+        """
+        self._admission.reconfigure_movie(movie_id, config)
+        self._allocation[movie_id] = config
 
     def _arrival_process(self, streams: RandomStreams) -> Generator[Event, object, None]:
         env = self._env
@@ -188,11 +249,21 @@ class VODServer:
         while True:
             yield env.timeout(float(rng_arrivals.exponential(1.0 / self._workload.arrival_rate)))
             movie = self._catalog.sample(rng_movies)
+            if self._gate is not None:
+                verdict = self._gate.screen(movie, self._streams, env.now)
+                if not verdict.allowed:
+                    self._metrics.counter("gate.denied").increment()
+                    self._metrics.counter(f"gate.denied.{movie.movie_id}").increment()
+                    continue
             decision = self._admission.admit(movie)
             if not decision.admitted:
                 continue
             viewer_seq += 1
             if decision.service is not None:
+                for observer in self._observers:
+                    hook = getattr(observer, "on_session_start", None)
+                    if hook is not None:
+                        hook(movie.movie_id, movie.length, env.now)
                 viewer = PopularViewer(
                     env,
                     decision.service,
@@ -203,6 +274,7 @@ class VODServer:
                     streams.stream("viewer"),
                     warmup=self._workload.warmup,
                     mean_patience=self._workload.mean_patience,
+                    observers=self._observers,
                 )
                 env.process(viewer.process(), name=f"viewer-{viewer_seq}")
             else:

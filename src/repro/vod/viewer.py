@@ -49,6 +49,7 @@ class PopularViewer:
         rng,
         warmup: float = 0.0,
         mean_patience: float | None = None,
+        observers: tuple = (),
     ) -> None:
         self._env = env
         self._service = service
@@ -59,7 +60,16 @@ class PopularViewer:
         self._rng = rng
         self._warmup = warmup
         self._mean_patience = mean_patience
+        self._observers = tuple(observers)
         self.position = 0.0
+
+    def _notify(self, method: str, *args) -> None:
+        """Fan an observation out to the attached observers (duck-typed)."""
+        movie_id = self._service.movie.movie_id
+        for observer in self._observers:
+            hook = getattr(observer, method, None)
+            if hook is not None:
+                hook(movie_id, *args, self._env.now)
 
     # ------------------------------------------------------------------
     # Metric helpers (warm-up aware).
@@ -111,13 +121,17 @@ class PopularViewer:
             if think >= remaining_wall:
                 yield env.timeout(remaining_wall)
                 self._count("viewers.completed")
+                self._notify("on_playback", remaining_wall)
+                self._notify("on_session_end")
                 return
             yield env.timeout(think)
             self.position += think * rates.playback
+            self._notify("on_playback", think)
 
             operation = self._behavior.sample_operation(self._rng)
             duration = self._behavior.sample_duration(operation, self._rng)
             self._count(f"vcr.issued.{operation.value}")
+            self._notify("on_vcr", operation, duration)
 
             grant: StreamGrant | None = None
             if operation is VCROperation.PAUSE:
@@ -136,6 +150,7 @@ class PopularViewer:
                         self._streams.release(grant)
                         self._count("vcr.end_release")
                         self._count("viewers.completed")
+                        self._notify("on_session_end")
                         return
                     yield env.timeout(duration / rates.fast_forward)
                     self.position += duration
@@ -148,11 +163,13 @@ class PopularViewer:
             window = service.find_window(self.position)
             if window is not None:
                 self._count("resume.hit")
+                self._notify("on_resume", True)
                 if grant is not None:
                     self._streams.release(grant)
                 continue
 
             self._count("resume.miss")
+            self._notify("on_resume", False)
             if grant is not None:
                 grant.retag(self._streams, StreamPurpose.MISS_HOLD)
             else:
@@ -170,6 +187,7 @@ class PopularViewer:
             yield from self._phase2_drift(grant)
             if self.position >= length - 1e-9:
                 self._count("viewers.completed")
+                self._notify("on_session_end")
                 return
 
     # ------------------------------------------------------------------

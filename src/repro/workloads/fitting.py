@@ -29,7 +29,13 @@ from repro.distributions import (
     UniformDuration,
     WeibullDuration,
 )
-from repro.exceptions import ConfigurationError
+from repro.distributions.deterministic import DeterministicDuration
+from repro.exceptions import (
+    ConfigurationError,
+    FittingError,
+    InsufficientDataError,
+    ReproError,
+)
 from repro.vod.vcr import VCRBehavior
 from repro.workloads.analysis import analyze_trace
 from repro.workloads.events import Trace
@@ -52,24 +58,36 @@ def ks_distance(samples: Sequence[float], dist: DurationDistribution) -> float:
 
 
 def _moment_candidates(samples: np.ndarray) -> list[DurationDistribution]:
-    """Method-of-moments fits for every applicable parametric family."""
+    """Method-of-moments fits for every applicable parametric family.
+
+    A family whose moment inversion rejects the sample (near-zero variance
+    drives the gamma shape or lognormal sigma out of their numeric range) is
+    silently dropped — the competition decides among whoever showed up.
+    """
     mean = float(np.mean(samples))
     variance = float(np.var(samples, ddof=1))
     candidates: list[DurationDistribution] = []
+
+    def attempt(factory) -> None:
+        try:
+            candidates.append(factory())
+        except ReproError:
+            pass
+
     if mean > 0.0:
-        candidates.append(ExponentialDuration(mean))
+        attempt(lambda: ExponentialDuration(mean))
         if variance > 0.0:
             # Gamma: shape = mean^2/var, scale = var/mean.
-            candidates.append(GammaDuration(mean * mean / variance, variance / mean))
+            attempt(lambda: GammaDuration(mean * mean / variance, variance / mean))
             cv = math.sqrt(variance) / mean
             if cv > 0.0:
-                candidates.append(LognormalDuration.from_mean_cv(mean, cv))
+                attempt(lambda: LognormalDuration.from_mean_cv(mean, cv))
             # Weibull: match the mean at a CV-informed shape (cheap heuristic:
             # shape from the CV of a Weibull via a two-point bracket).
-            candidates.append(WeibullDuration.from_mean(mean, _weibull_shape_from_cv(cv)))
+            attempt(lambda: WeibullDuration.from_mean(mean, _weibull_shape_from_cv(cv)))
     lo, hi = float(np.min(samples)), float(np.max(samples))
     if hi > lo >= 0.0:
-        candidates.append(UniformDuration(lo, hi))
+        attempt(lambda: UniformDuration(lo, hi))
     return candidates
 
 
@@ -96,21 +114,39 @@ def fit_duration_distribution(
 
     Parametric moment fits compete against the empirical distribution; a
     parametric family wins ties (smaller description, smoother model).
+
+    Degenerate samples are handled deterministically rather than crashing a
+    live refit: too few samples raise :class:`InsufficientDataError` (a
+    :class:`ConfigurationError` subclass), and a zero-variance sample — every
+    duration identical, including all zero — falls back to the point mass
+    :class:`DeterministicDuration` at that value with a KS distance of 0.
     """
     data = np.asarray(samples, dtype=float)
     if data.size < _MIN_SAMPLES:
-        raise ConfigurationError(
+        raise InsufficientDataError(
             f"need at least {_MIN_SAMPLES} samples to fit, got {data.size}"
         )
     if np.any(data < 0.0) or not np.all(np.isfinite(data)):
-        raise ConfigurationError("duration samples must be finite and non-negative")
+        raise FittingError("duration samples must be finite and non-negative")
+    if float(np.max(data)) == float(np.min(data)):
+        # Zero variance: no parametric family is identifiable and the
+        # empirical CDF is a step — the point mass reproduces it exactly.
+        return DeterministicDuration(float(data[0])), 0.0
     scored: list[tuple[float, int, DurationDistribution]] = []
     for index, candidate in enumerate(_moment_candidates(data)):
-        scored.append((ks_distance(data, candidate), index, candidate))
+        try:
+            scored.append((ks_distance(data, candidate), index, candidate))
+        except ReproError:
+            # A candidate whose CDF itself misbehaves on this sample (e.g. a
+            # gamma with an astronomically large shape from near-constant
+            # data) is disqualified, not fatal.
+            continue
     if np.unique(data).size >= 2:
         empirical = EmpiricalDuration(data)
         # Penalise slightly so it only wins when parametrics genuinely fail.
         scored.append((ks_distance(data, empirical) + 0.02, len(scored), empirical))
+    if not scored:
+        raise FittingError("no duration family could be fitted to the sample")
     scored.sort(key=lambda item: (item[0], item[1]))
     best_distance, _, best = scored[0]
     return best, best_distance
@@ -156,9 +192,11 @@ def fit_behavior(trace: Trace, fallback_mean: float = 5.0) -> FittedBehavior:
     for op in VCROperation:
         samples = [event.duration for event in trace.events_of(op)]
         counts[op] = len(samples)
-        if len(samples) >= _MIN_SAMPLES:
+        try:
             durations[op], ks_by_op[op] = fit_duration_distribution(samples)
-        else:
+        except FittingError:
+            # Sparse or unusable samples (too few, non-finite from a corrupt
+            # log): bootstrap from the fallback instead of dying mid-refit.
             durations[op] = ExponentialDuration(fallback_mean)
             ks_by_op[op] = math.nan
     think = stats.mean_think_time if stats.mean_think_time else 15.0

@@ -1,0 +1,172 @@
+"""Actuation mechanics (shrink-first, partial failure) and gate screening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SystemConfiguration
+from repro.distributions import GammaDuration
+from repro.exceptions import ConfigurationError, ResourceError
+from repro.runtime.actuator import PlanActuator
+from repro.runtime.admission import RuntimeAdmissionGate
+from repro.runtime.controller import AllocationDelta, MovieChange
+from repro.sim.engine import Environment
+from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
+from repro.sizing.optimizer import optimize_allocation
+from repro.vod.movie import Movie
+from repro.vod.streams import StreamPool, StreamPurpose
+
+
+def _config(n, buffer_minutes, length=120.0):
+    return SystemConfiguration(
+        movie_length=length, num_partitions=n, buffer_minutes=buffer_minutes
+    )
+
+
+def _delta(changes, configurations, reserve=2):
+    """A hand-built delta around a genuine optimiser result."""
+    spec = MovieSizingSpec(
+        name="m0", length=120.0, max_wait=2.0, durations=GammaDuration.paper_figure7()
+    )
+    result = optimize_allocation([FeasibleSet(spec)], stream_budget=30)
+    return AllocationDelta(
+        at_minutes=100.0,
+        configurations=configurations,
+        changes=tuple(changes),
+        result=result,
+        reserve_streams=reserve,
+        old_score=5.0,
+        new_score=4.0,
+        reason="test",
+    )
+
+
+def _change(movie_id, old_n, new_n, old_b, new_b):
+    return MovieChange(
+        movie_id=movie_id,
+        name=f"m{movie_id}",
+        old_streams=old_n,
+        new_streams=new_n,
+        old_buffer_minutes=old_b,
+        new_buffer_minutes=new_b,
+        hit_probability=0.6,
+    )
+
+
+class FakeServer:
+    """Records reconfiguration order; can refuse named movies."""
+
+    def __init__(self, fail_ids=()):
+        self.calls = []
+        self.fail_ids = set(fail_ids)
+
+    def reconfigure_movie(self, movie_id, config):
+        if movie_id in self.fail_ids:
+            raise ResourceError(f"movie {movie_id}: buffer pool exhausted")
+        self.calls.append((movie_id, config))
+
+
+class TestPlanActuator:
+    def test_shrinks_apply_before_grows(self):
+        grow = _change(1, 20, 10, 80.0, 100.0)     # +20 buffer minutes
+        shrink = _change(2, 10, 20, 100.0, 80.0)   # -20 buffer minutes
+        configurations = {1: _config(10, 100.0), 2: _config(20, 80.0)}
+        actuator = PlanActuator(server := FakeServer())
+        report = actuator.apply(_delta([grow, shrink], configurations))
+        assert report.fully_applied
+        assert [movie_id for movie_id, _ in server.calls] == [2, 1]
+
+    def test_failed_grow_is_rejected_not_fatal(self):
+        grow = _change(1, 20, 10, 80.0, 100.0)
+        other = _change(2, 10, 12, 100.0, 96.0)
+        configurations = {1: _config(10, 100.0), 2: _config(12, 96.0)}
+        actuator = PlanActuator(FakeServer(fail_ids={1}))
+        report = actuator.apply(_delta([grow, other], configurations))
+        assert not report.fully_applied
+        assert [c.movie_id for c in report.applied] == [2]
+        assert report.rejected[0][0].movie_id == 1
+        assert "exhausted" in report.rejected[0][1]
+        assert "rejected" in report.describe()
+        assert actuator.changes_applied == 1 and actuator.changes_rejected == 1
+
+    def test_gate_adopts_the_new_plan(self):
+        gate = RuntimeAdmissionGate()
+        actuator = PlanActuator(FakeServer(), gate=gate)
+        delta = _delta([], {0: _config(25, 70.0)}, reserve=7)
+        actuator.apply(delta)
+        assert gate.planned_streams == delta.total_streams
+        assert gate.reserve_streams == 7
+        assert actuator.deltas_applied == 1
+
+    def test_bootstrap_change_has_no_old_state(self):
+        change = _change(1, None, 10, None, 100.0)
+        actuator = PlanActuator(server := FakeServer())
+        report = actuator.apply(_delta([change], {1: _config(10, 100.0)}))
+        assert report.fully_applied
+        assert server.calls[0][0] == 1
+        assert change.stream_delta == 10
+
+
+class TestRuntimeAdmissionGate:
+    def _pool(self, capacity, playback=0, unpopular=0):
+        pool = StreamPool(Environment(), capacity)
+        for _ in range(playback):
+            assert pool.try_acquire(StreamPurpose.PLAYBACK) is not None
+        for _ in range(unpopular):
+            assert pool.try_acquire(StreamPurpose.UNPOPULAR) is not None
+        return pool
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeAdmissionGate(planned_streams=-1)
+
+    def test_planned_movie_is_always_allowed(self):
+        gate = RuntimeAdmissionGate(
+            planned_streams=30, reserve_streams=10, planned_movie_ids={7}
+        )
+        pool = self._pool(capacity=30, playback=30)  # nothing free
+        verdict = gate.screen(Movie(7, "popular", 120.0), pool, now=0.0)
+        assert verdict.allowed
+        assert gate.allowed_popular == 1
+
+    def test_tail_allowed_with_headroom(self):
+        gate = RuntimeAdmissionGate(
+            planned_streams=10, reserve_streams=2, planned_movie_ids={7}
+        )
+        # Plan fully deployed (10 playback held); 20 free >= 1 + 0 + 2.
+        pool = self._pool(capacity=30, playback=10)
+        verdict = gate.screen(Movie(99, "tail", 90.0), pool, now=0.0)
+        assert verdict.allowed
+        assert gate.allowed_tail == 1
+
+    def test_tail_denied_when_reserve_would_be_invaded(self):
+        gate = RuntimeAdmissionGate(
+            planned_streams=10, reserve_streams=2, planned_movie_ids={7}
+        )
+        # 3 free; taking 1 leaves 2 which only just covers the reserve when
+        # the plan still has 4 playback slots to claim -> deny.
+        pool = self._pool(capacity=30, playback=6, unpopular=21)
+        verdict = gate.screen(Movie(99, "tail", 90.0), pool, now=0.0)
+        assert not verdict.allowed
+        assert "reserve" in verdict.reason
+        assert gate.denied_tail == 1
+
+    def test_unfilled_playback_counts_against_tail(self):
+        gate = RuntimeAdmissionGate(
+            planned_streams=10, reserve_streams=0, planned_movie_ids={7}
+        )
+        # 10 free but the plan has 10 unfilled playback slots: deny.
+        denied = gate.screen(Movie(99, "tail", 90.0), self._pool(capacity=10), 0.0)
+        assert not denied.allowed
+        # Same pool, plan fully deployed elsewhere: 10 free, 0 unfilled.
+        gate2 = RuntimeAdmissionGate(planned_streams=0, reserve_streams=0)
+        allowed = gate2.screen(Movie(99, "tail", 90.0), self._pool(capacity=10), 0.0)
+        assert allowed.allowed
+
+    def test_update_installs_plan_numbers(self):
+        gate = RuntimeAdmissionGate()
+        gate.update(12, 3, {1, 2})
+        assert gate.planned_streams == 12
+        assert gate.reserve_streams == 3
+        verdict = gate.screen(Movie(1, "a", 100.0), self._pool(capacity=1), 0.0)
+        assert verdict.allowed

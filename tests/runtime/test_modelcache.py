@@ -1,0 +1,120 @@
+"""Bounded memoisation: correctness parity, eviction, and counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import ExponentialDuration, GammaDuration
+from repro.exceptions import ConfigurationError
+from repro.runtime.modelcache import LRUCache, ModelEvaluationCache
+from repro.sizing.feasible import FeasibleSet, MovieSizingSpec, spec_signature
+
+
+def _spec(name="m0", length=120.0, max_wait=2.0, mean=None, p_star=0.5):
+    durations = (
+        GammaDuration.paper_figure7() if mean is None else ExponentialDuration(mean)
+    )
+    return MovieSizingSpec(
+        name=name, length=length, max_wait=max_wait, durations=durations, p_star=p_star
+    )
+
+
+class TestLRUCache:
+    def test_round_trip_and_counters(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b becomes LRU
+        cache.put("c", 3)       # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(maxsize=0)
+
+
+class TestSpecSignature:
+    def test_equal_specs_equal_signatures(self):
+        assert spec_signature(_spec()) == spec_signature(_spec())
+
+    def test_any_statistical_change_changes_signature(self):
+        base = spec_signature(_spec())
+        assert spec_signature(_spec(mean=5.0)) != base
+        assert spec_signature(_spec(max_wait=2.5)) != base
+        assert spec_signature(_spec(p_star=0.6)) != base
+        assert spec_signature(_spec(name="other")) != base
+
+    def test_signature_is_hashable(self):
+        assert hash(spec_signature(_spec())) == hash(spec_signature(_spec()))
+
+
+class TestModelEvaluationCache:
+    def test_model_reuse_across_equal_specs(self):
+        cache = ModelEvaluationCache()
+        model_a = cache.model_for(_spec())
+        model_b = cache.model_for(_spec())
+        assert model_a is model_b
+        assert cache.model_stats.hits == 1 and cache.model_stats.misses == 1
+
+    def test_hit_probability_parity_with_plain_feasible_set(self):
+        spec = _spec()
+        cache = ModelEvaluationCache()
+        cached = cache.feasible_set(spec)
+        plain = FeasibleSet(spec)
+        assert cached.max_streams() == plain.max_streams()
+        for n in (1, 10, 25):
+            assert cached.point(n).hit_probability == pytest.approx(
+                plain.point(n).hit_probability, abs=1e-12
+            )
+
+    def test_repeated_sweep_hits_the_cache(self):
+        spec = _spec()
+        cache = ModelEvaluationCache()
+        cache.feasible_set(spec).max_streams()
+        first = cache.evaluation_stats
+        cache.feasible_set(spec).max_streams()
+        second = cache.evaluation_stats
+        assert second.misses == first.misses          # no new model evaluations
+        assert second.hits > first.hits
+        assert second.hit_rate > 0.4
+
+    def test_quantised_keys_coalesce_float_noise(self):
+        spec = _spec()
+        cache = ModelEvaluationCache(buffer_quantum_minutes=1e-4)
+        a = cache.hit_probability(spec, 10, 100.0)
+        b = cache.hit_probability(spec, 10, 100.0 + 1e-6)  # below the grid
+        assert a == b
+        assert cache.evaluation_stats.hits == 1
+
+    def test_eviction_bounds_memory(self):
+        spec = _spec()
+        cache = ModelEvaluationCache(max_evaluations=8)
+        for n in range(1, 21):
+            cache.hit_probability(spec, n, 120.0 - 2.0 * n)
+        stats = cache.evaluation_stats
+        assert stats.entries <= 8
+        assert stats.evictions >= 12
+
+    def test_stats_mapping(self):
+        cache = ModelEvaluationCache()
+        stats = cache.stats()
+        assert set(stats) == {"models", "evaluations"}
+
+    def test_clear_keeps_counters(self):
+        spec = _spec()
+        cache = ModelEvaluationCache()
+        cache.hit_probability(spec, 5, 110.0)
+        cache.clear()
+        assert cache.evaluation_stats.entries == 0
+        assert cache.evaluation_stats.misses == 1

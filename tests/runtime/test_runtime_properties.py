@@ -1,0 +1,102 @@
+"""Property-based invariants of the control loop.
+
+Two contracts the rest of the system leans on, pinned with Hypothesis:
+
+* **convergence** — once a plan is deployed, stationary telemetry (no new
+  events, any workload shape) produces zero further deltas: the loop is
+  quiescent unless the world actually moves;
+* **feasibility** — every :class:`AllocationDelta` the controller emits
+  satisfies the paper's constraints whatever the telemetry looked like:
+  ``sum(n_i) <= n_s`` and each movie's worst-case batching wait
+  ``w_i = (l_i - B_i) / n_i`` stays within its advertised ``w_i*``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.vcrop import VCROperation
+from repro.runtime.controller import CapacityController, ControllerPolicy, MovieSlot
+from repro.runtime.telemetry import TelemetryHub
+
+NOW = 1000.0
+_SLOW = settings(
+    max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _populate(hub: TelemetryHub, movie_id: int, length: float, mean: float, seed: int):
+    """Dense, deterministic telemetry: enough of every operation to plan."""
+    rng = np.random.default_rng(seed)
+    telemetry = hub.movie(movie_id, movie_length=length)
+    t = NOW - 420.0
+    for _ in range(60):
+        telemetry.record_session_start(t)
+        t += 2.0
+    for op in VCROperation:
+        for duration in rng.exponential(mean, size=64):
+            telemetry.record_operation(op, 0.05 + float(duration), t)
+            telemetry.record_playback(10.0, t)
+            t += 1.0
+
+
+class TestStationaryConvergence:
+    @_SLOW
+    @given(
+        length=st.floats(60.0, 150.0),
+        max_wait=st.floats(0.5, 4.0),
+        mean=st.floats(1.0, 12.0),
+        seed=st.integers(0, 2**16),
+    )
+    def test_zero_deltas_after_convergence(self, length, max_wait, mean, seed):
+        hub = TelemetryHub()
+        _populate(hub, 0, length, mean, seed)
+        controller = CapacityController(
+            [MovieSlot(movie_id=0, name="m0", length=length, max_wait=max_wait)],
+            hub,
+            policy=ControllerPolicy(stream_budget=60, cooldown_minutes=0.0),
+        )
+        assert controller.tick(NOW) is not None  # bootstrap deploys a plan
+        for step in range(1, 6):
+            assert controller.tick(NOW + 30.0 * step) is None
+        counters = controller.counters()
+        assert counters["deltas_emitted"] == 1
+        assert counters["skipped_stationary"] == 5
+
+
+class TestDeltaFeasibility:
+    @_SLOW
+    @given(data=st.data())
+    def test_emitted_deltas_respect_budget_and_latency(self, data):
+        n_movies = data.draw(st.integers(1, 3), label="n_movies")
+        budget = data.draw(st.integers(15, 80), label="stream_budget")
+        hub = TelemetryHub()
+        slots = []
+        for i in range(n_movies):
+            length = data.draw(st.floats(60.0, 150.0), label=f"length{i}")
+            max_wait = data.draw(st.floats(0.5, 4.0), label=f"max_wait{i}")
+            mean = data.draw(st.floats(1.0, 12.0), label=f"mean{i}")
+            seed = data.draw(st.integers(0, 2**16), label=f"seed{i}")
+            _populate(hub, i, length, mean, seed)
+            slots.append(
+                MovieSlot(movie_id=i, name=f"m{i}", length=length, max_wait=max_wait)
+            )
+        controller = CapacityController(
+            slots, hub, policy=ControllerPolicy(stream_budget=budget)
+        )
+        delta = controller.tick(NOW)
+        if delta is None:
+            # The only legitimate way to refuse: the budget cannot fit even
+            # the minimum per-movie allocations.
+            assert controller.counters()["infeasible_plans"] == 1
+            return
+        assert delta.total_streams <= budget
+        assert delta.reserve_streams >= 0
+        by_id = {slot.movie_id: slot for slot in slots}
+        for movie_id, config in delta.configurations.items():
+            slot = by_id[movie_id]
+            wait = (slot.length - config.buffer_minutes) / config.num_partitions
+            assert wait <= slot.max_wait + 1e-9
+            assert 0.0 <= config.buffer_minutes <= slot.length

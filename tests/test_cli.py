@@ -154,6 +154,51 @@ class TestSimulateCommand:
         assert main(["simulate", str(path)]) == 2
 
 
+class TestRuntimeCommand:
+    def test_runtime_parses(self):
+        args = build_parser().parse_args(
+            ["runtime", "--trace", "t.jsonl", "--tick", "15"]
+        )
+        assert args.command == "runtime"
+        assert args.tick == 15.0
+
+    def test_runtime_replays_a_trace(self, tmp_path, capsys):
+        from repro.vod.vcr import VCRBehavior
+        from repro.workloads.generator import WorkloadGenerator
+
+        generator = WorkloadGenerator.single_movie(
+            90.0, VCRBehavior.paper_figure7(), arrival_rate=0.5, seed=6
+        )
+        trace_path = tmp_path / "trace.jsonl"
+        generator.generate(600.0).save(trace_path)
+        code = main(
+            ["runtime", "--trace", str(trace_path), "--tick", "60",
+             "--stream-budget", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replaying" in out
+        assert "bootstrap" in out           # the first delta deploys a plan
+        assert "control summary" in out
+        assert "deltas_emitted=" in out
+        assert "cache[models]" in out and "hit_rate=" in out
+
+    def test_runtime_rejects_empty_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "empty.jsonl"
+        trace_path.write_text("")
+        assert main(["runtime", "--trace", str(trace_path)]) == 2
+
+    def test_runtime_rejects_missing_trace(self, tmp_path, capsys):
+        code = main(["runtime", "--trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_runtime_rejects_bad_tick(self, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        trace_path.write_text("")
+        assert main(["runtime", "--trace", str(trace_path), "--tick", "0"]) == 2
+
+
 class TestShippedSpecs:
     def test_example1_spec_plans(self, capsys):
         from pathlib import Path

@@ -99,6 +99,84 @@ class TestFitDuration:
             fit_duration_distribution([1.0] * 7 + [math.nan])
 
 
+class TestDegenerateSamples:
+    """The hardening contract: typed errors or deterministic fallbacks."""
+
+    def test_empty_sample_raises_typed_error(self):
+        from repro.exceptions import InsufficientDataError
+
+        with pytest.raises(InsufficientDataError):
+            fit_duration_distribution([])
+
+    def test_single_sample_raises_typed_error(self):
+        from repro.exceptions import InsufficientDataError
+
+        with pytest.raises(InsufficientDataError):
+            fit_duration_distribution([4.2])
+
+    def test_insufficient_is_a_configuration_error(self):
+        """Backwards compatibility: existing except clauses keep working."""
+        from repro.exceptions import FittingError, InsufficientDataError, ReproError
+
+        assert issubclass(InsufficientDataError, FittingError)
+        assert issubclass(FittingError, ConfigurationError)
+        assert issubclass(FittingError, ReproError)
+
+    def test_zero_variance_falls_back_to_point_mass(self):
+        from repro.distributions.deterministic import DeterministicDuration
+
+        fitted, distance = fit_duration_distribution([7.5] * 50)
+        assert isinstance(fitted, DeterministicDuration)
+        assert fitted.value == 7.5
+        assert distance == 0.0
+
+    def test_all_zero_durations_fall_back_to_point_mass(self):
+        from repro.distributions.deterministic import DeterministicDuration
+
+        fitted, distance = fit_duration_distribution([0.0] * 20)
+        assert isinstance(fitted, DeterministicDuration)
+        assert fitted.value == 0.0
+        assert distance == 0.0
+
+    def test_near_constant_sample_disqualifies_broken_candidates(self, rng):
+        """Tiny variance drives the gamma shape to ~1e5, whose CDF series
+        diverges; that candidate must be disqualified, not crash the fit."""
+        samples = rng.uniform(14.9, 15.1, size=300)
+        fitted, distance = fit_duration_distribution(samples)
+        assert fitted.mean == pytest.approx(15.0, rel=0.01)
+        assert 0.0 <= distance < 0.2
+
+    def test_fit_behavior_survives_constant_durations(self):
+        """An all-identical-duration trace refits without crashing."""
+        from repro.workloads.events import SessionRecord, Trace, VCREventRecord
+
+        trace = Trace()
+        for sid in range(12):
+            events = tuple(
+                VCREventRecord(
+                    at_minutes=5.0 * (k + 1),
+                    position=5.0 * (k + 1),
+                    operation=VCROperation.PAUSE,
+                    duration=3.0,
+                    wall_minutes=3.0,
+                )
+                for k in range(2)
+            )
+            trace.add(
+                SessionRecord(
+                    session_id=sid,
+                    arrival_minutes=2.0 * sid,
+                    movie_id=0,
+                    movie_length=90.0,
+                    events=events,
+                    ended_at_minutes=30.0,
+                )
+            )
+        fitted = fit_behavior(trace)
+        assert fitted.behavior.durations[VCROperation.PAUSE].mean == pytest.approx(3.0)
+        assert fitted.ks_by_operation[VCROperation.PAUSE] == 0.0
+
+
 class TestFitBehavior:
     def test_round_trip_mix_and_think(self, paper_trace):
         fitted = fit_behavior(paper_trace)

@@ -1,0 +1,93 @@
+"""Parallel sweep benchmark: 4-worker Figure-8-style grid vs serial.
+
+Measures the wall-clock speedup of a 12-movie frontier sweep (the Figure-8
+workload shape: per-movie ``max_streams`` bisection plus the buffer-step
+curve) on 4 workers versus serial, asserts the two runs produce identical
+frontiers, and writes the timing telemetry as JSON so CI can archive it.
+
+The >= 2.5x speedup assertion only fires on hosts with at least 4 CPUs (CI
+hardware); the measurement and the determinism check run everywhere.  Both
+runs start from a cold process-local cache (``reset_worker_cache``) so the
+comparison is honest — forked workers inherit the driver's cache contents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.distributions import ExponentialDuration
+from repro.parallel.executor import fork_available, reset_worker_cache
+from repro.parallel.sweeps import FrontierTask, sweep_frontiers
+from repro.sizing.feasible import MovieSizingSpec
+
+#: Where the timing payload lands (CI uploads it as an artifact).
+TIMING_PATH = Path(os.environ.get("PARALLEL_BENCH_JSON", "parallel_timing.json"))
+
+
+def _benchmark_tasks() -> list[FrontierTask]:
+    """A balanced 12-movie sweep: Figure-8 shape, one task per movie."""
+    tasks = []
+    for index in range(12):
+        length = 60.0 + 3.0 * index
+        spec = MovieSizingSpec(
+            f"bench{index:02d}",
+            length=length,
+            max_wait=0.5,
+            durations=ExponentialDuration(4.0 + 0.25 * index),
+            p_star=0.5,
+        )
+        stream_counts = sorted(
+            {
+                max(1, round((length - b) / spec.max_wait))
+                for b in range(5, int(length), 5)
+            }
+        )
+        tasks.append(FrontierTask(spec, stream_counts=tuple(stream_counts)))
+    return tasks
+
+
+def _timed_sweep(tasks, workers):
+    reset_worker_cache()
+    started = time.perf_counter()
+    frontiers, outcome = sweep_frontiers(tasks, workers=workers)
+    return frontiers, outcome, time.perf_counter() - started
+
+
+def test_figure8_style_sweep_speedup_and_determinism():
+    tasks = _benchmark_tasks()
+
+    parallel, parallel_outcome, parallel_seconds = _timed_sweep(tasks, workers=4)
+    serial, serial_outcome, serial_seconds = _timed_sweep(tasks, workers=1)
+
+    # Determinism: bit-for-bit identical frontiers for any worker count.
+    assert len(serial) == len(parallel) == 12
+    for a, b in zip(serial, parallel):
+        assert a.name == b.name
+        assert a.n_max == b.n_max
+        assert a.points == b.points
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "fork_available": fork_available(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "serial": serial_outcome.timing_payload(),
+        "parallel": parallel_outcome.timing_payload(),
+    }
+    TIMING_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nfigure-8-style sweep: serial {serial_seconds:.2f}s, "
+        f"4 workers {parallel_seconds:.2f}s, speedup {speedup:.2f}x "
+        f"({os.cpu_count()} CPUs) -> {TIMING_PATH}"
+    )
+
+    if fork_available() and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.5, (
+            f"expected >= 2.5x on {os.cpu_count()} CPUs, got {speedup:.2f}x "
+            f"(serial {serial_seconds:.2f}s / parallel {parallel_seconds:.2f}s)"
+        )

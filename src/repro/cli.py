@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("experiment", choices=available_experiments())
     run_cmd.add_argument("--fast", action="store_true", help="reduced grid/horizon")
     run_cmd.add_argument("--csv", type=Path, default=None, help="export tables to DIR")
+    run_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for parallelisable experiments "
+        "(0 = all CPUs; output is identical for any worker count)",
+    )
 
     hit_cmd = sub.add_parser("hit", help="evaluate P(hit) for one configuration")
     hit_cmd.add_argument("--length", type=float, required=True, help="movie length (min)")
@@ -141,8 +146,10 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, fast=args.fast)
+    result = run_experiment(args.experiment, fast=args.fast, workers=args.workers)
     print(result.render())
+    if result.parallel_outcome is not None and args.workers != 1:
+        print(f"parallel: {result.parallel_outcome.describe()}")
     if args.csv is not None:
         args.csv.mkdir(parents=True, exist_ok=True)
         for index, table in enumerate(result.tables):
@@ -267,10 +274,17 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_fit(args: argparse.Namespace) -> int:
     from repro.workloads.analysis import analyze_trace
-    from repro.workloads.events import Trace
+    from repro.workloads.events import Trace, TraceFormatError
     from repro.workloads.fitting import fit_behavior
 
-    trace = Trace.load(args.trace)
+    if not args.trace.exists():
+        print(f"trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    try:
+        trace = Trace.load(args.trace)
+    except TraceFormatError as exc:
+        print(f"invalid trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
     stats = analyze_trace(trace)
     print(stats.describe())
     if stats.interarrival is not None:
@@ -387,7 +401,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     """Replay a trace through telemetry → re-fit → re-plan, tick by tick."""
     from repro.runtime.controller import CapacityController, ControllerPolicy, MovieSlot
     from repro.runtime.telemetry import TelemetryHub
-    from repro.workloads.events import Trace
+    from repro.workloads.events import Trace, TraceFormatError
 
     if args.tick <= 0.0:
         print("--tick must be positive", file=sys.stderr)
@@ -395,7 +409,11 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     if not args.trace.exists():
         print(f"trace file not found: {args.trace}", file=sys.stderr)
         return 2
-    trace = Trace.load(args.trace)
+    try:
+        trace = Trace.load(args.trace)
+    except TraceFormatError as exc:
+        print(f"invalid trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
     sessions = sorted(trace.sessions, key=lambda s: s.arrival_minutes)
     if not sessions:
         print("trace contains no sessions", file=sys.stderr)

@@ -10,24 +10,41 @@ decreasing in the stream count, so the optimum sits at the maximum feasible
 ``Σn``; for small φ (cheap memory — panels (a)–(d)) the optimum moves to an
 interior or minimum-stream point.  The crossover, not the absolute dollars,
 is the result.
+
+With ``workers > 1`` the grid runs in two parallel phases: phase 1 finds
+every movie's ``n_max`` (the bisection), then the driver predicts — via
+:func:`~repro.sizing.optimizer.planned_streams`, pure arithmetic — exactly
+which allocation points the budget sweep will touch and phase 2 evaluates
+those, warm-started from phase 1's points.  The driver's cost curves then
+run entirely against warm feasible sets, so output is byte-identical to a
+serial run.
 """
 
 from __future__ import annotations
 
+from repro.exceptions import InfeasibleError
 from repro.experiments.example1 import paper_example1_specs
 from repro.experiments.charts import ascii_chart
 from repro.experiments.reporting import ExperimentResult, Table
+from repro.parallel.executor import ParallelExecutor, ParallelOutcome
+from repro.parallel.sweeps import FrontierTask, sweep_frontiers, warm_feasible_set
 from repro.sizing.cost import PAPER_PHI_VALUES, CostModel, cost_curve, optimal_cost_point
-from repro.sizing.feasible import FeasibleSet
+from repro.sizing.optimizer import planned_streams
 
 __all__ = ["run_figure9"]
 
 
-def run_figure9(fast: bool = False) -> ExperimentResult:
+def run_figure9(fast: bool = False, workers: int | None = 1) -> ExperimentResult:
     """Reproduce all six panels of Figure 9."""
-    feasible_sets = [FeasibleSet(spec) for spec in paper_example1_specs()]
-    max_total = sum(fs.max_streams() for fs in feasible_sets)
-    min_total = len(feasible_sets)
+    specs = paper_example1_specs()
+    executor = ParallelExecutor(workers)
+
+    # Phase 1: each movie's n_max (bisection + verification walk).
+    phase1, outcome1 = sweep_frontiers(
+        [FrontierTask(spec) for spec in specs], executor=executor
+    )
+    max_total = sum(frontier.n_max for frontier in phase1)
+    min_total = len(specs)
     num_points = 8 if fast else 24
     stream_totals = sorted(
         {
@@ -36,11 +53,42 @@ def run_figure9(fast: bool = False) -> ExperimentResult:
         }
     )
 
+    # Phase 2: pre-evaluate exactly the allocation points the budget sweep
+    # will touch — the greedy plan is pure arithmetic over (name, w, n_max).
+    movies = [
+        (spec.name, spec.max_wait, frontier.n_max)
+        for spec, frontier in zip(specs, phase1)
+    ]
+    needed: dict[str, set[int]] = {spec.name: set() for spec in specs}
+    for total in stream_totals:
+        try:
+            plan = planned_streams(movies, int(total))
+        except InfeasibleError:
+            continue
+        for name, num_streams in plan.items():
+            needed[name].add(num_streams)
+    phase2, outcome2 = sweep_frontiers(
+        [
+            FrontierTask(
+                spec,
+                stream_counts=tuple(sorted(needed[spec.name])),
+                find_max=False,
+                warm_points=frontier.points,
+            )
+            for spec, frontier in zip(specs, phase1)
+        ],
+        executor=executor,
+    )
+    feasible_sets = [
+        warm_feasible_set(spec, frontier) for spec, frontier in zip(specs, phase2)
+    ]
+
     result = ExperimentResult(
         experiment_id="figure9",
         title="Figure 9: system cost vs number of I/O streams, phi in "
         f"{tuple(int(p) if p == int(p) else p for p in PAPER_PHI_VALUES)}",
     )
+    result.parallel_outcome = ParallelOutcome.merge(outcome1, outcome2)
     chart_series: dict[str, list[tuple[float, float]]] = {}
     for phi in PAPER_PHI_VALUES:
         cost_model = CostModel.from_phi(phi)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from functools import partial
 from typing import Callable, Dict
 
@@ -49,11 +50,16 @@ def available_experiments() -> list[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
+def run_experiment(
+    experiment_id: str, fast: bool = False, workers: int | None = 1
+) -> ExperimentResult:
     """Run one experiment by id.
 
     ``fast`` selects reduced grids/horizons (used by benchmarks and CI);
     the default settings match the fidelity of the paper's evaluation.
+    ``workers`` fans parallelisable experiments (the Figure-8/9 grids) out
+    over a deterministic process pool — output is identical for any worker
+    count; runners without a ``workers`` parameter simply ignore the knob.
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -61,4 +67,6 @@ def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
         ) from None
+    if "workers" in inspect.signature(runner).parameters:
+        return runner(fast, workers=workers)
     return runner(fast)

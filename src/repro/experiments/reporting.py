@@ -77,6 +77,10 @@ class ExperimentResult:
     tables: list[Table] = field(default_factory=list)
     charts: list[str] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Execution telemetry (a :class:`repro.parallel.ParallelOutcome`) when
+    #: the experiment fanned out over workers; not part of the rendered
+    #: report, so output stays identical across worker counts.
+    parallel_outcome: Any = None
 
     def add_table(self, table: Table) -> Table:
         """Attach a table and return it for row filling."""

@@ -173,10 +173,14 @@ class ModelEvaluationCache:
         return value
 
     def feasible_set(
-        self, spec: MovieSizingSpec, include_end_hit: bool = True
+        self, spec: MovieSizingSpec, include_end_hit: bool = True, points=None
     ) -> "CachedFeasibleSet":
-        """A :class:`FeasibleSet` whose sweeps route through this cache."""
-        return CachedFeasibleSet(spec, self, include_end_hit=include_end_hit)
+        """A :class:`FeasibleSet` whose sweeps route through this cache.
+
+        ``points`` warm-starts the per-set frontier cache (e.g. with a
+        parallel sweep's already-evaluated :class:`FeasiblePoint` rows).
+        """
+        return CachedFeasibleSet(spec, self, include_end_hit=include_end_hit, points=points)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -215,14 +219,19 @@ class CachedFeasibleSet(FeasibleSet):
         spec: MovieSizingSpec,
         shared_cache: ModelEvaluationCache,
         include_end_hit: bool = True,
+        points=None,
     ) -> None:
-        super().__init__(
-            spec,
-            include_end_hit=include_end_hit,
-            model=shared_cache.model_for(spec, include_end_hit=include_end_hit),
-        )
+        super().__init__(spec, include_end_hit=include_end_hit, points=points)
         self._shared = shared_cache
-        self._include_end_hit = include_end_hit
+
+    @property
+    def model(self) -> HitProbabilityModel:
+        """The hit model, resolved through the shared cache on first use."""
+        if self._model is None:
+            self._model = self._shared.model_for(
+                self.spec, include_end_hit=self._include_end_hit
+            )
+        return self._model
 
     def point(self, num_streams: int) -> FeasiblePoint:
         if num_streams < 1 or num_streams > self.max_possible_streams:

@@ -1,0 +1,158 @@
+"""Monte-Carlo replication harness: fan out, aggregate into mean ± 95% CI.
+
+Simulation estimates (``P(hit)``, denial rates, mean waits) need many
+independent replications for tight confidence intervals.  This harness runs
+``run_one(replication_index)`` for each index on the deterministic
+:class:`~repro.parallel.executor.ParallelExecutor` and aggregates every
+numeric metric the replications report into mean, standard deviation and a
+normal-approximation 95% confidence interval.
+
+Replication independence comes from the RNG layer, not the harness: a
+``run_one`` callable derives its streams with
+``RandomStreams(seed).replicate(index)``, which branches the root
+``SeedSequence`` spawn tree per replication — so the metric values depend
+only on ``(seed, index)``, never on which worker ran the replication, and a
+``workers=1`` run aggregates to exactly the same numbers as a ``workers=4``
+run.
+
+``run_one`` must be a module-level callable returning a flat
+``{metric_name: value}`` mapping with the same key set in every replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import SimulationError
+from repro.numerics.stats import confidence_halfwidth, summarize
+from repro.parallel.executor import ParallelExecutor, ParallelOutcome
+
+__all__ = ["MetricSummary", "ReplicationReport", "run_replications"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """One metric aggregated across replications."""
+
+    name: str
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    replications: int
+    confidence: float = 0.95
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the normal-approximation CI (inf for one rep)."""
+        return confidence_halfwidth(self.stddev, self.replications, self.confidence)
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """``(lo, hi)`` of the mean's confidence interval."""
+        half = self.ci_halfwidth
+        return (self.mean - half, self.mean + half)
+
+    def describe(self) -> str:
+        """``name = mean ± half`` rendering."""
+        return f"{self.name} = {self.mean:.6g} ± {self.ci_halfwidth:.3g}"
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """Aggregated metrics plus the raw per-replication values and telemetry."""
+
+    metrics: tuple[MetricSummary, ...]
+    per_replication: tuple[Mapping[str, float], ...]
+    outcome: ParallelOutcome
+
+    @property
+    def replications(self) -> int:
+        """Number of replications aggregated."""
+        return len(self.per_replication)
+
+    def metric(self, name: str) -> MetricSummary:
+        """One metric's summary by name."""
+        for summary in self.metrics:
+            if summary.name == name:
+                return summary
+        raise KeyError(f"no metric {name!r}; have {[m.name for m in self.metrics]}")
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable ``mean ± CI`` block, one line per metric."""
+        return [summary.describe() for summary in self.metrics]
+
+    def to_csv(self) -> str:
+        """Deterministic CSV export (metrics sorted by name)."""
+        lines = ["metric,mean,ci95_halfwidth,stddev,min,max,replications"]
+        for m in self.metrics:
+            half = m.ci_halfwidth
+            lines.append(
+                f"{m.name},{m.mean:.12g},{half:.12g},{m.stddev:.12g},"
+                f"{m.minimum:.12g},{m.maximum:.12g},{m.replications}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class _ReplicationCall:
+    """Picklable wrapper binding ``run_one`` to its extra arguments."""
+
+    run_one: Callable
+    args: tuple
+
+    def __call__(self, replication: int) -> dict[str, float]:
+        metrics = self.run_one(replication, *self.args)
+        return {str(k): float(v) for k, v in dict(metrics).items()}
+
+
+def run_replications(
+    run_one: Callable[..., Mapping[str, float]],
+    replications: int,
+    workers: int | None = 1,
+    executor: ParallelExecutor | None = None,
+    args: Sequence = (),
+    confidence: float = 0.95,
+) -> ReplicationReport:
+    """Run ``run_one(0..replications-1, *args)`` and aggregate the metrics.
+
+    The executor shards replication indices round-robin and re-sorts results
+    by index, so the aggregate is identical for any worker count.
+    """
+    if replications < 1:
+        raise SimulationError(f"need >= 1 replication, got {replications}")
+    if not 0.0 < confidence < 1.0:
+        raise SimulationError(f"confidence must be in (0, 1), got {confidence}")
+    executor = executor or ParallelExecutor(workers)
+    outcome = executor.map(
+        _ReplicationCall(run_one, tuple(args)), range(replications)
+    )
+    per_replication: tuple[dict[str, float], ...] = outcome.results
+
+    key_set = set(per_replication[0])
+    for index, metrics in enumerate(per_replication):
+        if set(metrics) != key_set:
+            raise SimulationError(
+                f"replication {index} reported metrics {sorted(metrics)} "
+                f"but replication 0 reported {sorted(key_set)}"
+            )
+    summaries = []
+    for name in sorted(key_set):
+        stat = summarize(metrics[name] for metrics in per_replication)
+        summaries.append(
+            MetricSummary(
+                name=name,
+                mean=stat.mean,
+                stddev=stat.stddev,
+                minimum=stat.minimum,
+                maximum=stat.maximum,
+                replications=stat.count,
+                confidence=confidence,
+            )
+        )
+    return ReplicationReport(
+        metrics=tuple(summaries),
+        per_replication=per_replication,
+        outcome=outcome,
+    )

@@ -5,25 +5,59 @@ component (arrivals, VCR think times, operation types, durations, ...) so
 that changing how one component consumes randomness does not perturb the
 others — the standard common-random-numbers discipline for variance-safe
 comparisons between policies.  Streams are derived from a root seed with
-NumPy's ``SeedSequence.spawn``, keyed by name, so a given (seed, name) pair
-always yields the same stream regardless of creation order.
+NumPy's ``SeedSequence`` spawn-key mechanism, keyed by the *full* stream
+name, so a given ``(seed, name)`` pair always yields the same stream
+regardless of creation order, machine, or process.
+
+Derivation contract
+-------------------
+Each stream's ``SeedSequence`` is ``SeedSequence(seed, spawn_key=key)``
+where ``key`` encodes the stream's lineage:
+
+* a named stream contributes ``(NAME_TAG, len(name), *utf8 words)`` — the
+  name's exact bytes, length-prefixed, packed little-endian into 32-bit
+  words.  Distinct names therefore *cannot* collide (an earlier revision
+  hashed the name through a 32-bit CRC, which silently made colliding
+  names — e.g. ``"plumless"``/``"buckeroo"`` — share one stream);
+* each :meth:`RandomStreams.replicate` call prepends
+  ``(REPLICATION_TAG, index)``, putting every replication in its own
+  disjoint branch of the spawn tree.
+
+The two tags namespace the key space so a replication index can never be
+confused with name bytes.
 """
 
 from __future__ import annotations
 
-import zlib
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
 __all__ = ["RandomStreams"]
 
+#: Spawn-key tag for a named stream's encoded bytes.
+_NAME_TAG = 0
+#: Spawn-key tag for a replication branch.
+_REPLICATION_TAG = 1
+
+_WORD = 4  # bytes per 32-bit spawn-key word
+
+
+def _name_spawn_key(name: str) -> Tuple[int, ...]:
+    """Encode a stream name as spawn-key words (injective, endian-fixed)."""
+    raw = name.encode("utf-8")
+    words = [_NAME_TAG, len(raw)]
+    for i in range(0, len(raw), _WORD):
+        words.append(int.from_bytes(raw[i : i + _WORD], "little"))
+    return tuple(words)
+
 
 class RandomStreams:
     """Factory of independent ``numpy.random.Generator`` streams by name."""
 
-    def __init__(self, seed: int) -> None:
+    def __init__(self, seed: int, _lineage: Tuple[int, ...] = ()) -> None:
         self._seed = int(seed)
+        self._lineage = tuple(int(v) for v in _lineage)
         self._streams: Dict[str, np.random.Generator] = {}
 
     @property
@@ -34,14 +68,16 @@ class RandomStreams:
     def stream(self, name: str) -> np.random.Generator:
         """The generator for ``name``; created deterministically on first use.
 
-        The stream key mixes the root seed with a stable hash of the name, so
-        ``RandomStreams(7).stream("arrivals")`` is identical across runs and
-        across machines.
+        The stream's seed sequence spawns from the root seed with the name's
+        exact bytes as the spawn key, so ``RandomStreams(7).stream("arrivals")``
+        is identical across runs and across machines, and distinct names are
+        guaranteed distinct streams.
         """
         generator = self._streams.get(name)
         if generator is None:
-            name_key = zlib.crc32(name.encode("utf-8"))
-            sequence = np.random.SeedSequence([self._seed, name_key])
+            sequence = np.random.SeedSequence(
+                self._seed, spawn_key=self._lineage + _name_spawn_key(name)
+            )
             generator = np.random.Generator(np.random.PCG64(sequence))
             self._streams[name] = generator
         return generator
@@ -53,13 +89,17 @@ class RandomStreams:
     def replicate(self, replication: int) -> "RandomStreams":
         """Streams for an independent replication of the same experiment.
 
-        The replication index is folded into the root seed with a large odd
-        multiplier so replications neither collide with each other nor with
-        the base seed.
+        Each replication gets its own branch of the ``SeedSequence`` spawn
+        tree, so replications neither collide with each other nor with the
+        base streams, and nesting (``replicate(i).replicate(j)``) stays
+        collision-free.
         """
         if replication < 0:
             raise ValueError(f"replication index must be >= 0, got {replication}")
-        return RandomStreams(self._seed * 1_000_003 + replication + 1)
+        return RandomStreams(
+            self._seed, self._lineage + (_REPLICATION_TAG, int(replication))
+        )
 
     def __repr__(self) -> str:
-        return f"RandomStreams(seed={self._seed}, active={sorted(self._streams)})"
+        lineage = f", lineage={self._lineage}" if self._lineage else ""
+        return f"RandomStreams(seed={self._seed}{lineage}, active={sorted(self._streams)})"

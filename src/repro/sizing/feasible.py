@@ -157,12 +157,20 @@ class FeasibleSet:
         spec: MovieSizingSpec,
         include_end_hit: bool = True,
         model: HitProbabilityModel | None = None,
+        points: Iterable[FeasiblePoint] | None = None,
     ) -> None:
         self._spec = spec
+        self._include_end_hit = include_end_hit
         # An injected model lets a shared cache supply an already-built one
-        # (the truncation + CDF-transform setup is the expensive part).
-        self._model = model or spec.build_model(include_end_hit=include_end_hit)
+        # (the truncation + CDF-transform setup is the expensive part); when
+        # neither a model nor an uncached point is ever needed — e.g. a set
+        # warm-started from a parallel sweep's ``points`` — construction is
+        # skipped entirely (the model is built lazily on first use).
+        self._model = model
         self._cache: dict[int, FeasiblePoint] = {}
+        self._max_streams: int | None = None
+        for point in points or ():
+            self._cache[point.num_streams] = point
 
     @property
     def spec(self) -> MovieSizingSpec:
@@ -171,8 +179,33 @@ class FeasibleSet:
 
     @property
     def model(self) -> HitProbabilityModel:
-        """The underlying hit-probability model."""
+        """The underlying hit-probability model (built on first use)."""
+        if self._model is None:
+            self._model = self._spec.build_model(include_end_hit=self._include_end_hit)
         return self._model
+
+    def known_points(self) -> tuple[FeasiblePoint, ...]:
+        """Every point evaluated so far, sorted by stream count.
+
+        This is the payload a parallel sweep ships back to the driver: a
+        warm restart with these points replays any frontier query that
+        touches only them without ever constructing the model.
+        """
+        return tuple(self._cache[n] for n in sorted(self._cache))
+
+    def absorb(self, points: Iterable[FeasiblePoint], n_max: int | None = None) -> None:
+        """Merge points evaluated elsewhere (a parallel sweep) into this set.
+
+        Points already present locally win — by contract they are equal, so
+        keeping the local object preserves ``point(n) is point(n)`` identity.
+        A supplied ``n_max`` seeds the :meth:`max_streams` memo when this set
+        has not computed it yet (the sweep worker ran the identical verified
+        search).
+        """
+        for point in points:
+            self._cache.setdefault(point.num_streams, point)
+        if n_max is not None and self._max_streams is None:
+            self._max_streams = int(n_max)
 
     @property
     def max_possible_streams(self) -> int:
@@ -193,11 +226,11 @@ class FeasibleSet:
         if cached is not None:
             return cached
         buffer_minutes = max(0.0, self._spec.length - num_streams * self._spec.max_wait)
-        config = self._model.configuration(num_streams, buffer_minutes)
+        config = self.model.configuration(num_streams, buffer_minutes)
         point = FeasiblePoint(
             num_streams=num_streams,
             buffer_minutes=buffer_minutes,
-            hit_probability=self._model.hit_probability(config),
+            hit_probability=self.model.hit_probability(config),
         )
         self._cache[num_streams] = point
         return point
@@ -205,7 +238,7 @@ class FeasibleSet:
     def configuration(self, num_streams: int) -> SystemConfiguration:
         """The full SystemConfiguration at ``num_streams`` on the Eq.-(2) line."""
         point = self.point(num_streams)
-        return self._model.configuration(point.num_streams, point.buffer_minutes)
+        return self.model.configuration(point.num_streams, point.buffer_minutes)
 
     # ------------------------------------------------------------------
     # Frontier queries.
@@ -213,10 +246,15 @@ class FeasibleSet:
     def max_streams(self) -> int:
         """Largest feasible ``n`` (Example 1's per-movie optimum).
 
-        Bisection over the monotone frontier, then a short downward
-        verification walk to absorb any residual non-monotonicity from
-        quadrature noise.
+        Bisection over the monotone frontier, then a downward verification
+        walk to absorb any residual non-monotonicity from quadrature noise.
+        The returned ``n_max`` is *always* verified-feasible: the point it
+        names has been evaluated and satisfies ``meets(p_star)`` — including
+        the boundary cases ``w | l`` (where the top of the Eq.-(2) line is
+        the pure-batching point ``B = 0``) and ``n_max == 1``.
         """
+        if self._max_streams is not None:
+            return self._max_streams
         p_star = self._spec.p_star
         hi = self.max_possible_streams
         if not self.point(1).meets(p_star):
@@ -225,6 +263,7 @@ class FeasibleSet:
                 f"misses P*={p_star} (got {self.point(1).hit_probability:.4f})"
             )
         if self.point(hi).meets(p_star):
+            self._max_streams = hi
             return hi
         lo = 1
         while hi - lo > 1:
@@ -233,9 +272,18 @@ class FeasibleSet:
                 lo = mid
             else:
                 hi = mid
-        # Verification walk: step down until the target genuinely holds.
+        # Verification walk: the bisection's invariant only holds on a
+        # monotone frontier; under quadrature noise a spuriously-passing mid
+        # can leave ``lo`` above the true boundary.  Re-check the candidate
+        # and step down until the target genuinely holds — ``n = 1`` was
+        # verified above, so the walk always terminates on a feasible point.
         while lo > 1 and not self.point(lo).meets(p_star):
             lo -= 1
+        if not self.point(lo).meets(p_star):  # pragma: no cover - walk guard
+            raise InfeasibleError(
+                f"{self._spec.name}: no verified-feasible n for P*={p_star}"
+            )
+        self._max_streams = lo
         return lo
 
     def best_point(self) -> FeasiblePoint:

@@ -24,7 +24,12 @@ from repro.core.parameters import SystemConfiguration
 from repro.exceptions import InfeasibleError
 from repro.sizing.feasible import FeasiblePoint, FeasibleSet, MovieSizingSpec
 
-__all__ = ["MovieAllocation", "AllocationResult", "optimize_allocation"]
+__all__ = [
+    "MovieAllocation",
+    "AllocationResult",
+    "optimize_allocation",
+    "planned_streams",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +99,49 @@ class AllocationResult:
         ]
 
 
+def planned_streams(
+    movies: Sequence[tuple[str, float, int]],
+    stream_budget: int | None = None,
+) -> dict[str, int]:
+    """The budgeted stream plan as pure arithmetic over ``(name, w, n_max)``.
+
+    This is the greedy-knapsack core of :func:`optimize_allocation`: every
+    movie starts at its per-movie optimum; when the total exceeds the budget,
+    streams are given back cheapest-buffer-growth first (removing one stream
+    from movie ``i`` adds ``w_i`` minutes of buffer, so the movies with the
+    smallest waits shrink first — equivalently, streams with the largest
+    ``w_i`` are kept, which is the knapsack greedy and exact here).
+
+    Exposed separately so grid drivers (Figure 9) can predict exactly which
+    frontier points a budget sweep will touch — and pre-evaluate them in
+    parallel — without holding feasible sets.
+    """
+    chosen = {name: n_max for name, _, n_max in movies}
+    if stream_budget is not None:
+        if stream_budget < len(movies):
+            raise InfeasibleError(
+                f"stream budget {stream_budget} cannot cover one stream per movie "
+                f"({len(movies)} movies)"
+            )
+        total = sum(chosen.values())
+        if total > stream_budget:
+            order = sorted(movies, key=lambda movie: movie[1])
+            excess = total - stream_budget
+            for name, _, _ in order:
+                if excess == 0:
+                    break
+                removable = chosen[name] - 1
+                take = min(removable, excess)
+                chosen[name] -= take
+                excess -= take
+            if excess > 0:
+                raise InfeasibleError(
+                    f"stream budget {stream_budget} infeasible even at one stream "
+                    "per movie"
+                )
+    return chosen
+
+
 def optimize_allocation(
     feasible_sets: Sequence[FeasibleSet],
     stream_budget: int | None = None,
@@ -109,36 +157,10 @@ def optimize_allocation(
     or a movie cannot meet its ``P*`` at any point.
     """
     # Per-movie optima first (may raise InfeasibleError per movie).
-    maxima = {fs.spec.name: fs.max_streams() for fs in feasible_sets}
-    chosen = dict(maxima)
-
-    if stream_budget is not None:
-        if stream_budget < len(feasible_sets):
-            raise InfeasibleError(
-                f"stream budget {stream_budget} cannot cover one stream per movie "
-                f"({len(feasible_sets)} movies)"
-            )
-        total = sum(chosen.values())
-        if total > stream_budget:
-            # Give streams back, cheapest buffer growth first: removing one
-            # stream from movie i adds w_i minutes of buffer, so shrink the
-            # movies with the smallest waits first (equivalently, keep
-            # streams with the largest w_i — the knapsack greedy).
-            order = sorted(feasible_sets, key=lambda fs: fs.spec.max_wait)
-            excess = total - stream_budget
-            for fs in order:
-                if excess == 0:
-                    break
-                name = fs.spec.name
-                removable = chosen[name] - 1
-                take = min(removable, excess)
-                chosen[name] -= take
-                excess -= take
-            if excess > 0:
-                raise InfeasibleError(
-                    f"stream budget {stream_budget} infeasible even at one stream "
-                    "per movie"
-                )
+    chosen = planned_streams(
+        [(fs.spec.name, fs.spec.max_wait, fs.max_streams()) for fs in feasible_sets],
+        stream_budget,
+    )
 
     allocations = []
     for fs in feasible_sets:

@@ -16,11 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from typing import TYPE_CHECKING
+
 from repro.core.parameters import SystemConfiguration
 from repro.exceptions import ConfigurationError
 from repro.sizing.cost import CostModel
 from repro.sizing.feasible import FeasibleSet, MovieSizingSpec, spec_signature
 from repro.sizing.optimizer import AllocationResult, optimize_allocation
+
+if TYPE_CHECKING:  # pragma: no cover - lazy: sweeps imports this package
+    from repro.parallel.executor import ParallelOutcome
 
 __all__ = ["SizingReport", "SystemSizer"]
 
@@ -79,6 +84,7 @@ class SystemSizer:
         cost_model: CostModel | None = None,
         include_end_hit: bool = True,
         feasible_factory=None,
+        workers: int | None = 1,
         _reuse: Mapping[str, FeasibleSet] | None = None,
     ) -> None:
         if not specs:
@@ -99,6 +105,14 @@ class SystemSizer:
             reuse.get(spec.name) or self._feasible_factory(spec, include_end_hit)
             for spec in specs
         ]
+        # Imported lazily: repro.parallel.sweeps imports this package, so a
+        # top-level import here would close an import cycle.
+        from repro.parallel.executor import resolve_workers
+
+        self._workers = resolve_workers(workers)
+        self._prewarmed = False
+        #: Telemetry of the most recent parallel prewarm (None when serial).
+        self.last_parallel_outcome: "ParallelOutcome | None" = None
 
     def refreshed(self, specs: Sequence[MovieSizingSpec]) -> "SystemSizer":
         """A warm-restarted sizer for updated specs.
@@ -118,6 +132,7 @@ class SystemSizer:
             cost_model=self._cost_model,
             include_end_hit=self._include_end_hit,
             feasible_factory=self._feasible_factory,
+            workers=self._workers,
             _reuse=unchanged,
         )
 
@@ -131,8 +146,41 @@ class SystemSizer:
         """The pricing model used by :meth:`solve`."""
         return self._cost_model
 
+    def prewarm(self) -> "ParallelOutcome | None":
+        """Fan the per-movie frontier searches over the worker pool.
+
+        Each movie's ``max_streams`` bisection (the expensive part of
+        :meth:`solve`) runs as one task on the deterministic executor, warm-
+        started with whatever this sizer already knows; the evaluated points
+        and verified maxima are absorbed back into the local feasible sets,
+        so the subsequent optimisation replays them from cache.  A no-op
+        returning ``None`` when the sizer was built with ``workers <= 1``.
+        Runs at most once; re-plans via :meth:`refreshed` prewarm again for
+        the drifted movies only (unchanged movies ship their points along).
+        """
+        from repro.parallel.sweeps import FrontierTask, sweep_frontiers
+
+        self._prewarmed = True
+        if self._workers <= 1:
+            return None
+        tasks = [
+            FrontierTask(
+                fs.spec,
+                include_end_hit=self._include_end_hit,
+                warm_points=fs.known_points(),
+            )
+            for fs in self._feasible
+        ]
+        frontiers, outcome = sweep_frontiers(tasks, workers=self._workers)
+        for fs, frontier in zip(self._feasible, frontiers):
+            fs.absorb(frontier.points, n_max=frontier.n_max)
+        self.last_parallel_outcome = outcome
+        return outcome
+
     def solve(self, stream_budget: int | None = None) -> SizingReport:
         """Optimise the allocation and price it."""
+        if not self._prewarmed:
+            self.prewarm()
         result = optimize_allocation(self._feasible, stream_budget=stream_budget)
         total_cost = self._cost_model.allocation_cost(result)
         # Pure batching uses no buffer and l/w streams per movie.

@@ -62,6 +62,7 @@ class PopularViewer:
         self._mean_patience = mean_patience
         self._observers = tuple(observers)
         self.position = 0.0
+        self._op_counted = False
 
     def _notify(self, method: str, *args) -> None:
         """Fan an observation out to the attached observers (duck-typed)."""
@@ -80,6 +81,20 @@ class PopularViewer:
 
     def _tally(self, name: str, value: float) -> None:
         if self._env.now >= self._warmup:
+            self._metrics.tally(name).push(value)
+
+    # Per-operation outcomes (hit/miss/blocked/end-release/piggyback) resolve
+    # *after* the operation's duration has elapsed.  Gating them on the
+    # issue-time flag — not the resolution-time clock — keeps the books
+    # balanced across the warm-up reset: an operation issued before warm-up
+    # never counts as resolved after it, so ``resolved <= issued`` holds on
+    # every sample path, not just the lucky ones.
+    def _count_op(self, name: str) -> None:
+        if self._op_counted:
+            self._metrics.counter(name).increment()
+
+    def _tally_op(self, name: str, value: float) -> None:
+        if self._op_counted:
             self._metrics.tally(name).push(value)
 
     # ------------------------------------------------------------------
@@ -130,7 +145,8 @@ class PopularViewer:
 
             operation = self._behavior.sample_operation(self._rng)
             duration = self._behavior.sample_duration(operation, self._rng)
-            self._count(f"vcr.issued.{operation.value}")
+            self._op_counted = env.now >= self._warmup
+            self._count_op(f"vcr.issued.{operation.value}")
             self._notify("on_vcr", operation, duration)
 
             grant: StreamGrant | None = None
@@ -140,7 +156,7 @@ class PopularViewer:
                 grant = self._streams.try_acquire(StreamPurpose.VCR)
                 if grant is None:
                     # Phase-1 starvation: the operation is denied outright.
-                    self._count("vcr.blocked")
+                    self._count_op("vcr.blocked")
                     continue
                 if operation is VCROperation.FAST_FORWARD:
                     if duration >= length - self.position:
@@ -148,7 +164,7 @@ class PopularViewer:
                             (length - self.position) / rates.fast_forward
                         )
                         self._streams.release(grant)
-                        self._count("vcr.end_release")
+                        self._count_op("vcr.end_release")
                         self._count("viewers.completed")
                         self._notify("on_session_end")
                         return
@@ -162,13 +178,13 @@ class PopularViewer:
             # --- Resume: hit or miss. ---
             window = service.find_window(self.position)
             if window is not None:
-                self._count("resume.hit")
+                self._count_op("resume.hit")
                 self._notify("on_resume", True)
                 if grant is not None:
                     self._streams.release(grant)
                 continue
 
-            self._count("resume.miss")
+            self._count_op("resume.miss")
             self._notify("on_resume", False)
             if grant is not None:
                 grant.retag(self._streams, StreamPurpose.MISS_HOLD)
@@ -177,10 +193,10 @@ class PopularViewer:
                 if grant is None:
                     # No stream to resume on: stall until a partition window
                     # sweeps over the viewer's position.
-                    self._count("resume.stalled")
+                    self._count_op("resume.stalled")
                     stalled_at = env.now
                     yield from self._wait_until_covered()
-                    self._tally("stall_minutes", env.now - stalled_at)
+                    self._tally_op("stall_minutes", env.now - stalled_at)
                     continue
 
             # --- Phase 2: piggyback drift on the dedicated stream. ---
@@ -209,11 +225,11 @@ class PopularViewer:
         if plan.merges:
             factor = 1.0 + epsilon if plan.direction == "forward" else 1.0 - epsilon
             self.position = min(length, self.position + hold * rates.playback * factor)
-            self._count("piggyback.merged")
+            self._count_op("piggyback.merged")
         else:
             self.position = length
-            self._count("piggyback.ran_to_end")
-        self._tally("phase2_hold_minutes", hold)
+            self._count_op("piggyback.ran_to_end")
+        self._tally_op("phase2_hold_minutes", hold)
         self._streams.release(grant)
 
     def _live_gaps(self) -> tuple[float | None, float | None]:

@@ -16,7 +16,7 @@ from typing import Iterable, Iterator
 from repro.core.vcrop import VCROperation
 from repro.exceptions import ReproError
 
-__all__ = ["VCREventRecord", "SessionRecord", "Trace"]
+__all__ = ["VCREventRecord", "SessionRecord", "Trace", "TraceFormatError"]
 
 
 class TraceFormatError(ReproError, ValueError):
@@ -161,7 +161,11 @@ class Trace:
                 data = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise TraceFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
-            trace.add(SessionRecord.from_dict(data))
+            try:
+                trace.add(SessionRecord.from_dict(data))
+            except TraceFormatError as exc:
+                # Record-level parse errors name the offending line too.
+                raise TraceFormatError(f"line {lineno}: {exc}") from exc
         return trace
 
     def save(self, path: str | Path) -> None:

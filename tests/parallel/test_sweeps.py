@@ -1,0 +1,92 @@
+"""Frontier sweep tasks: warm hand-off, replay without model construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import ExponentialDuration
+from repro.parallel.executor import fork_available
+from repro.parallel.sweeps import (
+    FrontierTask,
+    evaluate_frontier,
+    sweep_frontiers,
+    warm_feasible_set,
+)
+from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [
+        MovieSizingSpec(
+            "sweep-a", length=60.0, max_wait=0.5,
+            durations=ExponentialDuration(5.0), p_star=0.5,
+        ),
+        MovieSizingSpec(
+            "sweep-b", length=90.0, max_wait=1.0,
+            durations=ExponentialDuration(4.0), p_star=0.5,
+        ),
+    ]
+
+
+class TestEvaluateFrontier:
+    def test_finds_verified_maximum(self, specs):
+        frontier = evaluate_frontier(FrontierTask(specs[0]))
+        assert frontier.name == "sweep-a"
+        assert frontier.n_max == FeasibleSet(specs[0]).max_streams()
+        assert frontier.point(frontier.n_max).meets(specs[0].p_star)
+
+    def test_requested_points_included(self, specs):
+        task = FrontierTask(specs[0], stream_counts=(5, 10), find_max=False)
+        frontier = evaluate_frontier(task)
+        assert frontier.n_max is None
+        assert 5 in frontier and 10 in frontier
+        assert frontier.point(5).num_streams == 5
+
+    def test_warm_points_are_reused(self, specs):
+        first = evaluate_frontier(FrontierTask(specs[0]))
+        second = evaluate_frontier(
+            FrontierTask(specs[0], warm_points=first.points)
+        )
+        assert second.n_max == first.n_max
+        # Every warm point ships back out again.
+        assert set(p.num_streams for p in first.points) <= set(
+            p.num_streams for p in second.points
+        )
+
+
+class TestSweepFrontiers:
+    def test_serial_sweep(self, specs):
+        frontiers, outcome = sweep_frontiers(
+            [FrontierTask(spec) for spec in specs], workers=1
+        )
+        assert [f.name for f in frontiers] == ["sweep-a", "sweep-b"]
+        assert outcome.tasks == 2
+
+    @pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+    def test_parallel_matches_serial(self, specs):
+        tasks = [FrontierTask(spec) for spec in specs]
+        serial, _ = sweep_frontiers(tasks, workers=1)
+        parallel, outcome = sweep_frontiers(tasks, workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.name == b.name
+            assert a.n_max == b.n_max
+            assert a.points == b.points
+        assert outcome.workers == 2
+
+
+class TestWarmFeasibleSet:
+    def test_replays_max_streams_without_model(self, specs):
+        frontier = evaluate_frontier(FrontierTask(specs[0]))
+        warm = warm_feasible_set(specs[0], frontier)
+        assert warm.max_streams() == frontier.n_max
+        assert warm._model is None  # pure cache replay
+
+    def test_cold_query_still_correct(self, specs):
+        frontier = evaluate_frontier(
+            FrontierTask(specs[0], stream_counts=(5,), find_max=False)
+        )
+        warm = warm_feasible_set(specs[0], frontier)
+        # n=7 was never swept: the warm set lazily builds the model and
+        # computes the same value a cold set would.
+        assert warm.point(7) == FeasibleSet(specs[0]).point(7)

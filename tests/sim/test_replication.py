@@ -1,0 +1,117 @@
+"""The replication harness: aggregation math, validation, determinism."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.hitmodel import VCRMix
+from repro.core.parameters import SystemConfiguration, VCRRates
+from repro.distributions import ExponentialDuration
+from repro.exceptions import SimulationError
+from repro.parallel.executor import fork_available
+from repro.sim.replication import run_replications
+from repro.simulation.hit_simulator import HitSimulator, SimulationSettings
+
+
+def _affine(replication: int, scale: float = 1.0) -> dict[str, float]:
+    return {"x": scale * replication, "y": 3.0}
+
+
+def _inconsistent(replication: int) -> dict[str, float]:
+    return {"x": 1.0} if replication == 0 else {"z": 1.0}
+
+
+def _simulate(replication: int) -> dict[str, float]:
+    config = SystemConfiguration(
+        movie_length=60.0,
+        num_partitions=6,
+        buffer_minutes=30.0,
+        rates=VCRRates.paper_default(),
+    )
+    simulator = HitSimulator(
+        config,
+        ExponentialDuration(5.0),
+        mix=VCRMix.paper_figure7d(),
+        settings=SimulationSettings(
+            arrival_rate=0.5, horizon=120.0, warmup=20.0, seed=424242
+        ),
+    )
+    result = simulator.run(replication)
+    return {
+        "p_hit": result.overall.rate,
+        "viewers": float(result.viewers_started),
+    }
+
+
+class TestAggregation:
+    def test_mean_and_interval(self):
+        report = run_replications(_affine, 4)
+        x = report.metric("x")
+        assert x.mean == pytest.approx(1.5)
+        assert x.minimum == 0.0 and x.maximum == 3.0
+        lo, hi = x.interval
+        assert lo == pytest.approx(x.mean - x.ci_halfwidth)
+        assert hi == pytest.approx(x.mean + x.ci_halfwidth)
+        # Constant metric: zero spread, zero half-width.
+        y = report.metric("y")
+        assert y.mean == 3.0 and y.ci_halfwidth == 0.0
+
+    def test_single_replication_has_infinite_interval(self):
+        report = run_replications(_affine, 1)
+        assert math.isinf(report.metric("x").ci_halfwidth)
+
+    def test_args_forwarded(self):
+        report = run_replications(_affine, 3, args=(10.0,))
+        assert report.metric("x").maximum == 20.0
+
+    def test_metrics_sorted_and_described(self):
+        report = run_replications(_affine, 4)
+        assert [m.name for m in report.metrics] == ["x", "y"]
+        lines = report.summary_lines()
+        assert len(lines) == 2 and "±" in lines[0]
+        assert report.metric("x").describe().startswith("x = ")
+
+    def test_csv_shape(self):
+        csv = run_replications(_affine, 4).to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "metric,mean,ci95_halfwidth,stddev,min,max,replications"
+        assert len(lines) == 3
+        assert lines[1].startswith("x,1.5,")
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            run_replications(_affine, 2).metric("nope")
+
+
+class TestValidation:
+    def test_zero_replications_rejected(self):
+        with pytest.raises(SimulationError):
+            run_replications(_affine, 0)
+
+    def test_confidence_bounds(self):
+        with pytest.raises(SimulationError):
+            run_replications(_affine, 2, confidence=1.0)
+
+    def test_inconsistent_metric_keys_rejected(self):
+        with pytest.raises(SimulationError, match="replication 1"):
+            run_replications(_inconsistent, 2)
+
+
+class TestSimulatorReplications:
+    def test_replications_are_rng_independent(self):
+        report = run_replications(_simulate, 3)
+        values = [m["p_hit"] for m in report.per_replication]
+        # Three independent seed-tree branches: not all identical.
+        assert len(set(values)) > 1
+        assert 0.0 <= report.metric("p_hit").mean <= 1.0
+
+    @pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+    def test_serial_and_parallel_aggregate_identically(self):
+        serial = run_replications(_simulate, 4, workers=1)
+        parallel = run_replications(_simulate, 4, workers=4)
+        assert serial.per_replication == parallel.per_replication
+        assert serial.to_csv() == parallel.to_csv()
+        for a, b in zip(serial.metrics, parallel.metrics):
+            assert a == b

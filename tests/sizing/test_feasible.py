@@ -133,3 +133,112 @@ def test_gamma_movie1_matches_paper():
     assert 330 <= best <= 400
     buffer_minutes = 75.0 - best * 0.1
     assert buffer_minutes == pytest.approx(39.0, abs=4.0)
+
+
+class TestMaxStreamsBoundaries:
+    """Regression: n_max must be verified-feasible at the sizing boundaries."""
+
+    def test_integral_length_over_wait(self):
+        # w | l exactly: the top of the Eq.-(2) line is pure batching (B = 0).
+        spec = MovieSizingSpec(
+            "wl", length=60.0, max_wait=0.5,
+            durations=ExponentialDuration(5.0), p_star=0.5,
+        )
+        fs = FeasibleSet(spec)
+        assert fs.max_possible_streams == 120
+        top = fs.point(fs.max_possible_streams)
+        assert top.buffer_minutes == 0.0
+        n_max = fs.max_streams()
+        assert fs.point(n_max).meets(spec.p_star)
+        if n_max < fs.max_possible_streams:
+            assert not fs.point(n_max + 1).meets(spec.p_star)
+
+    def test_n_max_equals_one(self):
+        # Only one point on the line; it must be returned verified, not
+        # assumed feasible via the bisection invariant.
+        spec = MovieSizingSpec(
+            "one", length=60.0, max_wait=59.0,
+            durations=ExponentialDuration(5.0), p_star=0.1,
+        )
+        fs = FeasibleSet(spec)
+        assert fs.max_possible_streams == 1
+        assert fs.max_streams() == 1
+        assert fs.point(1).meets(spec.p_star)
+
+    def test_whole_line_feasible_returns_top(self):
+        # p_star = 0 makes every point (including B = 0) feasible.
+        spec = MovieSizingSpec(
+            "all", length=60.0, max_wait=0.5,
+            durations=ExponentialDuration(5.0), p_star=0.0,
+        )
+        fs = FeasibleSet(spec)
+        assert fs.max_streams() == fs.max_possible_streams
+
+    def test_infeasible_at_one_raises(self):
+        spec = MovieSizingSpec(
+            "hard", length=60.0, max_wait=30.0,
+            durations=ExponentialDuration(5.0), p_star=0.999999,
+        )
+        with pytest.raises(InfeasibleError):
+            FeasibleSet(spec).max_streams()
+
+    def test_max_streams_memoised(self):
+        spec = MovieSizingSpec(
+            "memo", length=60.0, max_wait=0.5,
+            durations=ExponentialDuration(5.0), p_star=0.5,
+        )
+        fs = FeasibleSet(spec)
+        assert fs.max_streams() == fs.max_streams()
+
+    def test_noisy_frontier_walks_down_to_verified_point(self):
+        # Force non-monotone noise: make one point above the true boundary
+        # spuriously pass so the bisection lands on it, and check the
+        # verification walk refuses to return it.
+        spec = MovieSizingSpec(
+            "noisy", length=60.0, max_wait=0.5,
+            durations=ExponentialDuration(5.0), p_star=0.5,
+        )
+        fs = FeasibleSet(spec)
+        true_max = fs.max_streams()
+
+        # Seed a cache with an infeasible value at a point above the true
+        # boundary: if the search ever lands there, the verification walk
+        # must keep stepping down rather than return it.
+        lie_n = min(true_max + 5, FeasibleSet(spec).max_possible_streams)
+        noisy = FeasibleSet(
+            spec,
+            points=[
+                FeasiblePoint(
+                    num_streams=lie_n,
+                    buffer_minutes=spec.length - lie_n * spec.max_wait,
+                    hit_probability=spec.p_star - 1e-6,  # genuinely infeasible
+                )
+            ],
+        )
+        got = noisy.max_streams()
+        assert noisy.point(got).meets(spec.p_star)
+
+
+class TestWarmStart:
+    def test_points_injection_replays_without_model(self):
+        spec = MovieSizingSpec(
+            "warm", length=60.0, max_wait=0.5,
+            durations=ExponentialDuration(5.0), p_star=0.5,
+        )
+        cold = FeasibleSet(spec)
+        n_max = cold.max_streams()
+        warm = FeasibleSet(spec, points=cold.known_points())
+        # The warm set replays the same bisection purely from cache: the
+        # model must never be constructed.
+        assert warm.max_streams() == n_max
+        assert warm._model is None
+        assert warm.known_points() == cold.known_points()
+
+    def test_known_points_sorted(self):
+        spec = MovieSizingSpec(
+            "sorted", length=60.0, max_wait=1.0,
+            durations=ExponentialDuration(5.0), p_star=0.5,
+        )
+        fs = FeasibleSet(spec)
+        fs.point(10), fs.point(3), fs.point(7)
+        assert [p.num_streams for p in fs.known_points()] == [3, 7, 10]

@@ -65,3 +65,35 @@ class TestValidation:
         spec = MovieSizingSpec("a", 60.0, 2.0, ExponentialDuration(5.0))
         sizer = SystemSizer([spec])
         assert sizer.cost_model.cost_per_stream == pytest.approx(70.0)
+
+
+class TestParallelPrewarm:
+    def _specs(self):
+        return [
+            MovieSizingSpec("a", 60.0, 2.0, ExponentialDuration(5.0), p_star=0.5),
+            MovieSizingSpec("b", 90.0, 1.5, ExponentialDuration(3.0), p_star=0.5),
+        ]
+
+    def test_parallel_solve_matches_serial(self):
+        from repro.parallel.executor import fork_available
+
+        serial = SystemSizer(self._specs(), workers=1).solve()
+        workers = 2 if fork_available() else 1
+        sizer = SystemSizer(self._specs(), workers=workers)
+        parallel = sizer.solve()
+        assert parallel.summary_lines() == serial.summary_lines()
+        if workers > 1:
+            outcome = sizer.last_parallel_outcome
+            assert outcome is not None and outcome.tasks == 2
+
+    def test_serial_sizer_reports_no_outcome(self):
+        sizer = SystemSizer(self._specs(), workers=1)
+        sizer.solve()
+        assert sizer.last_parallel_outcome is None
+
+    def test_refreshed_keeps_worker_count(self):
+        sizer = SystemSizer(self._specs(), workers=2)
+        sizer.solve()
+        refreshed = sizer.refreshed(self._specs())
+        report = refreshed.solve()
+        assert report.summary_lines() == sizer.solve().summary_lines()

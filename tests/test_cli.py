@@ -198,6 +198,61 @@ class TestRuntimeCommand:
         trace_path.write_text("")
         assert main(["runtime", "--trace", str(trace_path), "--tick", "0"]) == 2
 
+    def test_runtime_rejects_malformed_json_line(self, tmp_path, capsys):
+        trace_path = tmp_path / "bad.jsonl"
+        trace_path.write_text(
+            '{"session_id": 1, "arrival_minutes": 0.0, "movie_id": 0, '
+            '"movie_length": 90.0}\n'
+            "{not json at all\n"
+        )
+        assert main(["runtime", "--trace", str(trace_path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid trace" in err
+        assert "line 2" in err
+
+    def test_runtime_rejects_malformed_record(self, tmp_path, capsys):
+        # Valid JSON, but not a session record (missing required fields).
+        trace_path = tmp_path / "bad.jsonl"
+        trace_path.write_text('{"session_id": 1}\n')
+        assert main(["runtime", "--trace", str(trace_path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid trace" in err
+        assert "line 1" in err
+
+
+class TestFitTraceErrors:
+    def test_fit_rejects_missing_trace(self, tmp_path, capsys):
+        assert main(["fit", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_fit_rejects_malformed_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "bad.jsonl"
+        trace_path.write_text("}{\n")
+        assert main(["fit", str(trace_path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid trace" in err and "line 1" in err
+
+
+class TestRunWorkers:
+    def test_workers_flag_parses(self):
+        args = build_parser().parse_args(["run", "figure8", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_run_with_workers_prints_telemetry(self, tmp_path, capsys):
+        code = main(
+            ["run", "figure8", "--fast", "--workers", "2",
+             "--csv", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parallel:" in out
+        assert "3 tasks over" in out
+        assert sorted(tmp_path.glob("figure8_*.csv"))
+
+    def test_run_serial_prints_no_telemetry(self, capsys):
+        assert main(["run", "figure8", "--fast"]) == 0
+        assert "parallel:" not in capsys.readouterr().out
+
 
 class TestShippedSpecs:
     def test_example1_spec_plans(self, capsys):

@@ -1,0 +1,115 @@
+"""Observability overhead benchmark: disabled tracing must be free.
+
+Runs the same small VOD-server workload three ways — no tracer, a
+:class:`~repro.obs.trace.NullTraceWriter` (the "tracing disabled" wiring)
+and a real :class:`~repro.obs.trace.TraceWriter` to a scratch file — and
+asserts the disabled configuration stays within 5% of the no-observer
+baseline (median of several runs; the two are designed to collapse to the
+same hot path, so the margin only absorbs timing noise).  The measured
+overheads land in a JSON artifact so CI can archive the trend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.parameters import SystemConfiguration
+from repro.distributions import ExponentialDuration
+from repro.obs.trace import NullTraceWriter, TraceWriter
+from repro.vod.buffer import BufferPool
+from repro.vod.movie import Movie, MovieCatalog
+from repro.vod.server import ServerWorkload, VODServer
+from repro.vod.vcr import VCRBehavior
+
+#: Where the overhead payload lands (CI uploads it as an artifact).
+TIMING_PATH = Path(os.environ.get("OBS_BENCH_JSON", "obs_overhead.json"))
+
+ROUNDS = 5
+
+
+def _build_server(tracer):
+    catalog = MovieCatalog(
+        [
+            Movie(0, "hot-a", 60.0, popularity=0.6),
+            Movie(1, "hot-b", 80.0, popularity=0.4),
+        ],
+        popular_count=2,
+    )
+    return VODServer(
+        catalog,
+        {
+            0: SystemConfiguration(60.0, 10, 30.0),
+            1: SystemConfiguration(80.0, 10, 40.0),
+        },
+        num_streams=60,
+        buffer_pool=BufferPool.for_minutes(100.0),
+        behavior=VCRBehavior.uniform_duration_model(
+            ExponentialDuration(5.0), mean_think_time=10.0
+        ),
+        workload=ServerWorkload(
+            arrival_rate=0.8, horizon=400.0, warmup=100.0, seed=11
+        ),
+        tracer=tracer,
+    )
+
+
+def _median_seconds(make_tracer) -> tuple[float, object]:
+    timings = []
+    report = None
+    for _ in range(ROUNDS):
+        server = _build_server(make_tracer())
+        started = time.perf_counter()
+        report = server.run()
+        timings.append(time.perf_counter() - started)
+    return statistics.median(timings), report
+
+
+def test_disabled_tracing_overhead_within_5_percent():
+    baseline_seconds, baseline_report = _median_seconds(lambda: None)
+    disabled_seconds, disabled_report = _median_seconds(NullTraceWriter)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        trace_path = Path(scratch) / "bench.jsonl"
+        sink = open(trace_path, "w", encoding="utf-8")
+        try:
+            enabled_server = _build_server(TraceWriter(sink))
+            started = time.perf_counter()
+            enabled_server.run()
+            enabled_seconds = time.perf_counter() - started
+        finally:
+            sink.close()
+        events = sum(1 for _ in trace_path.open())
+
+    # Identical simulations regardless of wiring: the overhead comparison is
+    # only meaningful when the runs did exactly the same work.
+    assert baseline_report.resume_hits == disabled_report.resume_hits
+    assert baseline_report.vcr_issued == disabled_report.vcr_issued
+
+    disabled_overhead = disabled_seconds / baseline_seconds - 1.0
+    enabled_overhead = enabled_seconds / baseline_seconds - 1.0
+    payload = {
+        "rounds": ROUNDS,
+        "baseline_seconds": baseline_seconds,
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "disabled_overhead": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+        "trace_events": events,
+    }
+    TIMING_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nobservability overhead: baseline {baseline_seconds * 1e3:.1f}ms, "
+        f"disabled {disabled_seconds * 1e3:.1f}ms "
+        f"({disabled_overhead:+.1%}), enabled {enabled_seconds * 1e3:.1f}ms "
+        f"({enabled_overhead:+.1%}, {events} events) -> {TIMING_PATH}"
+    )
+
+    assert disabled_overhead <= 0.05, (
+        f"tracing-disabled run {disabled_overhead:+.1%} over the no-observer "
+        f"baseline (median of {ROUNDS}); the disabled path must stay free"
+    )

@@ -24,6 +24,16 @@ Subcommands
     Replay a logged trace through the online control plane tick by tick:
     telemetry ingest, drift-gated re-fit, re-plan, and a log line for every
     emitted :class:`AllocationDelta`.
+``obs summarize <trace.jsonl>`` / ``obs validate <trace.jsonl>``
+    Replay a structured observability trace into a run report, or validate
+    it against the event schema.
+
+Observability
+-------------
+``run``, ``simulate`` and ``runtime`` accept ``--trace-out FILE`` (structured
+JSONL event trace) and ``--metrics-out FILE`` (Prometheus text exposition,
+stable tier only — byte-identical across worker counts).  The global
+``-v``/``-q`` flags configure the library's logging verbosity.
 """
 
 from __future__ import annotations
@@ -37,9 +47,24 @@ from repro.core.hitmodel import HitProbabilityModel, VCRMix
 from repro.core.vcrop import VCROperation
 from repro.distributions.factory import distribution_from_spec
 from repro.experiments.registry import available_experiments, run_experiment
+from repro.obs.log import configure as configure_logging
+from repro.obs.registry import ObsRegistry
+from repro.obs.trace import TraceWriter
 from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_outputs(command: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace-out`` / ``--metrics-out`` options."""
+    command.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="write a structured JSONL event trace to FILE",
+    )
+    command.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write Prometheus-format metrics (stable tier) to FILE",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of Leung, Lui & Golubchik (ICDE 1997): buffer and I/O "
             "resource pre-allocation for VOD batching and buffering."
         ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (repeatable: -v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="decrease log verbosity (repeatable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -64,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for parallelisable experiments "
         "(0 = all CPUs; output is identical for any worker count)",
     )
+    _add_obs_outputs(run_cmd)
 
     hit_cmd = sub.add_parser("hit", help="evaluate P(hit) for one configuration")
     hit_cmd.add_argument("--length", type=float, required=True, help="movie length (min)")
@@ -118,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="queued viewers renege after ~this many minutes")
     sim_cmd.add_argument("--headroom", type=int, default=None,
                          help="extra streams beyond Σn (default: the Erlang reserve)")
+    _add_obs_outputs(sim_cmd)
 
     runtime_cmd = sub.add_parser(
         "runtime", help="replay a trace through the online control plane"
@@ -136,6 +171,24 @@ def build_parser() -> argparse.ArgumentParser:
     runtime_cmd.add_argument(
         "--stream-budget", type=int, default=None, help="total stream cap n_s"
     )
+    _add_obs_outputs(runtime_cmd)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect observability artifacts (traces, metrics)"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_summarize = obs_sub.add_parser(
+        "summarize", help="replay a structured trace into a run report"
+    )
+    obs_summarize.add_argument("trace", type=Path, help="JSONL trace file")
+    obs_summarize.add_argument(
+        "--buckets", type=int, default=8,
+        help="time buckets for the stream-occupancy timeline",
+    )
+    obs_validate = obs_sub.add_parser(
+        "validate", help="validate a structured trace against the event schema"
+    )
+    obs_validate.add_argument("trace", type=Path, help="JSONL trace file")
     return parser
 
 
@@ -145,8 +198,32 @@ def _cmd_list() -> int:
     return 0
 
 
+def _open_tracer(args: argparse.Namespace) -> TraceWriter | None:
+    """A trace writer for ``--trace-out``, or ``None`` when not requested."""
+    return TraceWriter(args.trace_out) if args.trace_out is not None else None
+
+
+def _write_metrics(args: argparse.Namespace, registry: ObsRegistry | None) -> None:
+    """Write the stable-tier Prometheus exposition for ``--metrics-out``."""
+    if registry is not None and args.metrics_out is not None:
+        args.metrics_out.write_text(registry.render_prometheus())
+        print(f"wrote {args.metrics_out}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, fast=args.fast, workers=args.workers)
+    tracer = _open_tracer(args)
+    registry = ObsRegistry() if args.metrics_out is not None else None
+    try:
+        result = run_experiment(
+            args.experiment,
+            fast=args.fast,
+            workers=args.workers,
+            tracer=tracer,
+            registry=registry,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(result.render())
     if result.parallel_outcome is not None and args.workers != 1:
         print(f"parallel: {result.parallel_outcome.describe()}")
@@ -156,6 +233,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             path = args.csv / f"{result.experiment_id}_{index}.csv"
             path.write_text(table.to_csv())
             print(f"wrote {path}")
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
+    _write_metrics(args, registry)
     return 0
 
 
@@ -376,24 +456,44 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             else {op: first.durations for op in VCROperation}
         ),
     )
-    server = VODServer(
-        catalog,
-        allocation,
-        num_streams=report.result.total_streams + headroom,
-        buffer_pool=BufferPool.for_minutes(report.result.total_buffer_minutes + 1.0),
-        behavior=behavior,
-        workload=ServerWorkload(
-            arrival_rate=args.arrival_rate,
-            horizon=args.horizon,
-            warmup=args.warmup,
-            seed=args.seed,
-            mean_patience=args.mean_patience,
-        ),
-    )
-    outcome = server.run()
+    name_to_id = {spec.name: index for index, spec in enumerate(specs)}
+    predicted_hits = {
+        name_to_id[a.spec.name]: a.hit_probability
+        for a in report.result.allocations
+    }
+    tracer = _open_tracer(args)
+    try:
+        server = VODServer(
+            catalog,
+            allocation,
+            num_streams=report.result.total_streams + headroom,
+            buffer_pool=BufferPool.for_minutes(report.result.total_buffer_minutes + 1.0),
+            behavior=behavior,
+            workload=ServerWorkload(
+                arrival_rate=args.arrival_rate,
+                horizon=args.horizon,
+                warmup=args.warmup,
+                seed=args.seed,
+                mean_patience=args.mean_patience,
+            ),
+            tracer=tracer,
+            predicted_hits=predicted_hits,
+        )
+        outcome = server.run()
+    finally:
+        if tracer is not None:
+            tracer.close()
     print("\nsimulated outcome:")
     for line in outcome.summary_lines():
         print("  " + line)
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
+    if args.metrics_out is not None:
+        from repro.obs.adapters import export_sim_metrics
+
+        registry = ObsRegistry()
+        export_sim_metrics(server.metrics, server.env.now, registry)
+        _write_metrics(args, registry)
     return 0
 
 
@@ -432,27 +532,37 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         for movie_id, length in sorted(lengths.items())
     ]
     hub = TelemetryHub()
+    tracer = _open_tracer(args)
     controller = CapacityController(
         slots,
         hub,
         policy=ControllerPolicy(
             stream_budget=args.stream_budget, cooldown_minutes=args.tick
         ),
+        tracer=tracer,
     )
     horizon = max(s.arrival_minutes + (s.ended_at_minutes or 0.0) for s in sessions)
     print(
         f"replaying {len(sessions)} sessions over {len(slots)} movies "
         f"({horizon:.0f} min horizon, tick {args.tick:g} min)"
     )
-    now, index = 0.0, 0
-    while now < horizon:
-        now = min(now + args.tick, horizon)
-        while index < len(sessions) and sessions[index].arrival_minutes <= now:
-            hub.ingest_session(sessions[index])
-            index += 1
-        delta = controller.tick(now)
-        if delta is not None:
-            print(f"[t={now:8.1f}] {delta.describe()}")
+    try:
+        if tracer is not None:
+            tracer.emit("run_start", 0.0, label="runtime-replay")
+        now, index = 0.0, 0
+        while now < horizon:
+            now = min(now + args.tick, horizon)
+            while index < len(sessions) and sessions[index].arrival_minutes <= now:
+                hub.ingest_session(sessions[index])
+                index += 1
+            delta = controller.tick(now)
+            if delta is not None:
+                print(f"[t={now:8.1f}] {delta.describe()}")
+        if tracer is not None:
+            tracer.emit("run_end", now, label="runtime-replay")
+    finally:
+        if tracer is not None:
+            tracer.close()
     counters = controller.counters()
     print("control summary  : " + ", ".join(f"{k}={v}" for k, v in counters.items()))
     for movie_id, config in sorted(controller.current_allocation.items()):
@@ -465,12 +575,43 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
             f"cache[{name}]: hits={stats.hits} misses={stats.misses} "
             f"hit_rate={stats.hit_rate:.2f}"
         )
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
+    if args.metrics_out is not None:
+        from repro.obs.adapters import export_controller_counters
+
+        registry = ObsRegistry()
+        export_controller_counters(counters, registry)
+        _write_metrics(args, registry)
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect observability artifacts."""
+    from repro.exceptions import TraceSchemaError
+    from repro.obs.summarize import summarize_trace
+    from repro.obs.trace import validate_trace_file
+
+    if not args.trace.exists():
+        print(f"trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    try:
+        if args.obs_command == "validate":
+            count = validate_trace_file(args.trace)
+            print(f"{args.trace}: {count} events, schema OK")
+            return 0
+        summary = summarize_trace(args.trace, timeline_buckets=args.buckets)
+        print(summary.render())
+        return 0
+    except TraceSchemaError as exc:
+        print(f"invalid trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -487,6 +628,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "runtime":
         return _cmd_runtime(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

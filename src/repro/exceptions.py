@@ -57,6 +57,32 @@ class DegenerateDataError(FittingError):
     """
 
 
+class ClockRegressionError(SimulationError):
+    """A time-stamped statistic was fed a timestamp earlier than its last one.
+
+    Time-weighted metrics integrate state over elapsed time; a regressing
+    clock would subtract area and silently corrupt the weighted mean, so the
+    update (and any read at a stale ``now``) fails loudly instead.
+    """
+
+
+class ObserverError(SimulationError):
+    """An attached observer raised inside one of its hooks.
+
+    The offending hook and observer are named in the message and the original
+    exception is chained, so instrumentation bugs surface as themselves
+    instead of masquerading as simulation failures.
+    """
+
+
+class ObservabilityError(ReproError):
+    """Base class for metrics/tracing errors raised by :mod:`repro.obs`."""
+
+
+class TraceSchemaError(ObservabilityError, ValueError):
+    """A structured trace event does not conform to the event schema."""
+
+
 class SizingError(ReproError, RuntimeError):
     """System sizing could not produce a feasible allocation."""
 

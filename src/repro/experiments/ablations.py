@@ -16,7 +16,6 @@
 from __future__ import annotations
 
 import math
-import time
 
 from repro.core.hitmodel import HitProbabilityModel, VCRMix
 from repro.core.hitsets import hit_probability
@@ -33,6 +32,7 @@ from repro.distributions import (
     truncate,
 )
 from repro.experiments.reporting import ExperimentResult, Table
+from repro.obs.spans import span
 from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
 from repro.vod.batching import (
     allocation_buffer_total,
@@ -73,18 +73,17 @@ def run_ablation_model(fast: bool = False) -> ExperimentResult:
     speedups = []
     for n, w in grid:
         config = SystemConfiguration.from_wait(length, n, w)
-        t0 = time.perf_counter()
-        engine = hit_probability(VCROperation.FAST_FORWARD, config, duration)
-        t1 = time.perf_counter()
-        paper = p_hit_fastforward(config, duration)
-        t2 = time.perf_counter()
+        with span("ablation.model.engine") as t_engine:
+            engine = hit_probability(VCROperation.FAST_FORWARD, config, duration)
+        with span("ablation.model.paper_eqs") as t_paper:
+            paper = p_hit_fastforward(config, duration)
         direct = p_hit_fastforward_direct(config, duration)
         gap = max(abs(engine - paper), abs(engine - direct), abs(paper - direct))
         worst = max(worst, gap)
-        speedups.append((t2 - t1) / max(t1 - t0, 1e-9))
+        speedups.append(t_paper.elapsed / max(t_engine.elapsed, 1e-9))
         table.add_row(
             n, w, engine, paper, direct, gap,
-            round((t1 - t0) * 1e3, 2), round((t2 - t1) * 1e3, 2),
+            round(t_engine.elapsed * 1e3, 2), round(t_paper.elapsed * 1e3, 2),
         )
     result.add_note(f"worst pairwise gap: {worst:.2e}")
     result.add_note(

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from repro.experiments.example1 import paper_example1_specs
 from repro.experiments.reporting import ExperimentResult, Table
+from repro.obs.adapters import export_parallel_outcome
+from repro.obs.registry import TIER_STABLE
+from repro.obs.spans import span
 from repro.parallel.sweeps import FrontierTask, sweep_frontiers, warm_feasible_set
 
 __all__ = ["run_figure8", "figure8_tasks"]
@@ -36,16 +39,38 @@ def figure8_tasks(fast: bool = False) -> list[FrontierTask]:
     return tasks
 
 
-def run_figure8(fast: bool = False, workers: int | None = 1) -> ExperimentResult:
-    """Reproduce Figure 8's feasible sets (5-minute buffer granularity)."""
+def run_figure8(
+    fast: bool = False, workers: int | None = 1, tracer=None, registry=None
+) -> ExperimentResult:
+    """Reproduce Figure 8's feasible sets (5-minute buffer granularity).
+
+    With a trace writer attached, the driver emits one deterministic
+    ``frontier`` event per evaluated ``(B, n)`` point *after* the sweep (the
+    events replay the warm feasible sets, never worker-side state), so the
+    trace is byte-identical for any worker count.  A metrics registry gains
+    stable-tier frontier counters and process-tier sweep telemetry.
+    """
     step = 10.0 if fast else 5.0
     result = ExperimentResult(
         experiment_id="figure8",
         title=f"Figure 8: feasible (B, n) pairs, {step:g}-minute buffer steps, P*=0.5",
     )
     tasks = figure8_tasks(fast)
-    frontiers, outcome = sweep_frontiers(tasks, workers=workers)
+    with span("experiment.figure8"):
+        frontiers, outcome = sweep_frontiers(tasks, workers=workers)
     result.parallel_outcome = outcome
+    tracer = tracer if tracer is not None and tracer.enabled else None
+    if tracer is not None:
+        tracer.emit("run_start", 0.0, label="figure8")
+    points_metric = None
+    if registry is not None:
+        points_metric = registry.counter(
+            "repro_frontier_points_total",
+            "Feasibility-frontier points evaluated, by movie and verdict.",
+            labelnames=("movie", "feasible"),
+            tier=TIER_STABLE,
+        )
+        export_parallel_outcome(outcome, registry)
     for task, frontier in zip(tasks, frontiers):
         spec = task.spec
         feasible = warm_feasible_set(spec, frontier)
@@ -59,17 +84,33 @@ def run_figure8(fast: bool = False, workers: int | None = 1) -> ExperimentResult
             )
         )
         for point in feasible.curve(task.stream_counts):
+            meets = point.meets(spec.p_star)
             table.add_row(
                 point.buffer_minutes,
                 point.num_streams,
                 point.hit_probability,
-                "yes" if point.meets(spec.p_star) else "no",
+                "yes" if meets else "no",
             )
+            if tracer is not None:
+                tracer.emit(
+                    "frontier",
+                    0.0,
+                    name=spec.name,
+                    streams=point.num_streams,
+                    buffer_minutes=point.buffer_minutes,
+                    p_hit=point.hit_probability,
+                    feasible=meets,
+                )
+            if points_metric is not None:
+                points_metric.labels(spec.name, "yes" if meets else "no").inc()
         best = feasible.best_point()
         result.add_note(
             f"{spec.name}: frontier boundary at n={best.num_streams}, "
             f"B={best.buffer_minutes:.1f} min (P(hit)={best.hit_probability:.4f})"
         )
+    if tracer is not None:
+        tracer.emit("run_end", 0.0, label="figure8")
+        tracer.flush()
     return result
 
 

@@ -22,8 +22,11 @@ from repro.experiments.figure9 import run_figure9
 from repro.experiments.online import run_online_control
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.reservation import run_reservation
+from repro.obs.log import get_logger
 
 __all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]
+
+_log = get_logger("experiments")
 
 EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "figure7a": partial(run_figure7, "a"),
@@ -51,7 +54,11 @@ def available_experiments() -> list[str]:
 
 
 def run_experiment(
-    experiment_id: str, fast: bool = False, workers: int | None = 1
+    experiment_id: str,
+    fast: bool = False,
+    workers: int | None = 1,
+    tracer=None,
+    registry=None,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
@@ -59,7 +66,10 @@ def run_experiment(
     the default settings match the fidelity of the paper's evaluation.
     ``workers`` fans parallelisable experiments (the Figure-8/9 grids) out
     over a deterministic process pool — output is identical for any worker
-    count; runners without a ``workers`` parameter simply ignore the knob.
+    count.  ``tracer`` (a :class:`~repro.obs.trace.TraceWriter`) and
+    ``registry`` (an :class:`~repro.obs.registry.ObsRegistry`) are forwarded
+    to runners instrumented for them; runners without the matching parameter
+    simply ignore the knob.
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -67,6 +77,13 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
         ) from None
-    if "workers" in inspect.signature(runner).parameters:
-        return runner(fast, workers=workers)
-    return runner(fast)
+    _log.info("running experiment %s (fast=%s, workers=%s)", experiment_id, fast, workers)
+    params = inspect.signature(runner).parameters
+    kwargs: dict = {}
+    if "workers" in params:
+        kwargs["workers"] = workers
+    if "tracer" in params:
+        kwargs["tracer"] = tracer
+    if "registry" in params:
+        kwargs["registry"] = registry
+    return runner(fast, **kwargs)

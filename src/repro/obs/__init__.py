@@ -1,0 +1,97 @@
+"""Unified observability: metrics registry, event tracing, profiling spans.
+
+One zero-dependency subsystem carries every quantity the paper's argument
+needs watched end-to-end:
+
+* :mod:`repro.obs.registry` — labelled :class:`Counter`/:class:`Gauge`/
+  :class:`Histogram` families with Prometheus-style text exposition and JSON
+  export, split into a deterministic ``stable`` tier and a wall-clock
+  ``process`` tier;
+* :mod:`repro.obs.trace` — schema-versioned JSONL event tracing
+  (:class:`TraceWriter` / :class:`NullTraceWriter`) of the batching/VCR
+  session lifecycle, stream pool and control plane;
+* :mod:`repro.obs.spans` — the :func:`span` profiling context manager,
+  aggregated into the registry as histograms;
+* :mod:`repro.obs.adapters` — exporters from the simulation-time metrics,
+  the model-evaluation cache and parallel outcomes into the registry, plus
+  the :class:`TracingObserver` server bridge;
+* :mod:`repro.obs.summarize` — trace replay into a run report (observed vs
+  predicted ``P(hit)``, stream occupancy timeline, VCR mix);
+* :mod:`repro.obs.log` — the library-wide :mod:`logging` hierarchy the CLI
+  configures via ``-v``/``-q``.
+
+Determinism contract: trace events and stable-tier metrics read time from
+the simulation environment, never the wall clock, so serial and parallel
+runs of the same inputs export byte-identical files.
+"""
+
+from repro.obs.adapters import (
+    TracingObserver,
+    export_cache_stats,
+    export_controller_counters,
+    export_parallel_outcome,
+    export_sim_metrics,
+)
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    TIER_PROCESS,
+    TIER_STABLE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    ObsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.spans import Span, span
+from repro.obs.summarize import (
+    MovieSummary,
+    TraceSummary,
+    summarize_trace,
+    wilson_interval,
+)
+from repro.obs.trace import (
+    EVENT_SCHEMA,
+    SCHEMA_VERSION,
+    NullTraceWriter,
+    TraceWriter,
+    read_trace,
+    validate_event,
+    validate_trace_file,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "ObsRegistry",
+    "DEFAULT_BUCKETS",
+    "TIER_STABLE",
+    "TIER_PROCESS",
+    "default_registry",
+    "set_default_registry",
+    "TraceWriter",
+    "NullTraceWriter",
+    "SCHEMA_VERSION",
+    "EVENT_SCHEMA",
+    "read_trace",
+    "validate_event",
+    "validate_trace_file",
+    "Span",
+    "span",
+    "TracingObserver",
+    "export_sim_metrics",
+    "export_cache_stats",
+    "export_controller_counters",
+    "export_parallel_outcome",
+    "MovieSummary",
+    "TraceSummary",
+    "summarize_trace",
+    "wilson_interval",
+    "get_logger",
+    "configure_logging",
+]

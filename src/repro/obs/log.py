@@ -1,0 +1,55 @@
+"""Library-wide logging: one hierarchy, configured once by the CLI.
+
+Library code never prints to stdout.  Modules obtain a namespaced logger via
+:func:`get_logger` (all under the ``repro`` root logger) and log at the
+usual levels; nothing is shown unless an application configures handlers.
+The ``repro-vod`` CLI calls :func:`configure` exactly once, mapping its
+``-v``/``-q`` flags to a level, with output on **stderr** so piped stdout
+stays machine-readable (tables, CSV, exported metrics).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["get_logger", "configure", "verbosity_level"]
+
+_ROOT = "repro"
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
+
+
+def verbosity_level(verbose: int = 0, quiet: int = 0) -> int:
+    """Map CLI ``-v``/``-q`` counts to a :mod:`logging` level.
+
+    Default WARNING; each ``-v`` lowers (INFO, DEBUG), each ``-q`` raises
+    (ERROR, CRITICAL).
+    """
+    step = quiet - verbose
+    level = logging.WARNING + 10 * step
+    return max(logging.DEBUG, min(logging.CRITICAL, level))
+
+
+def configure(
+    verbose: int = 0, quiet: int = 0, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Configure the ``repro`` root logger once (idempotent).
+
+    Re-invocation replaces the handler rather than stacking duplicates, so
+    tests and long-lived processes can reconfigure safely.
+    """
+    root = get_logger()
+    root.setLevel(verbosity_level(verbose, quiet))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    for existing in list(root.handlers):
+        root.removeHandler(existing)
+    root.addHandler(handler)
+    root.propagate = False
+    return root

@@ -1,0 +1,84 @@
+"""Lightweight profiling spans aggregated into the metrics registry.
+
+A span measures one wall-clock section on the monotonic clock and records
+its duration into a ``repro_span_seconds`` histogram (``TIER_PROCESS`` — the
+deterministic exposition never includes wall clock).  Spans nest through a
+per-thread stack; a child's label is its dotted path, so
+
+    with span("replan"):
+        with span("solve"):
+            ...
+
+records under ``replan`` and ``replan.solve``.  The context manager yields
+the :class:`Span`, whose ``elapsed`` (seconds) is set on exit — the direct
+replacement for the hand-rolled ``perf_counter`` pairs the parallel executor
+and the ablations previously carried.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.registry import ObsRegistry, default_registry
+
+__all__ = ["Span", "span", "SPAN_METRIC", "SPAN_BUCKETS"]
+
+SPAN_METRIC = "repro_span_seconds"
+
+#: Span-duration buckets (seconds): model evaluations to full experiments.
+SPAN_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 300.0,
+)
+
+_local = threading.local()
+
+
+class Span:
+    """One timed section; ``elapsed`` is populated when the span closes."""
+
+    __slots__ = ("name", "path", "elapsed")
+
+    def __init__(self, name: str, path: str) -> None:
+        self.name = name
+        self.path = path
+        self.elapsed: float = 0.0
+
+
+def _stack() -> list[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+@contextmanager
+def span(name: str, registry: ObsRegistry | None = None) -> Iterator[Span]:
+    """Time a section and aggregate it into the registry as a histogram.
+
+    ``registry`` defaults to the process-wide default registry.  The yielded
+    :class:`Span` carries the measured ``elapsed`` seconds after exit, so
+    callers needing the raw duration (e.g. shard reports) read it directly
+    instead of re-timing.
+    """
+    stack = _stack()
+    stack.append(name)
+    path = ".".join(stack)
+    out = Span(name, path)
+    started = time.perf_counter()
+    try:
+        yield out
+    finally:
+        out.elapsed = time.perf_counter() - started
+        stack.pop()
+        target = registry if registry is not None else default_registry()
+        target.histogram(
+            SPAN_METRIC,
+            "Wall-clock duration of profiled sections, labelled by span path.",
+            labelnames=("span",),
+            buckets=SPAN_BUCKETS,
+        ).labels(path).observe(out.elapsed)

@@ -1,0 +1,339 @@
+"""Replay a structured trace into a run report.
+
+``repro-vod obs summarize TRACE.jsonl`` answers the paper's questions from
+the recorded event stream alone:
+
+* **observed vs. predicted P(hit)** per movie — resume hits/misses from
+  ``resume`` events, a Wilson 95% interval around the observed rate, and
+  the analytic prediction recorded in ``movie_config`` (when the producer
+  knew it), flagged as inside/outside the interval;
+* **VCR mix** — the realised FF/RW/PAU shares and denial counts;
+* **stream occupancy timeline** — pool-wide occupancy integrated over
+  equal time buckets from ``stream_acquire``/``stream_release`` events;
+* batching and control-plane activity — restarts (and starved restarts),
+  re-plan decisions and actuations, frontier sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.numerics.stats import normal_quantile
+from repro.obs.trace import read_trace
+
+__all__ = ["MovieSummary", "TraceSummary", "summarize_trace", "wilson_interval"]
+
+
+def wilson_interval(
+    successes: int, total: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because resume counts per movie
+    can be small and the rate can sit near 0 or 1.
+    """
+    if total <= 0:
+        return (0.0, 1.0)
+    z = normal_quantile(0.5 + confidence / 2.0)
+    p = successes / total
+    denom = 1.0 + z * z / total
+    center = (p + z * z / (2 * total)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / total + z * z / (4 * total * total))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass
+class MovieSummary:
+    """Everything the trace says about one movie."""
+
+    movie_id: int
+    name: str = ""
+    length: float | None = None
+    streams: int | None = None
+    buffer_minutes: float | None = None
+    predicted_hit: float | None = None
+    sessions_started: int = 0
+    sessions_ended: int = 0
+    resume_hits: int = 0
+    resume_misses: int = 0
+    vcr_ops: dict[str, int] = field(default_factory=dict)
+    vcr_denied: int = 0
+    restarts: int = 0
+    restarts_starved: int = 0
+
+    @property
+    def resumes(self) -> int:
+        """Total resolved resumes."""
+        return self.resume_hits + self.resume_misses
+
+    @property
+    def observed_hit_rate(self) -> float | None:
+        """Observed resume hit fraction (None before any resume)."""
+        return self.resume_hits / self.resumes if self.resumes else None
+
+    def hit_rate_ci(self, confidence: float = 0.95) -> tuple[float, float] | None:
+        """Wilson interval around the observed hit rate."""
+        if not self.resumes:
+            return None
+        return wilson_interval(self.resume_hits, self.resumes, confidence)
+
+    @property
+    def predicted_within_ci(self) -> bool | None:
+        """Is the recorded analytic P(hit) inside the observed interval?"""
+        if self.predicted_hit is None:
+            return None
+        interval = self.hit_rate_ci()
+        if interval is None:
+            return None
+        low, high = interval
+        return low <= self.predicted_hit <= high
+
+
+@dataclass
+class TraceSummary:
+    """The reduced view of one trace, renderable as a text report."""
+
+    events: int = 0
+    label: str = ""
+    start_minutes: float = 0.0
+    end_minutes: float = 0.0
+    movies: dict[int, MovieSummary] = field(default_factory=dict)
+    #: ``[(bucket_end_minutes, time-averaged streams in use), ...]``
+    occupancy_timeline: list[tuple[float, float]] = field(default_factory=list)
+    peak_streams: int = 0
+    stream_acquires: int = 0
+    replan_decisions: dict[str, int] = field(default_factory=dict)
+    actuations_applied: int = 0
+    actuations_rejected: int = 0
+    #: frontier sweep: name -> (points, feasible points, best feasible n)
+    frontiers: dict[str, tuple[int, int, int | None]] = field(default_factory=dict)
+
+    def movie(self, movie_id: int) -> MovieSummary:
+        """Get-or-create one movie's summary bucket."""
+        if movie_id not in self.movies:
+            self.movies[movie_id] = MovieSummary(movie_id, name=f"movie{movie_id}")
+        return self.movies[movie_id]
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+    def summary_lines(self) -> list[str]:
+        """The human-readable report block the CLI prints."""
+        lines = [
+            f"trace: {self.events} events over "
+            f"[{self.start_minutes:g}, {self.end_minutes:g}] min"
+            + (f" ({self.label})" if self.label else "")
+        ]
+        for movie in sorted(self.movies.values(), key=lambda m: m.movie_id):
+            lines.extend(self._movie_lines(movie))
+        if self.occupancy_timeline:
+            lines.append(
+                f"stream occupancy     : peak {self.peak_streams}, "
+                f"{self.stream_acquires} acquisitions"
+            )
+            timeline = "  ".join(
+                f"{end:g}min:{mean:.1f}" for end, mean in self.occupancy_timeline
+            )
+            lines.append(f"occupancy timeline   : {timeline}")
+        if self.replan_decisions:
+            decisions = ", ".join(
+                f"{outcome}={count}"
+                for outcome, count in sorted(self.replan_decisions.items())
+            )
+            lines.append(f"re-plan decisions    : {decisions}")
+        if self.actuations_applied or self.actuations_rejected:
+            lines.append(
+                f"plan actuations      : applied {self.actuations_applied}, "
+                f"rejected {self.actuations_rejected}"
+            )
+        for name, (points, feasible, best) in sorted(self.frontiers.items()):
+            best_text = f"best n={best}" if best is not None else "no feasible point"
+            lines.append(
+                f"frontier {name:<12}: {points} points, {feasible} feasible, {best_text}"
+            )
+        return lines
+
+    def _movie_lines(self, movie: MovieSummary) -> list[str]:
+        head = f"movie {movie.movie_id} ({movie.name})"
+        if movie.streams is not None and movie.buffer_minutes is not None:
+            head += f": n={movie.streams}, B={movie.buffer_minutes:.1f} min"
+        lines = [head]
+        lines.append(
+            f"  sessions           : {movie.sessions_started} started, "
+            f"{movie.sessions_ended} ended"
+        )
+        if movie.resumes:
+            rate = movie.observed_hit_rate or 0.0
+            low, high = movie.hit_rate_ci() or (0.0, 1.0)
+            text = (
+                f"  resume P(hit)      : observed {rate:.4f} "
+                f"[{low:.4f}, {high:.4f}] over {movie.resumes} resumes"
+            )
+            if movie.predicted_hit is not None:
+                verdict = "within CI" if movie.predicted_within_ci else "OUTSIDE CI"
+                text += f"; predicted {movie.predicted_hit:.4f} -> {verdict}"
+            lines.append(text)
+        elif movie.predicted_hit is not None:
+            lines.append(
+                f"  resume P(hit)      : predicted {movie.predicted_hit:.4f} "
+                "(no resumes observed)"
+            )
+        total_ops = sum(movie.vcr_ops.values())
+        if total_ops:
+            mix = " / ".join(
+                f"{op} {count / total_ops:.2f}"
+                for op, count in sorted(movie.vcr_ops.items())
+            )
+            lines.append(
+                f"  VCR mix            : {mix} over {total_ops} ops "
+                f"(denied {movie.vcr_denied})"
+            )
+        if movie.restarts or movie.restarts_starved:
+            lines.append(
+                f"  batch restarts     : {movie.restarts} "
+                f"(starved {movie.restarts_starved})"
+            )
+        return lines
+
+    def render(self) -> str:
+        """The full report as one string."""
+        return "\n".join(self.summary_lines())
+
+
+class _OccupancyIntegrator:
+    """Integrates pool-wide occupancy over the trace's time axis."""
+
+    def __init__(self) -> None:
+        self.samples: list[tuple[float, int]] = []
+
+    def record(self, t: float, in_use: int) -> None:
+        self.samples.append((t, in_use))
+
+    def timeline(
+        self, start: float, end: float, buckets: int = 8
+    ) -> list[tuple[float, float]]:
+        if not self.samples or end <= start:
+            return []
+        width = (end - start) / buckets
+        edges = [start + width * (index + 1) for index in range(buckets)]
+        areas = [0.0] * buckets
+        level = 0
+        last_t = start
+        samples = self.samples + [(end, self.samples[-1][1])]
+        for t, in_use in samples:
+            t = min(max(t, start), end)
+            self._spread(areas, edges, width, last_t, t, level)
+            level = in_use
+            last_t = t
+        return [
+            (edge, area / width if width > 0 else 0.0)
+            for edge, area in zip(edges, areas)
+        ]
+
+    @staticmethod
+    def _spread(
+        areas: list[float],
+        edges: list[float],
+        width: float,
+        t0: float,
+        t1: float,
+        level: int,
+    ) -> None:
+        if t1 <= t0 or width <= 0.0:
+            return
+        for index, edge in enumerate(edges):
+            bucket_start = edge - width
+            lo = max(t0, bucket_start)
+            hi = min(t1, edge)
+            if hi > lo:
+                areas[index] += level * (hi - lo)
+
+
+def summarize_trace(
+    source: str | Path | Iterable[Mapping], timeline_buckets: int = 8
+) -> TraceSummary:
+    """Reduce a trace (path or iterable of decoded events) to a summary."""
+    if isinstance(source, (str, Path)):
+        events: Iterable[Mapping] = read_trace(source)
+    else:
+        events = source
+    summary = TraceSummary()
+    occupancy = _OccupancyIntegrator()
+    first_t: float | None = None
+    last_t = 0.0
+    frontier_raw: dict[str, list[tuple[int, bool]]] = {}
+    for event in events:
+        summary.events += 1
+        t = float(event["t"])
+        if first_t is None:
+            first_t = t
+        last_t = max(last_t, t)
+        kind = event["ev"]
+        if kind == "run_start":
+            summary.label = str(event["label"])
+        elif kind == "movie_config":
+            movie = summary.movie(int(event["movie"]))
+            movie.name = str(event["name"])
+            movie.length = float(event["length"])
+            movie.streams = int(event["streams"])
+            movie.buffer_minutes = float(event["buffer_minutes"])
+            predicted = event["predicted_hit"]
+            movie.predicted_hit = None if predicted is None else float(predicted)
+        elif kind == "session_start":
+            summary.movie(int(event["movie"])).sessions_started += 1
+        elif kind == "session_end":
+            summary.movie(int(event["movie"])).sessions_ended += 1
+        elif kind == "resume":
+            movie = summary.movie(int(event["movie"]))
+            if event["hit"]:
+                movie.resume_hits += 1
+            else:
+                movie.resume_misses += 1
+        elif kind == "vcr_begin":
+            movie = summary.movie(int(event["movie"]))
+            op = str(event["op"])
+            movie.vcr_ops[op] = movie.vcr_ops.get(op, 0) + 1
+        elif kind == "vcr_end":
+            if event["outcome"] == "denied":
+                summary.movie(int(event["movie"])).vcr_denied += 1
+        elif kind == "batch_restart":
+            movie = summary.movie(int(event["movie"]))
+            if event["starved"]:
+                movie.restarts_starved += 1
+            else:
+                movie.restarts += 1
+        elif kind == "stream_acquire":
+            summary.stream_acquires += 1
+            in_use = int(event["in_use"])
+            summary.peak_streams = max(summary.peak_streams, in_use)
+            occupancy.record(t, in_use)
+        elif kind == "stream_release":
+            occupancy.record(t, int(event["in_use"]))
+        elif kind == "replan_decision":
+            outcome = str(event["outcome"])
+            summary.replan_decisions[outcome] = (
+                summary.replan_decisions.get(outcome, 0) + 1
+            )
+        elif kind == "plan_actuation":
+            summary.actuations_applied += int(event["applied"])
+            summary.actuations_rejected += int(event["rejected"])
+        elif kind == "frontier":
+            frontier_raw.setdefault(str(event["name"]), []).append(
+                (int(event["streams"]), bool(event["feasible"]))
+            )
+    summary.start_minutes = first_t or 0.0
+    summary.end_minutes = last_t
+    summary.occupancy_timeline = occupancy.timeline(
+        summary.start_minutes, summary.end_minutes, timeline_buckets
+    )
+    for name, points in frontier_raw.items():
+        feasible = [n for n, ok in points if ok]
+        summary.frontiers[name] = (
+            len(points),
+            len(feasible),
+            max(feasible) if feasible else None,
+        )
+    return summary

@@ -1,0 +1,281 @@
+"""Schema-versioned structured event tracing (JSONL).
+
+Every event is one JSON object per line with a fixed envelope::
+
+    {"v": 1, "seq": 17, "t": 42.5, "ev": "resume", ...payload}
+
+* ``v`` — the schema version (:data:`SCHEMA_VERSION`);
+* ``seq`` — a per-writer monotone sequence number (total order of emission);
+* ``t`` — **simulation** minutes (or the replayed trace's clock).  Wall
+  clock never enters a trace, so two runs of the same inputs — serial or
+  parallel — emit byte-identical traces;
+* ``ev`` — the event type, one of :data:`EVENT_SCHEMA`'s keys.
+
+The payload fields per event type are declared in :data:`EVENT_SCHEMA` and
+enforced both at emission (:class:`TraceWriter` validates by default) and at
+ingestion (:func:`validate_trace_file`), so a trace that loads is a trace
+every tool can replay.
+
+:class:`NullTraceWriter` is the disabled-path stand-in: ``enabled`` is
+``False`` and ``emit`` returns immediately, so instrumented hot paths cost
+one branch (``if tracer is not None``) when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator, Mapping
+
+from repro.exceptions import TraceSchemaError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_SCHEMA",
+    "TraceWriter",
+    "NullTraceWriter",
+    "validate_event",
+    "validate_trace_file",
+    "read_trace",
+]
+
+SCHEMA_VERSION = 1
+
+_NUM = (int, float)
+_OPT_NUM = (int, float, type(None))
+
+#: Event type -> {field: allowed JSON types}.  Every field is required;
+#: unknown payload fields are rejected at validation time.
+EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
+    # Run lifecycle.
+    "run_start": {"label": (str,)},
+    "run_end": {"label": (str,)},
+    # Deployment: one per controlled/served movie at run start and on
+    # actuated re-plans.  ``predicted_hit`` is the analytic P(hit) when the
+    # producer knows it, else null.
+    "movie_config": {
+        "movie": (int,),
+        "name": (str,),
+        "length": _NUM,
+        "streams": (int,),
+        "buffer_minutes": _NUM,
+        "predicted_hit": _OPT_NUM,
+    },
+    # Session lifecycle (VODServer observer hooks).
+    "session_start": {"movie": (int,), "length": _NUM},
+    "session_end": {"movie": (int,)},
+    # Batching: one restart attempt of a movie's partition schedule.
+    "batch_restart": {"movie": (int,), "starved": (bool,)},
+    # VCR operation lifecycle.  ``outcome`` is "ok", "denied" (phase-1
+    # starvation) or "end_of_movie" (FF ran off the end).
+    "vcr_begin": {"movie": (int,), "op": (str,), "duration": _NUM},
+    "vcr_end": {"movie": (int,), "op": (str,), "outcome": (str,)},
+    # Resume: hit/miss with the resume position and the matched partition's
+    # restart time (null on a miss).
+    "resume": {
+        "movie": (int,),
+        "hit": (bool,),
+        "position": _NUM,
+        "window_start": _OPT_NUM,
+    },
+    # Stream pool lifecycle; ``in_use`` is the pool-wide occupancy after the
+    # transition.
+    "stream_acquire": {"purpose": (str,), "in_use": (int,)},
+    "stream_release": {"purpose": (str,), "in_use": (int,), "held_minutes": _NUM},
+    # Control plane: one per controller tick, and one per actuated delta.
+    "replan_decision": {"outcome": (str,), "tick": (int,)},
+    "plan_actuation": {"applied": (int,), "rejected": (int,)},
+    # Analytic sweeps: one feasibility-frontier point (Figure-8 style).
+    "frontier": {
+        "name": (str,),
+        "streams": (int,),
+        "buffer_minutes": _NUM,
+        "p_hit": _NUM,
+        "feasible": (bool,),
+    },
+}
+
+_ENVELOPE = ("v", "seq", "t", "ev")
+
+
+def validate_event(obj: Mapping, line: int | None = None) -> None:
+    """Validate one decoded event object against the schema.
+
+    Raises :class:`~repro.exceptions.TraceSchemaError` naming the offending
+    line (1-based, when given) and field.
+    """
+    where = f"line {line}: " if line is not None else ""
+    for field in _ENVELOPE:
+        if field not in obj:
+            raise TraceSchemaError(f"{where}missing envelope field {field!r}")
+    if obj["v"] != SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"{where}unsupported schema version {obj['v']!r} "
+            f"(this reader speaks {SCHEMA_VERSION})"
+        )
+    if not isinstance(obj["seq"], int) or isinstance(obj["seq"], bool):
+        raise TraceSchemaError(f"{where}seq must be an integer, got {obj['seq']!r}")
+    if not isinstance(obj["t"], (int, float)) or isinstance(obj["t"], bool):
+        raise TraceSchemaError(f"{where}t must be a number, got {obj['t']!r}")
+    event_type = obj["ev"]
+    fields = EVENT_SCHEMA.get(event_type)
+    if fields is None:
+        raise TraceSchemaError(f"{where}unknown event type {event_type!r}")
+    for name, types in fields.items():
+        if name not in obj:
+            raise TraceSchemaError(f"{where}{event_type}: missing field {name!r}")
+        value = obj[name]
+        # bool is an int subclass; only accept it where bool is declared.
+        if isinstance(value, bool) and bool not in types:
+            raise TraceSchemaError(
+                f"{where}{event_type}.{name}: boolean not allowed, got {value!r}"
+            )
+        if not isinstance(value, types):
+            raise TraceSchemaError(
+                f"{where}{event_type}.{name}: expected "
+                f"{'/'.join(t.__name__ for t in types)}, got {value!r}"
+            )
+    extras = set(obj) - set(fields) - set(_ENVELOPE)
+    if extras:
+        raise TraceSchemaError(
+            f"{where}{event_type}: unknown field(s) {sorted(extras)}"
+        )
+
+
+class TraceWriter:
+    """Buffered JSONL event writer with emission-time schema validation.
+
+    ``sink`` may be a path or an open text file.  Events are buffered
+    (``buffer_events`` lines) and flushed on overflow, :meth:`flush` and
+    :meth:`close`; the writer is a context manager.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: str | Path | IO[str],
+        buffer_events: int = 256,
+        validate: bool = True,
+    ) -> None:
+        if buffer_events < 1:
+            raise TraceSchemaError(
+                f"buffer_events must be >= 1, got {buffer_events}"
+            )
+        if isinstance(sink, (str, Path)):
+            self._file: IO[str] = open(sink, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+        self._buffer: list[str] = []
+        self._buffer_events = buffer_events
+        self._validate = validate
+        self._seq = 0
+        self.events_emitted = 0
+
+    def emit(self, event_type: str, t: float, **fields: object) -> None:
+        """Append one event; ``t`` is simulation minutes, never wall clock."""
+        obj: dict[str, object] = {
+            "v": SCHEMA_VERSION,
+            "seq": self._seq,
+            "t": float(t),
+            "ev": event_type,
+        }
+        obj.update(fields)
+        if self._validate:
+            validate_event(obj)
+        self._seq += 1
+        self.events_emitted += 1
+        self._buffer.append(json.dumps(obj, sort_keys=True))
+        if len(self._buffer) >= self._buffer_events:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered events through to the sink."""
+        if self._buffer:
+            self._file.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close (closes the file only if this writer opened it)."""
+        self.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullTraceWriter:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so instrumented code can skip event assembly
+    entirely — the hot path pays exactly one attribute check.
+    """
+
+    enabled = False
+    events_emitted = 0
+
+    def emit(self, event_type: str, t: float, **fields: object) -> None:
+        """Discard the event."""
+
+    def flush(self) -> None:
+        """No buffered state to flush."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+    def __enter__(self) -> "NullTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+def read_trace(path: str | Path) -> Iterator[dict]:
+    """Iterate a trace file's events, validating each line.
+
+    Raises :class:`~repro.exceptions.TraceSchemaError` naming the offending
+    1-based line on malformed JSON or schema violations.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"line {line_number}: invalid JSON ({exc.msg})"
+                ) from exc
+            if not isinstance(obj, dict):
+                raise TraceSchemaError(
+                    f"line {line_number}: expected a JSON object, got {type(obj).__name__}"
+                )
+            validate_event(obj, line=line_number)
+            yield obj
+
+
+def validate_trace_file(path: str | Path) -> int:
+    """Validate a whole trace file; returns the number of events.
+
+    Also checks that ``seq`` is strictly increasing — the emission order is
+    part of the contract tools replaying a trace rely on.
+    """
+    count = 0
+    last_seq: int | None = None
+    for event in read_trace(path):
+        if last_seq is not None and event["seq"] <= last_seq:
+            raise TraceSchemaError(
+                f"seq regressed: {last_seq} -> {event['seq']} "
+                f"(event #{count + 1})"
+            )
+        last_seq = event["seq"]
+        count += 1
+    return count

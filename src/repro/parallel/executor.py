@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -49,6 +48,8 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from typing import TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError
+from repro.obs.log import get_logger
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - import layering: see worker_cache()
     from repro.runtime.modelcache import ModelEvaluationCache
@@ -65,6 +66,8 @@ __all__ = [
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+_log = get_logger("parallel.executor")
 
 #: Process-local evaluation cache shared by every shard this process runs.
 _WORKER_CACHE: "ModelEvaluationCache | None" = None
@@ -228,9 +231,9 @@ def _run_shard(
     """Run one shard's tasks serially in-order (in a worker or inline)."""
     cache = worker_cache()
     hits_before, misses_before = _cache_counters(cache)
-    started = time.perf_counter()
-    keyed = tuple((index, func(item)) for index, item in tasks)
-    seconds = time.perf_counter() - started
+    with span("parallel.shard") as timer:
+        keyed = tuple((index, func(item)) for index, item in tasks)
+    seconds = timer.elapsed
     hits_after, misses_after = _cache_counters(cache)
     return _ShardResult(
         shard=shard_index,
@@ -262,27 +265,28 @@ class ParallelExecutor:
         """
         indexed = list(enumerate(items))
         shard_count = max(1, min(self._workers, len(indexed)))
+        _log.debug("fan-out: %d tasks over %d shard(s)", len(indexed), shard_count)
         shards: list[list[tuple[int, T]]] = [[] for _ in range(shard_count)]
         for index, item in indexed:
             shards[index % shard_count].append((index, item))
 
-        started = time.perf_counter()
-        if shard_count == 1 or not fork_available():
-            shard_results = [
-                _run_shard(func, shard_index, shard)
-                for shard_index, shard in enumerate(shards)
-            ]
-        else:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=shard_count, mp_context=context
-            ) as pool:
-                futures = [
-                    pool.submit(_run_shard, func, shard_index, shard)
+        with span("parallel.map") as timer:
+            if shard_count == 1 or not fork_available():
+                shard_results = [
+                    _run_shard(func, shard_index, shard)
                     for shard_index, shard in enumerate(shards)
                 ]
-                shard_results = [future.result() for future in futures]
-        seconds = time.perf_counter() - started
+            else:
+                context = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(
+                    max_workers=shard_count, mp_context=context
+                ) as pool:
+                    futures = [
+                        pool.submit(_run_shard, func, shard_index, shard)
+                        for shard_index, shard in enumerate(shards)
+                    ]
+                    shard_results = [future.result() for future in futures]
+        seconds = timer.elapsed
 
         keyed: list[tuple[int, R]] = []
         for shard_result in shard_results:

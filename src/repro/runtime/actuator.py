@@ -55,9 +55,10 @@ class ActuationReport:
 class PlanActuator:
     """Pushes accepted deltas into a :class:`~repro.vod.server.VODServer`."""
 
-    def __init__(self, server, gate=None) -> None:
+    def __init__(self, server, gate=None, tracer=None) -> None:
         self._server = server
         self._gate = gate
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self.deltas_applied = 0
         self.changes_applied = 0
         self.changes_rejected = 0
@@ -85,6 +86,25 @@ class PlanActuator:
         self.deltas_applied += 1
         self.changes_applied += len(applied)
         self.changes_rejected += len(rejected)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "plan_actuation",
+                delta.at_minutes,
+                applied=len(applied),
+                rejected=len(rejected),
+            )
+            for change in applied:
+                config = delta.configurations[change.movie_id]
+                self._tracer.emit(
+                    "movie_config",
+                    delta.at_minutes,
+                    movie=change.movie_id,
+                    name=change.name,
+                    length=config.movie_length,
+                    streams=config.num_partitions,
+                    buffer_minutes=config.buffer_minutes,
+                    predicted_hit=change.hit_probability,
+                )
         return ActuationReport(
             at_minutes=delta.at_minutes,
             applied=tuple(applied),

@@ -28,6 +28,7 @@ from typing import Mapping, Sequence
 
 from repro.core.parameters import SystemConfiguration, VCRRates
 from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.obs.log import get_logger
 from repro.runtime.modelcache import ModelEvaluationCache
 from repro.runtime.refit import IncrementalRefitter, RefitPolicy
 from repro.runtime.telemetry import TelemetryHub, TelemetrySnapshot
@@ -44,6 +45,8 @@ __all__ = [
     "AllocationDelta",
     "CapacityController",
 ]
+
+_log = get_logger("runtime.controller")
 
 
 @dataclass(frozen=True)
@@ -172,6 +175,7 @@ class CapacityController:
         policy: ControllerPolicy | None = None,
         initial_behaviors: Mapping[int, VCRBehavior] | None = None,
         initial_plan: Mapping[int, SystemConfiguration] | None = None,
+        tracer=None,
     ) -> None:
         if not slots:
             raise ConfigurationError("the controller needs at least one movie slot")
@@ -183,6 +187,7 @@ class CapacityController:
         self._refitter = refitter or IncrementalRefitter(RefitPolicy())
         self._cache = cache or ModelEvaluationCache()
         self.policy = policy or ControllerPolicy()
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self._sizer: SystemSizer | None = None
         self._current: dict[int, SystemConfiguration] = dict(initial_plan or {})
         self._current_result: AllocationResult | None = None
@@ -237,6 +242,13 @@ class CapacityController:
     # ------------------------------------------------------------------
     # The tick.
     # ------------------------------------------------------------------
+    def _trace_decision(self, now: float, outcome: str) -> None:
+        _log.debug("tick %d at t=%g: %s", self.ticks, now, outcome)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "replan_decision", now, outcome=outcome, tick=self.ticks
+            )
+
     def tick(self, now: float) -> AllocationDelta | None:
         """Run one control cycle; returns a delta only when the plan moves."""
         self.ticks += 1
@@ -253,6 +265,7 @@ class CapacityController:
         bootstrap = not self._current
         if not bootstrap and not drifted:
             self.skipped_stationary += 1
+            self._trace_decision(now, "stationary")
             return None
         if (
             not bootstrap
@@ -260,23 +273,27 @@ class CapacityController:
             and now - self._last_accepted_at < self.policy.cooldown_minutes
         ):
             self.skipped_cooldown += 1
+            self._trace_decision(now, "cooldown")
             return None
 
         specs = self._build_specs(snapshots)
         if specs is None:
             self.skipped_insufficient_data += 1
+            self._trace_decision(now, "insufficient_data")
             return None
 
         try:
             result = self._solve(specs)
         except InfeasibleError:
             self.infeasible_plans += 1
+            self._trace_decision(now, "infeasible")
             return None
         if (
             self.policy.buffer_budget_minutes is not None
             and result.total_buffer_minutes > self.policy.buffer_budget_minutes + 1e-9
         ):
             self.infeasible_plans += 1
+            self._trace_decision(now, "infeasible")
             return None
 
         new_map = result.as_configuration_map(
@@ -288,11 +305,13 @@ class CapacityController:
             if new_map == self._current:
                 # The optimum did not move; treat as stationary for hysteresis.
                 self.skipped_no_improvement += 1
+                self._trace_decision(now, "no_improvement")
                 return None
             old_score = self._score(self._current, specs, snapshots)
             required = old_score * (1.0 - self.policy.min_improvement)
             if new_score > required:
                 self.skipped_no_improvement += 1
+                self._trace_decision(now, "no_improvement")
                 return None
 
         changes = []
@@ -326,6 +345,8 @@ class CapacityController:
         self._current_result = result
         self._last_accepted_at = now
         self.deltas_emitted += 1
+        self._trace_decision(now, "bootstrap" if bootstrap else "accepted")
+        _log.info("%s", delta.describe())
         return delta
 
     # ------------------------------------------------------------------

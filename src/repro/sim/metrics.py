@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.exceptions import SimulationError
+from repro.exceptions import ClockRegressionError, SimulationError
 from repro.numerics.stats import RunningStat, SummaryStatistics
 
 __all__ = ["Counter", "TimeWeighted", "MetricsRegistry"]
@@ -69,9 +69,14 @@ class TimeWeighted:
         self._peak = float(initial_value)
 
     def update(self, now: float, value: float) -> None:
-        """Record that the state changed to ``value`` at time ``now``."""
+        """Record that the state changed to ``value`` at time ``now``.
+
+        ``now`` must not precede the last recorded timestamp; a regressing
+        clock would silently subtract area from the integral, so it raises
+        :class:`~repro.exceptions.ClockRegressionError` instead.
+        """
         if now < self._last_time - 1e-12:
-            raise SimulationError(
+            raise ClockRegressionError(
                 f"time-weighted metric {self.name!r}: time went backwards "
                 f"({self._last_time} -> {now})"
             )
@@ -95,7 +100,18 @@ class TimeWeighted:
         return self._peak
 
     def mean(self, now: float) -> float:
-        """Time-average of the state from the (possibly reset) start to ``now``."""
+        """Time-average of the state from the (possibly reset) start to ``now``.
+
+        ``now`` must be at or after the last update: a stale timestamp would
+        subtract the most recent segment's area from the integral and return
+        a silently corrupted mean, so it raises
+        :class:`~repro.exceptions.ClockRegressionError` instead.
+        """
+        if now < self._last_time - 1e-12:
+            raise ClockRegressionError(
+                f"time-weighted metric {self.name!r}: mean() queried at {now} "
+                f"but the metric was last updated at {self._last_time}"
+            )
         elapsed = now - self._start_time
         if elapsed <= 0.0:
             return self._value

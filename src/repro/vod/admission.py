@@ -46,6 +46,7 @@ class AdmissionController:
         streams: StreamPool,
         buffers: BufferPool,
         metrics: MetricsRegistry,
+        tracer=None,
     ) -> None:
         self._env = env
         self._catalog = catalog
@@ -73,7 +74,7 @@ class AdmissionController:
                     f"allocation overcommits the buffer pool at {movie.title!r}: {exc}"
                 ) from exc
             self._services[movie.movie_id] = MovieService(
-                env, movie, config, streams, metrics
+                env, movie, config, streams, metrics, tracer=tracer
             )
 
     def start(self) -> None:

@@ -1,0 +1,53 @@
+"""Observer-hook dispatch shared by the server and its viewer processes.
+
+Observers are duck-typed: any object implementing a subset of
+
+* ``on_session_start(movie_id, length, now)``
+* ``on_vcr(movie_id, operation, duration, now)``
+* ``on_vcr_end(movie_id, operation, outcome, now)``
+* ``on_playback(movie_id, minutes, now)``
+* ``on_resume(movie_id, hit, now)``
+* ``on_resume_detail(movie_id, hit, position, window_start, now)``
+* ``on_session_end(movie_id, now)``
+
+may be attached to a :class:`~repro.vod.server.VODServer`.  Missing hooks
+are simply skipped (partial observers are part of the protocol).  A hook
+that *raises*, however, must not be silently swallowed — nor allowed to
+masquerade as a simulation failure: dispatch wraps the exception in a
+:class:`~repro.exceptions.ObserverError` naming the observer and the hook,
+with the original chained, and the server run stops there.  Observability
+must never corrupt the books: the dispatch sites sit after the metrics for
+the same transition were recorded, so a crashing observer cannot leave the
+counters half-updated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import ObserverError
+
+__all__ = ["notify_observers"]
+
+
+def notify_observers(
+    observers: Iterable[object], method: str, movie_id: int, *args, now: float
+) -> None:
+    """Invoke one hook on every observer that implements it.
+
+    The hook is called as ``hook(movie_id, *args, now)``.  Observers without
+    the hook are skipped; an observer whose hook raises aborts dispatch with
+    an :class:`~repro.exceptions.ObserverError` chaining the original
+    exception.
+    """
+    for observer in observers:
+        hook = getattr(observer, method, None)
+        if hook is None:
+            continue
+        try:
+            hook(movie_id, *args, now)
+        except Exception as exc:
+            raise ObserverError(
+                f"observer {type(observer).__name__} raised in {method} "
+                f"(movie {movie_id}, t={now:g}): {exc}"
+            ) from exc

@@ -58,6 +58,7 @@ class MovieService:
         config: SystemConfiguration,
         streams: StreamPool,
         metrics: MetricsRegistry,
+        tracer=None,
     ) -> None:
         if abs(config.movie_length - movie.length) > 1e-6:
             raise SimulationError(
@@ -69,6 +70,7 @@ class MovieService:
         self.config = config
         self._streams = streams
         self._metrics = metrics
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self._live: list[LiveStream] = []
         self._restart_signal: Event = env.event()
         self._started = False
@@ -95,10 +97,24 @@ class MovieService:
         if grant is None:
             self._metrics.counter(f"restarts_starved.{self.movie.movie_id}").increment()
             self._metrics.counter("restarts_starved").increment()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "batch_restart",
+                    self._env.now,
+                    movie=self.movie.movie_id,
+                    starved=True,
+                )
             return
         stream = LiveStream(start_time=self._env.now, grant=grant)
         self._live.append(stream)
         self._metrics.counter("restarts").increment()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "batch_restart",
+                self._env.now,
+                movie=self.movie.movie_id,
+                starved=False,
+            )
         self._env.process(self._stream_end(stream), name=f"stream:{self.movie.title}")
         # Wake every viewer queued for this restart.
         signal, self._restart_signal = self._restart_signal, self._env.event()

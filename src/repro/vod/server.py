@@ -21,18 +21,24 @@ from typing import Generator, Mapping
 
 from repro.core.parameters import SystemConfiguration
 from repro.exceptions import SimulationError
+from repro.obs.adapters import TracingObserver
+from repro.obs.log import get_logger
+from repro.obs.spans import span
 from repro.sim.engine import Environment, Event
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RandomStreams
 from repro.vod.admission import AdmissionController
 from repro.vod.buffer import BufferPool
 from repro.vod.movie import MovieCatalog
+from repro.vod.observers import notify_observers
 from repro.vod.piggyback import PiggybackPolicy
 from repro.vod.streams import StreamPool, StreamPurpose
 from repro.vod.vcr import VCRBehavior
 from repro.vod.viewer import PopularViewer
 
 __all__ = ["ServerWorkload", "ServerMetricsReport", "VODServer"]
+
+_log = get_logger("vod.server")
 
 
 @dataclass(frozen=True)
@@ -134,6 +140,8 @@ class VODServer:
         piggyback: PiggybackPolicy | None = None,
         observers: tuple = (),
         gate=None,
+        tracer=None,
+        predicted_hits: Mapping[int, float] | None = None,
     ) -> None:
         self._catalog = catalog
         self._allocation = dict(allocation)
@@ -151,17 +159,32 @@ class VODServer:
         self._workload = workload
         self._piggyback = piggyback or PiggybackPolicy()
         # Observers see session/VCR/resume events (duck-typed: any subset of
-        # on_session_start / on_vcr / on_playback / on_resume /
-        # on_session_end); the gate may veto admissions before routing.
-        self._observers = tuple(observers)
+        # the hooks documented in repro.vod.observers); the gate may veto
+        # admissions before routing.  When tracing is on, a TracingObserver
+        # joins them and the pool/services emit resource events; when off,
+        # nothing is wired and the run is code-identical to an untraced one.
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self._predicted_hits = dict(predicted_hits or {})
+        observers = tuple(observers)
+        if self._tracer is not None:
+            observers = observers + (TracingObserver(self._tracer),)
+        self._observers = observers
         self._gate = gate
         self._started = False
         self._env = Environment()
         self._metrics = MetricsRegistry()
-        self._streams = StreamPool(self._env, num_streams, self._metrics)
+        self._streams = StreamPool(
+            self._env, num_streams, self._metrics, tracer=self._tracer
+        )
         self._buffers = buffer_pool
         self._admission = AdmissionController(
-            self._env, catalog, self._allocation, self._streams, self._buffers, self._metrics
+            self._env,
+            catalog,
+            self._allocation,
+            self._streams,
+            self._buffers,
+            self._metrics,
+            tracer=self._tracer,
         )
 
     @property
@@ -179,12 +202,28 @@ class VODServer:
     # ------------------------------------------------------------------
     def run(self) -> ServerMetricsReport:
         """Execute the workload and reduce to a report."""
-        self.start()
-        # Warm up, reset the books, then measure.
-        self.step(self._workload.warmup)
-        self._metrics.reset_all(self._env.now)
-        self.step(self._workload.horizon)
-        return self.report()
+        _log.info(
+            "run: %d popular movies, %d streams, horizon %g min",
+            len(self._catalog.popular),
+            self._streams.capacity,
+            self._workload.horizon,
+        )
+        with span("server.run"):
+            self.start()
+            # Warm up, reset the books, then measure.
+            self.step(self._workload.warmup)
+            self._metrics.reset_all(self._env.now)
+            self.step(self._workload.horizon)
+            report = self.report()
+        if self._tracer is not None:
+            self._tracer.emit("run_end", self._env.now, label="vod-server")
+            self._tracer.flush()
+        _log.info(
+            "run done: hit_rate=%.4f, %d viewers started",
+            report.hit_rate,
+            report.viewers_started,
+        )
+        return report
 
     def start(self) -> None:
         """Launch the restart schedules and the arrival process (idempotent).
@@ -195,6 +234,20 @@ class VODServer:
         if self._started:
             return
         self._started = True
+        if self._tracer is not None:
+            self._tracer.emit("run_start", self._env.now, label="vod-server")
+            for movie in self._catalog.popular:
+                config = self._allocation[movie.movie_id]
+                self._tracer.emit(
+                    "movie_config",
+                    self._env.now,
+                    movie=movie.movie_id,
+                    name=movie.title,
+                    length=movie.length,
+                    streams=config.num_partitions,
+                    buffer_minutes=config.buffer_minutes,
+                    predicted_hit=self._predicted_hits.get(movie.movie_id),
+                )
         streams = RandomStreams(self._workload.seed)
         self._admission.start()
         self._env.process(self._arrival_process(streams), name="arrivals")
@@ -260,10 +313,13 @@ class VODServer:
                 continue
             viewer_seq += 1
             if decision.service is not None:
-                for observer in self._observers:
-                    hook = getattr(observer, "on_session_start", None)
-                    if hook is not None:
-                        hook(movie.movie_id, movie.length, env.now)
+                notify_observers(
+                    self._observers,
+                    "on_session_start",
+                    movie.movie_id,
+                    movie.length,
+                    now=env.now,
+                )
                 viewer = PopularViewer(
                     env,
                     decision.service,

@@ -48,12 +48,25 @@ class StreamGrant:
 
 
 class StreamPool:
-    """Counted stream pool with per-purpose occupancy metrics."""
+    """Counted stream pool with per-purpose occupancy metrics.
 
-    def __init__(self, env: Environment, capacity: int, metrics: MetricsRegistry | None = None) -> None:
+    When a trace writer is attached, every acquisition and release emits a
+    ``stream_acquire``/``stream_release`` event carrying the purpose and the
+    pool-wide occupancy after the transition; with ``tracer=None`` the hot
+    path costs one branch.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
         self._env = env
         self._resource = Resource(env, capacity, name="io-streams")
         self._metrics = metrics or MetricsRegistry()
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self._held: dict[StreamPurpose, int] = {purpose: 0 for purpose in StreamPurpose}
         for purpose in StreamPurpose:
             self._metrics.time_weighted(f"streams.{purpose.value}", now=env.now)
@@ -97,6 +110,13 @@ class StreamPool:
         grant = StreamGrant(request=request, purpose=purpose, granted_at=self._env.now)
         self._held[purpose] += 1
         self._account()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "stream_acquire",
+                self._env.now,
+                purpose=purpose.value,
+                in_use=self._resource.in_use,
+            )
         return grant
 
     def acquire(self, purpose: StreamPurpose) -> ResourceRequest:
@@ -115,6 +135,13 @@ class StreamPool:
         grant = StreamGrant(request=request, purpose=purpose, granted_at=self._env.now)
         self._held[purpose] += 1
         self._account()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "stream_acquire",
+                self._env.now,
+                purpose=purpose.value,
+                in_use=self._resource.in_use,
+            )
         return grant
 
     def release(self, grant: StreamGrant) -> None:
@@ -123,10 +150,17 @@ class StreamPool:
         self._held[grant.purpose] -= 1
         if self._held[grant.purpose] < 0:
             raise ResourceError(f"negative hold count for {grant.purpose}")
-        self._metrics.tally(f"hold_minutes.{grant.purpose.value}").push(
-            self._env.now - grant.granted_at
-        )
+        held = self._env.now - grant.granted_at
+        self._metrics.tally(f"hold_minutes.{grant.purpose.value}").push(held)
         self._account()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "stream_release",
+                self._env.now,
+                purpose=grant.purpose.value,
+                in_use=self._resource.in_use,
+                held_minutes=held,
+            )
 
     # ------------------------------------------------------------------
     # Internals.

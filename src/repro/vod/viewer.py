@@ -27,6 +27,7 @@ from typing import Generator
 from repro.core.vcrop import VCROperation
 from repro.sim.engine import Environment, Event
 from repro.sim.metrics import MetricsRegistry
+from repro.vod.observers import notify_observers
 from repro.vod.partitioning import MovieService
 from repro.vod.piggyback import PiggybackPolicy
 from repro.vod.streams import StreamGrant, StreamPool, StreamPurpose
@@ -66,11 +67,13 @@ class PopularViewer:
 
     def _notify(self, method: str, *args) -> None:
         """Fan an observation out to the attached observers (duck-typed)."""
-        movie_id = self._service.movie.movie_id
-        for observer in self._observers:
-            hook = getattr(observer, method, None)
-            if hook is not None:
-                hook(movie_id, *args, self._env.now)
+        notify_observers(
+            self._observers,
+            method,
+            self._service.movie.movie_id,
+            *args,
+            now=self._env.now,
+        )
 
     # ------------------------------------------------------------------
     # Metric helpers (warm-up aware).
@@ -157,6 +160,7 @@ class PopularViewer:
                 if grant is None:
                     # Phase-1 starvation: the operation is denied outright.
                     self._count_op("vcr.blocked")
+                    self._notify("on_vcr_end", operation, "denied")
                     continue
                 if operation is VCROperation.FAST_FORWARD:
                     if duration >= length - self.position:
@@ -166,6 +170,7 @@ class PopularViewer:
                         self._streams.release(grant)
                         self._count_op("vcr.end_release")
                         self._count("viewers.completed")
+                        self._notify("on_vcr_end", operation, "end_of_movie")
                         self._notify("on_session_end")
                         return
                     yield env.timeout(duration / rates.fast_forward)
@@ -174,18 +179,23 @@ class PopularViewer:
                     reach = min(duration, self.position)
                     yield env.timeout(reach / rates.rewind)
                     self.position -= reach
+            self._notify("on_vcr_end", operation, "ok")
 
             # --- Resume: hit or miss. ---
             window = service.find_window(self.position)
             if window is not None:
                 self._count_op("resume.hit")
                 self._notify("on_resume", True)
+                self._notify(
+                    "on_resume_detail", True, self.position, window.start_time
+                )
                 if grant is not None:
                     self._streams.release(grant)
                 continue
 
             self._count_op("resume.miss")
             self._notify("on_resume", False)
+            self._notify("on_resume_detail", False, self.position, None)
             if grant is not None:
                 grant.retag(self._streams, StreamPurpose.MISS_HOLD)
             else:

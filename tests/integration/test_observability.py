@@ -1,0 +1,119 @@
+"""Observability end to end: capture a trace, replay it, check determinism.
+
+The acceptance contract for the observability layer:
+
+* a sized-and-simulated run produces a schema-valid trace whose replayed
+  resume statistics agree with the analytic prediction recorded in it;
+* figure-8 artifacts are byte-identical across worker counts (events carry
+  simulation time only, never the wall clock);
+* the ``obs`` CLI validates and summarizes the same files.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.summarize import summarize_trace
+from repro.obs.trace import validate_trace_file
+
+SPEC = {
+    "movies": [
+        {
+            "name": "m1", "length": 60, "wait": 2.0, "p_star": 0.5,
+            "duration": {"family": "exponential", "mean": 3},
+        },
+        {
+            "name": "m2", "length": 90, "wait": 2.0, "p_star": 0.5,
+            "duration": {"family": "gamma", "shape": 2, "scale": 2},
+        },
+    ]
+}
+
+
+@pytest.fixture(scope="module")
+def simulate_artifacts(tmp_path_factory):
+    """One sized-and-traced simulation, shared across the assertions."""
+    root = tmp_path_factory.mktemp("obs-sim")
+    spec = root / "spec.json"
+    spec.write_text(json.dumps(SPEC))
+    trace = root / "trace.jsonl"
+    metrics = root / "metrics.prom"
+    code = main(
+        [
+            "simulate", str(spec), "--arrival-rate", "2.0",
+            "--horizon", "400", "--warmup", "100",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]
+    )
+    assert code == 0
+    return trace, metrics
+
+
+class TestSimulateTrace:
+    def test_trace_is_schema_valid(self, simulate_artifacts):
+        trace, _ = simulate_artifacts
+        assert validate_trace_file(trace) > 100
+
+    def test_observed_hit_rate_matches_prediction(self, simulate_artifacts):
+        """The replayed resume rate agrees with the analytic P(hit).
+
+        Movie 0's exponential pause model is exactly the paper's equation,
+        so the prediction must land inside the Wilson interval; movie 1's
+        gamma model carries more model error, so only closeness is asserted.
+        """
+        trace, _ = simulate_artifacts
+        summary = summarize_trace(trace)
+        m1, m2 = summary.movies[0], summary.movies[1]
+        assert m1.resumes > 100 and m2.resumes > 100
+        assert m1.predicted_within_ci is True
+        assert m2.predicted_hit is not None
+        assert abs(m2.observed_hit_rate - m2.predicted_hit) < 0.06
+
+    def test_occupancy_and_lifecycle_recorded(self, simulate_artifacts):
+        trace, _ = simulate_artifacts
+        summary = summarize_trace(trace)
+        assert summary.peak_streams > 0
+        assert summary.occupancy_timeline
+        for movie in summary.movies.values():
+            assert movie.sessions_started >= movie.sessions_ended > 0
+
+    def test_metrics_export_is_prometheus_text(self, simulate_artifacts):
+        _, metrics = simulate_artifacts
+        text = metrics.read_text()
+        assert "# TYPE repro_sim_events_total counter" in text
+        assert 'repro_sim_events_total{event="resume.hit"}' in text
+
+    def test_cli_validate_and_summarize(self, simulate_artifacts, capsys):
+        trace, _ = simulate_artifacts
+        assert main(["obs", "validate", str(trace)]) == 0
+        assert "schema OK" in capsys.readouterr().out
+        assert main(["obs", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "resume P(hit)" in out
+        assert "predicted" in out
+
+    def test_cli_rejects_missing_trace(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+
+
+class TestWorkerDeterminism:
+    def test_figure8_artifacts_identical_across_worker_counts(self, tmp_path):
+        artifacts = {}
+        for workers in (1, 2):
+            trace = tmp_path / f"t{workers}.jsonl"
+            metrics = tmp_path / f"m{workers}.prom"
+            code = main(
+                [
+                    "run", "figure8", "--fast", "--workers", str(workers),
+                    "--trace-out", str(trace), "--metrics-out", str(metrics),
+                ]
+            )
+            assert code == 0
+            artifacts[workers] = (trace.read_bytes(), metrics.read_bytes())
+        assert artifacts[1] == artifacts[2]
+        assert validate_trace_file(tmp_path / "t1.jsonl") > 0
+        summary = summarize_trace(tmp_path / "t1.jsonl")
+        assert summary.frontiers  # one entry per swept movie

@@ -1,0 +1,102 @@
+"""Adapters: observer-to-trace bridging and registry exports."""
+
+from __future__ import annotations
+
+import io
+import json
+from types import SimpleNamespace
+
+from repro.obs.adapters import (
+    TracingObserver,
+    export_controller_counters,
+    export_parallel_outcome,
+    export_sim_metrics,
+)
+from repro.obs.registry import ObsRegistry
+from repro.obs.trace import TraceWriter
+from repro.sim.metrics import MetricsRegistry
+
+
+class _Op:
+    """Stands in for the VCR operation enum (only ``value`` is read)."""
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+
+class TestTracingObserver:
+    def _events(self, drive) -> list[dict]:
+        sink = io.StringIO()
+        with TraceWriter(sink) as writer:
+            drive(TracingObserver(writer))
+        return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+    def test_session_lifecycle(self):
+        def drive(observer):
+            observer.on_session_start(3, 90.0, now=1.0)
+            observer.on_session_end(3, now=95.0)
+
+        events = self._events(drive)
+        assert [e["ev"] for e in events] == ["session_start", "session_end"]
+        assert events[0]["movie"] == 3 and events[0]["length"] == 90.0
+        assert events[1]["t"] == 95.0
+
+    def test_vcr_and_resume_events(self):
+        def drive(observer):
+            observer.on_vcr(0, _Op("FF"), 2.5, now=10.0)
+            observer.on_vcr_end(0, _Op("FF"), "ok", now=12.5)
+            observer.on_resume_detail(0, True, 14.0, 12.0, now=12.5)
+            observer.on_resume_detail(0, False, 20.0, None, now=30.0)
+
+        events = self._events(drive)
+        assert [e["ev"] for e in events] == ["vcr_begin", "vcr_end", "resume", "resume"]
+        assert events[0]["op"] == "FF" and events[0]["duration"] == 2.5
+        assert events[1]["outcome"] == "ok"
+        assert events[2]["hit"] is True and events[2]["window_start"] == 12.0
+        assert events[3]["hit"] is False and events[3]["window_start"] is None
+
+    def test_playback_hook_intentionally_absent(self):
+        observer = TracingObserver(TraceWriter(io.StringIO()))
+        assert not hasattr(observer, "on_playback")
+        assert not hasattr(observer, "on_resume")
+
+
+class TestExports:
+    def test_sim_metrics_export(self):
+        sim = MetricsRegistry()
+        sim.counter("resume.hit").increment(7)
+        sim.tally("wait").push(2.0)
+        sim.tally("wait").push(4.0)
+        sim.time_weighted("streams", now=0.0).update(10.0, 5.0)
+
+        registry = ObsRegistry()
+        export_sim_metrics(sim, 20.0, registry)
+        text = registry.render_prometheus()
+        assert 'repro_sim_events_total{event="resume.hit"} 7' in text
+        assert 'repro_sim_tally_mean{tally="wait"} 3' in text
+        # 0 until t=10 then 5 until t=20 -> time average 2.5.
+        assert 'repro_sim_time_avg{metric="streams"} 2.5' in text
+
+    def test_controller_counters_export(self):
+        registry = ObsRegistry()
+        export_controller_counters({"accepted": 2, "stationary": 5}, registry)
+        text = registry.render_prometheus()
+        assert 'repro_controller_decisions_total{decision="accepted"} 2' in text
+        assert 'repro_controller_decisions_total{decision="stationary"} 5' in text
+
+    def test_parallel_outcome_is_process_tier(self):
+        outcome = SimpleNamespace(
+            shards=[
+                SimpleNamespace(
+                    shard=0, seconds=0.5, tasks=3, cache_hits=2, cache_misses=1
+                )
+            ],
+            seconds=0.6,
+            workers=2,
+        )
+        registry = ObsRegistry()
+        export_parallel_outcome(outcome, registry)
+        assert "repro_parallel" not in registry.render_prometheus()
+        text = registry.render_prometheus(include_process=True)
+        assert 'repro_parallel_shard_seconds{shard="0"} 0.5' in text
+        assert "repro_parallel_workers 2" in text

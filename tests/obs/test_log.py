@@ -1,0 +1,59 @@
+"""Logging hierarchy and CLI verbosity mapping."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.obs.log import configure, get_logger, verbosity_level
+
+
+class TestVerbosityLevel:
+    def test_default_is_warning(self):
+        assert verbosity_level(0, 0) == logging.WARNING
+
+    def test_verbose_steps_down(self):
+        assert verbosity_level(1, 0) == logging.INFO
+        assert verbosity_level(2, 0) == logging.DEBUG
+
+    def test_quiet_steps_up(self):
+        assert verbosity_level(0, 1) == logging.ERROR
+        assert verbosity_level(0, 2) == logging.CRITICAL
+
+    def test_clamped_at_both_ends(self):
+        assert verbosity_level(10, 0) == logging.DEBUG
+        assert verbosity_level(0, 10) == logging.CRITICAL
+
+
+class TestConfigure:
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("vod.server").name == "repro.vod.server"
+
+    def test_configure_routes_to_stream(self):
+        stream = io.StringIO()
+        configure(verbose=1, quiet=0, stream=stream)
+        try:
+            get_logger("test.configure").info("hello %s", "there")
+        finally:
+            configure(verbose=0, quiet=0, stream=io.StringIO())
+        assert "INFO repro.test.configure: hello there" in stream.getvalue()
+
+    def test_reconfigure_replaces_handlers(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure(verbose=1, quiet=0, stream=first)
+        configure(verbose=1, quiet=0, stream=second)
+        try:
+            get_logger("test.replace").info("only once")
+        finally:
+            configure(verbose=0, quiet=0, stream=io.StringIO())
+        assert "only once" not in first.getvalue()
+        assert second.getvalue().count("only once") == 1
+
+    def test_quiet_suppresses_info(self):
+        stream = io.StringIO()
+        configure(verbose=0, quiet=0, stream=stream)
+        try:
+            get_logger("test.quiet").info("invisible")
+        finally:
+            configure(verbose=0, quiet=0, stream=io.StringIO())
+        assert stream.getvalue() == ""

@@ -1,0 +1,69 @@
+"""Profiling spans: nesting, registry aggregation, elapsed propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import ObsRegistry, set_default_registry
+from repro.obs.spans import SPAN_METRIC, span
+
+
+def _span_child(registry: ObsRegistry, path: str):
+    family = next(
+        f for f in registry.families(include_process=True) if f.name == SPAN_METRIC
+    )
+    return dict(family.children())[(path,)]
+
+
+class TestSpan:
+    def test_records_into_explicit_registry(self):
+        registry = ObsRegistry()
+        with span("work", registry=registry):
+            pass
+        child = _span_child(registry, "work")
+        assert child.count == 1
+        assert child.sum >= 0.0
+
+    def test_elapsed_set_on_exit(self):
+        registry = ObsRegistry()
+        with span("work", registry=registry) as timer:
+            assert timer.elapsed == 0.0
+        assert timer.elapsed >= 0.0
+        assert timer.name == "work"
+
+    def test_nesting_builds_dotted_paths(self):
+        registry = ObsRegistry()
+        with span("outer", registry=registry):
+            with span("inner", registry=registry) as inner:
+                pass
+        assert inner.path == "outer.inner"
+        assert _span_child(registry, "outer.inner").count == 1
+        assert _span_child(registry, "outer").count == 1
+
+    def test_stack_unwinds_on_exception(self):
+        registry = ObsRegistry()
+        with pytest.raises(RuntimeError):
+            with span("broken", registry=registry):
+                raise RuntimeError("boom")
+        # The duration is still recorded and the stack is clean for the next span.
+        assert _span_child(registry, "broken").count == 1
+        with span("after", registry=registry) as after:
+            pass
+        assert after.path == "after"
+
+    def test_default_registry_used_when_unspecified(self):
+        fresh = ObsRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            with span("defaulted"):
+                pass
+        finally:
+            set_default_registry(previous)
+        assert _span_child(fresh, "defaulted").count == 1
+
+    def test_repeated_spans_accumulate(self):
+        registry = ObsRegistry()
+        for _ in range(3):
+            with span("loop", registry=registry):
+                pass
+        assert _span_child(registry, "loop").count == 3

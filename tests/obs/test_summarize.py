@@ -1,0 +1,145 @@
+"""Trace replay: Wilson intervals, per-movie reduction, occupancy timeline."""
+
+from __future__ import annotations
+
+from repro.obs.summarize import (
+    MovieSummary,
+    summarize_trace,
+    wilson_interval,
+)
+from repro.obs.trace import TraceWriter
+
+
+def _event(ev: str, t: float, **payload):
+    return {"ev": ev, "t": t, **payload}
+
+
+def _hand_built_trace() -> list[dict]:
+    events = [
+        _event("run_start", 0.0, label="sim"),
+        _event(
+            "movie_config", 0.0, movie=0, name="m1", length=60.0,
+            streams=5, buffer_minutes=2.0, predicted_hit=0.5,
+        ),
+        _event("session_start", 0.0, movie=0, length=60.0),
+        _event("session_start", 1.0, movie=0, length=60.0),
+        _event("stream_acquire", 0.0, purpose="batch", in_use=1),
+        _event("stream_acquire", 5.0, purpose="resume", in_use=2),
+        _event("stream_release", 10.0, purpose="resume", in_use=1, held_minutes=5.0),
+        _event("vcr_begin", 6.0, movie=0, op="FF", duration=1.0),
+        _event("vcr_end", 7.0, movie=0, op="FF", outcome="ok"),
+        _event("resume", 7.0, movie=0, hit=True, position=5.0, window_start=4.0),
+        _event("vcr_begin", 8.0, movie=0, op="PAU", duration=1.0),
+        _event("vcr_end", 9.0, movie=0, op="PAU", outcome="denied"),
+        _event("resume", 9.0, movie=0, hit=True, position=6.0, window_start=4.0),
+        _event("resume", 11.0, movie=0, hit=True, position=8.0, window_start=8.0),
+        _event("resume", 12.0, movie=0, hit=False, position=9.0, window_start=None),
+        _event("batch_restart", 4.0, movie=0, starved=False),
+        _event("batch_restart", 8.0, movie=0, starved=False),
+        _event("batch_restart", 12.0, movie=0, starved=True),
+        _event("session_end", 15.0, movie=0),
+        _event("replan_decision", 16.0, outcome="stationary", tick=1),
+        _event("replan_decision", 17.0, outcome="accepted", tick=2),
+        _event("plan_actuation", 17.0, applied=2, rejected=1),
+        _event("frontier", 18.0, name="m1", streams=4, buffer_minutes=2.0,
+               p_hit=0.4, feasible=True),
+        _event("frontier", 18.0, name="m1", streams=5, buffer_minutes=2.0,
+               p_hit=0.5, feasible=True),
+        _event("frontier", 18.0, name="m1", streams=6, buffer_minutes=2.0,
+               p_hit=0.6, feasible=False),
+        _event("run_end", 20.0, label="sim"),
+    ]
+    return events
+
+
+class TestWilsonInterval:
+    def test_empty_sample_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_brackets_the_point_estimate(self):
+        low, high = wilson_interval(3, 4)
+        assert 0.0 <= low < 0.75 < high <= 1.0
+
+    def test_narrows_with_sample_size(self):
+        small = wilson_interval(3, 4)
+        large = wilson_interval(300, 400)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_extreme_rates_stay_in_unit_interval(self):
+        low, high = wilson_interval(10, 10)
+        assert high == 1.0 and low > 0.0
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0 and high < 1.0
+
+
+class TestMovieSummary:
+    def test_no_resumes_means_no_rate(self):
+        movie = MovieSummary(0)
+        assert movie.observed_hit_rate is None
+        assert movie.hit_rate_ci() is None
+        assert movie.predicted_within_ci is None
+
+    def test_prediction_inside_interval(self):
+        movie = MovieSummary(0, predicted_hit=0.5, resume_hits=6, resume_misses=4)
+        assert movie.observed_hit_rate == 0.6
+        assert movie.predicted_within_ci is True
+
+    def test_prediction_outside_interval(self):
+        movie = MovieSummary(0, predicted_hit=0.5, resume_hits=80, resume_misses=20)
+        assert movie.predicted_within_ci is False
+
+
+class TestSummarizeTrace:
+    def test_movie_reduction(self):
+        summary = summarize_trace(_hand_built_trace(), timeline_buckets=4)
+        assert summary.events == 26
+        assert summary.label == "sim"
+        assert (summary.start_minutes, summary.end_minutes) == (0.0, 20.0)
+        movie = summary.movies[0]
+        assert movie.name == "m1"
+        assert (movie.streams, movie.buffer_minutes) == (5, 2.0)
+        assert (movie.sessions_started, movie.sessions_ended) == (2, 1)
+        assert (movie.resume_hits, movie.resume_misses) == (3, 1)
+        assert movie.vcr_ops == {"FF": 1, "PAU": 1}
+        assert movie.vcr_denied == 1
+        assert (movie.restarts, movie.restarts_starved) == (2, 1)
+        assert movie.predicted_hit == 0.5
+        assert movie.predicted_within_ci is True
+
+    def test_control_plane_reduction(self):
+        summary = summarize_trace(_hand_built_trace())
+        assert summary.replan_decisions == {"stationary": 1, "accepted": 1}
+        assert (summary.actuations_applied, summary.actuations_rejected) == (2, 1)
+        assert summary.frontiers == {"m1": (3, 2, 5)}
+
+    def test_occupancy_timeline_integrates_levels(self):
+        # Occupancy is 1 on [0,5), 2 on [5,10), then 1 until the end at 20.
+        summary = summarize_trace(_hand_built_trace(), timeline_buckets=4)
+        assert summary.peak_streams == 2
+        assert summary.stream_acquires == 2
+        assert summary.occupancy_timeline == [
+            (5.0, 1.0), (10.0, 2.0), (15.0, 1.0), (20.0, 1.0),
+        ]
+
+    def test_render_mentions_the_headlines(self):
+        text = summarize_trace(_hand_built_trace()).render()
+        assert "movie 0 (m1)" in text
+        assert "observed 0.7500" in text
+        assert "within CI" in text
+        assert "frontier m1" in text
+
+    def test_round_trip_through_writer_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            for event in _hand_built_trace():
+                payload = {k: v for k, v in event.items() if k not in ("ev", "t")}
+                writer.emit(event["ev"], event["t"], **payload)
+        summary = summarize_trace(path)
+        assert summary.events == 26
+        assert summary.movies[0].resumes == 4
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.events == 0
+        assert summary.movies == {}
+        assert summary.occupancy_timeline == []

@@ -1,0 +1,161 @@
+"""Trace writer, event schema validation, and trace-file ingestion."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ObservabilityError, TraceSchemaError
+from repro.obs.trace import (
+    EVENT_SCHEMA,
+    SCHEMA_VERSION,
+    NullTraceWriter,
+    TraceWriter,
+    read_trace,
+    validate_event,
+    validate_trace_file,
+)
+
+
+def _emit_some(writer: TraceWriter) -> None:
+    writer.emit("run_start", 0.0, label="test")
+    writer.emit("session_start", 1.5, movie=0, length=90.0)
+    writer.emit("resume", 10.0, movie=0, hit=True, position=12.5, window_start=3.0)
+    writer.emit("resume", 11.0, movie=0, hit=False, position=40.0, window_start=None)
+    writer.emit("run_end", 20.0, label="test")
+
+
+class TestWriter:
+    def test_emits_envelope_and_payload(self):
+        sink = io.StringIO()
+        with TraceWriter(sink) as writer:
+            _emit_some(writer)
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [obj["seq"] for obj in lines] == [0, 1, 2, 3, 4]
+        assert all(obj["v"] == SCHEMA_VERSION for obj in lines)
+        assert lines[2] == {
+            "v": 1, "seq": 2, "t": 10.0, "ev": "resume",
+            "movie": 0, "hit": True, "position": 12.5, "window_start": 3.0,
+        }
+
+    def test_buffer_flushes_on_overflow(self):
+        sink = io.StringIO()
+        writer = TraceWriter(sink, buffer_events=2)
+        writer.emit("run_start", 0.0, label="x")
+        assert sink.getvalue() == ""
+        writer.emit("run_end", 1.0, label="x")
+        assert len(sink.getvalue().splitlines()) == 2
+
+    def test_validation_rejects_bad_payload_at_emission(self):
+        writer = TraceWriter(io.StringIO())
+        with pytest.raises(TraceSchemaError):
+            writer.emit("resume", 1.0, movie=0, hit=True)  # missing fields
+        with pytest.raises(TraceSchemaError):
+            writer.emit("nonsense", 1.0)
+
+    def test_events_emitted_counts(self):
+        writer = TraceWriter(io.StringIO())
+        _emit_some(writer)
+        assert writer.events_emitted == 5
+
+    def test_file_sink_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            _emit_some(writer)
+        events = list(read_trace(path))
+        assert len(events) == 5
+        assert validate_trace_file(path) == 5
+
+    def test_bad_buffer_size_rejected(self):
+        with pytest.raises(ObservabilityError):
+            TraceWriter(io.StringIO(), buffer_events=0)
+
+
+class TestNullWriter:
+    def test_disabled_and_inert(self):
+        writer = NullTraceWriter()
+        assert writer.enabled is False
+        with writer:
+            writer.emit("run_start", 0.0, label="x")
+            writer.flush()
+        assert writer.events_emitted == 0
+
+    def test_real_writer_is_enabled(self):
+        assert TraceWriter(io.StringIO()).enabled is True
+
+
+class TestValidateEvent:
+    def _event(self, **overrides):
+        obj = {"v": 1, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"}
+        obj.update(overrides)
+        return obj
+
+    def test_accepts_valid(self):
+        validate_event(self._event())
+
+    def test_missing_envelope_field(self):
+        obj = self._event()
+        del obj["seq"]
+        with pytest.raises(TraceSchemaError, match="seq"):
+            validate_event(obj)
+
+    def test_wrong_version(self):
+        with pytest.raises(TraceSchemaError, match="version"):
+            validate_event(self._event(v=99))
+
+    def test_unknown_event_type(self):
+        with pytest.raises(TraceSchemaError, match="unknown event"):
+            validate_event(self._event(ev="bogus"))
+
+    def test_extra_field_rejected(self):
+        with pytest.raises(TraceSchemaError, match="unknown field"):
+            validate_event(self._event(surprise=1))
+
+    def test_bool_is_not_a_number(self):
+        obj = {
+            "v": 1, "seq": 0, "t": 0.0, "ev": "session_start",
+            "movie": 0, "length": True,
+        }
+        with pytest.raises(TraceSchemaError, match="boolean"):
+            validate_event(obj)
+
+    def test_line_number_in_message(self):
+        obj = self._event()
+        del obj["label"]
+        with pytest.raises(TraceSchemaError, match="line 7"):
+            validate_event(obj, line=7)
+
+    def test_every_declared_type_tuple_is_nonempty(self):
+        for event_type, fields in EVENT_SCHEMA.items():
+            for name, types in fields.items():
+                assert types, f"{event_type}.{name} declares no types"
+
+
+class TestFileValidation:
+    def test_invalid_json_names_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 1, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"}\nnot json\n')
+        with pytest.raises(TraceSchemaError, match="line 2"):
+            validate_trace_file(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(TraceSchemaError, match="object"):
+            validate_trace_file(path)
+
+    def test_seq_regression_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        first = {"v": 1, "seq": 5, "t": 0.0, "ev": "run_start", "label": "x"}
+        second = {"v": 1, "seq": 4, "t": 1.0, "ev": "run_end", "label": "x"}
+        path.write_text(json.dumps(first) + "\n" + json.dumps(second) + "\n")
+        with pytest.raises(TraceSchemaError, match="seq regressed"):
+            validate_trace_file(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        event = {"v": 1, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"}
+        path.write_text("\n" + json.dumps(event) + "\n\n")
+        assert validate_trace_file(path) == 1

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import SimulationError
+from repro.exceptions import ClockRegressionError, SimulationError
 from repro.sim.metrics import Counter, MetricsRegistry, TimeWeighted
 
 
@@ -60,8 +60,26 @@ class TestTimeWeighted:
     def test_time_backwards_rejected(self):
         metric = TimeWeighted("q")
         metric.update(5.0, 1.0)
-        with pytest.raises(SimulationError):
+        with pytest.raises(ClockRegressionError, match="time went backwards"):
             metric.update(4.0, 2.0)
+
+    def test_clock_regression_is_a_simulation_error(self):
+        # Callers catching the broad simulation error keep working.
+        assert issubclass(ClockRegressionError, SimulationError)
+
+    def test_stale_mean_query_rejected(self):
+        # A stale ``now`` would silently subtract the latest segment's area.
+        metric = TimeWeighted("q")
+        metric.update(5.0, 1.0)
+        with pytest.raises(ClockRegressionError, match="mean"):
+            metric.mean(4.0)
+
+    def test_float_jitter_within_tolerance_accepted(self):
+        metric = TimeWeighted("q")
+        metric.update(5.0, 1.0)
+        metric.update(5.0 - 1e-13, 2.0)  # sub-tolerance jitter, not a regression
+        assert metric.current == 2.0
+        assert metric.mean(5.0) == pytest.approx(0.0, abs=1e-9)
 
 
 class TestMetricsRegistry:

@@ -1,0 +1,72 @@
+"""Observer-hook dispatch: partial observers, error wrapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ObserverError, SimulationError
+from repro.vod.observers import notify_observers
+
+
+class _Recorder:
+    """Implements only two hooks; dispatch must skip the rest."""
+
+    def __init__(self) -> None:
+        self.calls: list[tuple] = []
+
+    def on_session_start(self, movie_id, length, now):
+        self.calls.append(("start", movie_id, length, now))
+
+    def on_resume_detail(self, movie_id, hit, position, window_start, now):
+        self.calls.append(("resume", movie_id, hit, position, window_start, now))
+
+
+class _Exploder:
+    def on_session_start(self, movie_id, length, now):
+        raise ValueError("observer bug")
+
+
+class TestDispatch:
+    def test_hook_receives_positional_args_and_now(self):
+        recorder = _Recorder()
+        notify_observers([recorder], "on_session_start", 3, 90.0, now=1.5)
+        assert recorder.calls == [("start", 3, 90.0, 1.5)]
+
+    def test_partial_observers_tolerated(self):
+        recorder = _Recorder()
+        # _Recorder has no on_vcr hook; dispatch must be a no-op, not an error.
+        notify_observers([recorder], "on_vcr", 3, "FF", 2.0, now=1.0)
+        assert recorder.calls == []
+
+    def test_all_implementing_observers_called(self):
+        first, second = _Recorder(), _Recorder()
+        notify_observers(
+            [first, object(), second], "on_resume_detail", 0, True, 5.0, 4.0, now=6.0
+        )
+        assert first.calls == second.calls == [("resume", 0, True, 5.0, 4.0, 6.0)]
+
+    def test_raising_observer_wrapped_with_context(self):
+        with pytest.raises(ObserverError) as excinfo:
+            notify_observers(
+                [_Exploder()], "on_session_start", 7, 60.0, now=12.5
+            )
+        message = str(excinfo.value)
+        assert "_Exploder" in message
+        assert "on_session_start" in message
+        assert "movie 7" in message
+        assert "t=12.5" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_observer_error_is_a_simulation_error(self):
+        assert issubclass(ObserverError, SimulationError)
+
+    def test_observers_before_the_raising_one_still_ran(self):
+        recorder = _Recorder()
+        with pytest.raises(ObserverError):
+            notify_observers(
+                [recorder, _Exploder()], "on_session_start", 1, 30.0, now=0.0
+            )
+        assert recorder.calls == [("start", 1, 30.0, 0.0)]
+
+    def test_empty_observer_list_is_a_noop(self):
+        notify_observers([], "on_session_start", 0, 1.0, now=0.0)

@@ -27,6 +27,10 @@ Subcommands
 ``obs summarize <trace.jsonl>`` / ``obs validate <trace.jsonl>``
     Replay a structured observability trace into a run report, or validate
     it against the event schema.
+``faults run [plan.json] [...]``
+    Run the chaos test-bed server under a fault plan — loaded from JSON or
+    generated from ``(--seed, --horizon, --intensity)`` — with or without
+    the graceful-degradation policies, and report the realised outcome.
 
 Observability
 -------------
@@ -189,6 +193,44 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="validate a structured trace against the event schema"
     )
     obs_validate.add_argument("trace", type=Path, help="JSONL trace file")
+
+    faults_cmd = sub.add_parser(
+        "faults", help="deterministic fault injection and graceful degradation"
+    )
+    faults_sub = faults_cmd.add_subparsers(dest="faults_command", required=True)
+    faults_run = faults_sub.add_parser(
+        "run", help="run the chaos test-bed server under a fault plan"
+    )
+    faults_run.add_argument(
+        "plan", nargs="?", type=Path, default=None,
+        help="fault-plan JSON file (omit to generate one from the flags below)",
+    )
+    faults_run.add_argument(
+        "--seed", type=int, default=5, help="fault-plan seed when generating"
+    )
+    faults_run.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="~faults per hour when generating a plan",
+    )
+    faults_run.add_argument(
+        "--horizon", type=float, default=600.0, help="simulated minutes"
+    )
+    faults_run.add_argument(
+        "--warmup", type=float, default=100.0,
+        help="minutes excluded from the metrics window",
+    )
+    faults_run.add_argument(
+        "--workload-seed", type=int, default=11, help="viewer-workload seed"
+    )
+    faults_run.add_argument(
+        "--no-degrade", action="store_true",
+        help="baseline arm: no shedding policies, faulted viewers are dropped",
+    )
+    faults_run.add_argument(
+        "--dump-plan", type=Path, default=None, metavar="FILE",
+        help="also write the effective plan JSON to FILE",
+    )
+    _add_obs_outputs(faults_run)
     return parser
 
 
@@ -608,6 +650,59 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Run the chaos test-bed server under a (loaded or generated) fault plan."""
+    from repro.exceptions import FaultPlanError
+    from repro.experiments.chaos import chaos_server
+    from repro.faults import FaultPlan
+
+    try:
+        if args.plan is not None:
+            plan = FaultPlan.load(args.plan)
+        else:
+            plan = FaultPlan.generate(
+                seed=args.seed, horizon=args.horizon, intensity=args.intensity
+            )
+    except FaultPlanError as exc:
+        print(f"invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+    if args.dump_plan is not None:
+        plan.dump(args.dump_plan)
+        print(f"wrote {args.dump_plan}")
+    tracer = _open_tracer(args)
+    try:
+        server = chaos_server(
+            plan,
+            degrade=not args.no_degrade,
+            horizon=args.horizon,
+            warmup=args.warmup,
+            seed=args.workload_seed,
+            tracer=tracer,
+        )
+        report = server.run()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    arm = (
+        "baseline (no degradation policies)"
+        if args.no_degrade
+        else "policy (shed_vcr -> widen_restart -> collapse_partition)"
+    )
+    print(f"fault plan               : {len(plan)} events (seed {plan.seed})")
+    print(f"arm                      : {arm}")
+    for line in report.summary_lines():
+        print(line)
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
+    if args.metrics_out is not None:
+        from repro.obs.adapters import export_sim_metrics
+
+        registry = ObsRegistry()
+        export_sim_metrics(server.metrics, server.env.now, registry)
+        _write_metrics(args, registry)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -630,6 +725,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_runtime(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -36,6 +36,17 @@ class ResourceError(SimulationError):
     """A simulated resource (stream, buffer) was misused, e.g. double release."""
 
 
+class StreamAccountingError(ResourceError):
+    """A stream grant was released, retagged or revoked against the wrong books.
+
+    Raised on double release, on releasing/retagging a grant a pool never
+    issued (a *foreign* grant), and on operating on a grant the fault layer
+    already revoked.  Revocation makes all three reachable from correct
+    viewer code, so the pool polices them explicitly instead of silently
+    corrupting the per-purpose occupancy accounts.
+    """
+
+
 class FittingError(ConfigurationError):
     """A distribution or behaviour fit could not be performed on the sample.
 
@@ -89,3 +100,45 @@ class SizingError(ReproError, RuntimeError):
 
 class InfeasibleError(SizingError):
     """No ``(B, n)`` pair satisfies the requested performance targets."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """Base class for the deterministic fault-injection layer."""
+
+
+class FaultPlanError(FaultError, ValueError):
+    """A fault plan is malformed: bad JSON shape, unknown kind, bad times.
+
+    Inherits :class:`ValueError` because a bad plan is fundamentally a bad
+    argument; ``except ValueError`` at a CLI boundary also works.
+    """
+
+
+class DegradedModeError(FaultError):
+    """A fresh plan/actuation was demanded while the control loop is degraded.
+
+    The circuit breaker is open: repeated re-fit/solve/actuation failures
+    tripped it, and the system is deliberately coasting on the last-good
+    allocation until the sim-clock backoff expires.  Callers that can accept
+    stale plans should not see this; callers that *require* a fresh plan get
+    a typed refusal instead of a silently stale answer.
+    """
+
+
+class ActuationRetryExhausted(FaultError):
+    """Re-queued partial actuations kept failing past the retry bound.
+
+    The remainder of a partially applied :class:`AllocationDelta` was
+    re-queued and re-applied the configured number of times without ever
+    landing fully; the loop falls back to the deployed state and surfaces
+    this so operators see a stuck actuation instead of an infinite retry.
+    """
+
+
+class WorkerCrashError(FaultError):
+    """A parallel worker process died and bounded shard retries ran out.
+
+    Task *exceptions* propagate as themselves; this is reserved for the
+    worker process vanishing (OOM-kill, segfault, ``os._exit``) repeatedly
+    enough that reassignment gave up.
+    """

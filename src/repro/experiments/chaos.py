@@ -1,0 +1,342 @@
+"""Chaos experiment: graceful degradation vs a no-policy baseline.
+
+Both arms run the identical server, workload seed, and generated
+:class:`~repro.faults.plan.FaultPlan` — disk-bandwidth degradations, stream
+revocations, and buffer pressure land at the same simulated instants.  The
+only difference is what happens next:
+
+* **baseline** — no :class:`~repro.vod.degradation.DegradationManager`; the
+  fault layer revokes grants and evicts the newest partitions blindly, so
+  affected viewers are dropped mid-session;
+* **policy** — the manager's ordered shedding ladder (``shed_vcr`` →
+  ``widen_restart`` → ``collapse_partition``) absorbs the same pressure by
+  degrading service: VCR grants are sacrificed first, batching windows
+  widen, and only then do partitions collapse, so viewers stall or lose
+  resume service instead of their sessions.
+
+The matrix covers two fault intensities.  Dominance criterion, checked per
+intensity and stated in the result notes: the policy arm's session-drop rate
+must be *strictly* below the baseline's, while its resume ``P(hit)`` stays
+within the Wilson 95% confidence interval of the baseline's — degradation
+must not purchase survival by silently gutting the hit probability.
+
+With ``workers > 1`` each (intensity, arm) cell runs as one task on the
+deterministic :class:`~repro.parallel.executor.ParallelExecutor`; workers
+collect their simulation traces locally and the driver re-emits the events
+through its own writer in task-index order, so the trace file is
+byte-identical for any worker count (CI compares serial vs parallel with
+``cmp``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+
+from repro.core.parameters import SystemConfiguration
+from repro.distributions import ExponentialDuration
+from repro.experiments.reporting import ExperimentResult, Table
+from repro.faults import FaultPlan
+from repro.obs.adapters import export_parallel_outcome
+from repro.obs.registry import TIER_STABLE
+from repro.obs.spans import span
+from repro.obs.summarize import wilson_interval
+from repro.obs.trace import TraceWriter
+from repro.parallel.executor import ParallelExecutor
+from repro.vod.buffer import BufferPool
+from repro.vod.movie import Movie, MovieCatalog
+from repro.vod.server import ServerMetricsReport, ServerWorkload, VODServer
+from repro.vod.vcr import VCRBehavior
+
+__all__ = [
+    "ChaosCell",
+    "ChaosOutcome",
+    "ChaosTask",
+    "chaos_server",
+    "run_chaos",
+    "run_chaos_arms",
+    "run_chaos_task",
+]
+
+_INTENSITIES = (1.0, 3.0)
+_FAULT_SEED = 5
+_WORKLOAD_SEED = 11
+_WARMUP = 100.0
+_ARRIVAL_RATE = 0.8
+_NUM_STREAMS = 40
+_BUFFER_MINUTES = 100.0
+
+
+def chaos_server(
+    plan: FaultPlan | None,
+    degrade: bool,
+    horizon: float,
+    warmup: float = _WARMUP,
+    seed: int = _WORKLOAD_SEED,
+    tracer=None,
+) -> VODServer:
+    """The standard chaos test-bed server, with the fault layer attached.
+
+    Shared between the experiment's worker tasks and ``repro-vod faults
+    run`` so a CLI invocation reproduces an experiment cell exactly.
+    """
+    catalog = MovieCatalog(
+        [
+            Movie(0, "hot-a", 60.0, popularity=0.45),
+            Movie(1, "hot-b", 80.0, popularity=0.35),
+            Movie(2, "tail-a", 90.0, popularity=0.1),
+            Movie(3, "tail-b", 90.0, popularity=0.1),
+        ],
+        popular_count=2,
+    )
+    server = VODServer(
+        catalog,
+        {
+            0: SystemConfiguration(60.0, 10, 30.0),
+            1: SystemConfiguration(80.0, 10, 40.0),
+        },
+        num_streams=_NUM_STREAMS,
+        buffer_pool=BufferPool.for_minutes(_BUFFER_MINUTES),
+        behavior=VCRBehavior.uniform_duration_model(
+            ExponentialDuration(5.0), mean_think_time=10.0
+        ),
+        workload=ServerWorkload(
+            arrival_rate=_ARRIVAL_RATE, horizon=horizon, warmup=warmup, seed=seed
+        ),
+        tracer=tracer,
+    )
+    if plan is not None:
+        server.attach_fault_layer(plan, degrade=degrade)
+    return server
+
+
+@dataclass(frozen=True)
+class ChaosTask:
+    """One (intensity, arm) cell's work order — plain data, picklable."""
+
+    intensity: float
+    degrade: bool
+    horizon: float
+    warmup: float = _WARMUP
+    fault_seed: int = _FAULT_SEED
+    workload_seed: int = _WORKLOAD_SEED
+    collect_trace: bool = False
+
+
+@dataclass(frozen=True)
+class ChaosArmResult:
+    """What a worker ships back: the report plus its raw trace lines."""
+
+    report: ServerMetricsReport
+    trace_lines: tuple[str, ...] = ()
+
+
+def run_chaos_task(task: ChaosTask) -> ChaosArmResult:
+    """Worker task: run one arm under its generated fault plan.
+
+    Module-level so the executor can pickle it by reference.  The plan is a
+    pure function of ``(fault_seed, horizon, intensity)`` and the server of
+    its workload seed, so re-running the task (after a worker crash, or on a
+    different worker count) reproduces the identical report and trace.
+    """
+    plan = FaultPlan.generate(
+        seed=task.fault_seed, horizon=task.horizon, intensity=task.intensity
+    )
+    sink = io.StringIO() if task.collect_trace else None
+    tracer = TraceWriter(sink) if sink is not None else None
+    server = chaos_server(
+        plan, task.degrade, task.horizon, warmup=task.warmup, seed=task.workload_seed,
+        tracer=tracer,
+    )
+    report = server.run()
+    lines: tuple[str, ...] = ()
+    if tracer is not None:
+        tracer.flush()
+        lines = tuple(sink.getvalue().splitlines())
+    return ChaosArmResult(report=report, trace_lines=lines)
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """Both arms of one intensity, plus the dominance verdict."""
+
+    intensity: float
+    baseline: ServerMetricsReport
+    policy: ServerMetricsReport
+    #: Wilson 95% CI of the baseline arm's resume hit probability.
+    hit_ci: tuple[float, float]
+
+    @property
+    def drop_rate_dominates(self) -> bool:
+        """Policy arm strictly improves the session-drop rate."""
+        return self.policy.session_drop_rate < self.baseline.session_drop_rate
+
+    @property
+    def hit_within_ci(self) -> bool:
+        """Policy arm's P(hit) sits inside the baseline's Wilson CI."""
+        low, high = self.hit_ci
+        return low <= self.policy.hit_rate <= high
+
+    @property
+    def dominates(self) -> bool:
+        """The full dominance criterion for this intensity."""
+        return self.drop_rate_dominates and self.hit_within_ci
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """All cells, in intensity order, plus parallel-execution telemetry."""
+
+    cells: tuple[ChaosCell, ...]
+    parallel_outcome: object = None
+
+    @property
+    def dominates_everywhere(self) -> bool:
+        """The dominance criterion holds at every tested intensity."""
+        return all(cell.dominates for cell in self.cells)
+
+
+def chaos_tasks(fast: bool = False, collect_traces: bool = False) -> list[ChaosTask]:
+    """The (intensity × arm) work orders, baseline before policy."""
+    horizon = 420.0 if fast else 600.0
+    return [
+        ChaosTask(
+            intensity=intensity,
+            degrade=degrade,
+            horizon=horizon,
+            collect_trace=collect_traces,
+        )
+        for intensity in _INTENSITIES
+        for degrade in (False, True)
+    ]
+
+
+def run_chaos_arms(
+    fast: bool = False,
+    workers: int | None = 1,
+    collect_traces: bool = False,
+) -> tuple[ChaosOutcome, list[ChaosArmResult]]:
+    """Run the full matrix; returns the outcome plus raw per-task results.
+
+    Split out from :func:`run_chaos` so the integration test can assert the
+    dominance criterion on the reports directly.
+    """
+    tasks = chaos_tasks(fast, collect_traces=collect_traces)
+    executor = ParallelExecutor(workers)
+    outcome = executor.map(run_chaos_task, tasks)
+    results = list(outcome.results)
+    cells = []
+    for index in range(0, len(tasks), 2):
+        baseline = results[index].report
+        policy = results[index + 1].report
+        cells.append(
+            ChaosCell(
+                intensity=tasks[index].intensity,
+                baseline=baseline,
+                policy=policy,
+                hit_ci=wilson_interval(
+                    baseline.resume_hits,
+                    baseline.resume_hits + baseline.resume_misses,
+                ),
+            )
+        )
+    return ChaosOutcome(cells=tuple(cells), parallel_outcome=outcome), results
+
+
+def run_chaos(
+    fast: bool = False, workers: int | None = 1, tracer=None, registry=None
+) -> ExperimentResult:
+    """Degraded-mode service vs the no-policy baseline under injected faults.
+
+    With a trace writer attached, workers collect their simulation traces
+    and the driver replays every event through its own writer in task-index
+    order — re-validated and re-stamped with a single monotone ``seq`` — so
+    the trace file is byte-identical for any worker count.
+    """
+    tracer = tracer if tracer is not None and tracer.enabled else None
+    with span("experiment.chaos"):
+        outcome, results = run_chaos_arms(
+            fast, workers=workers, collect_traces=tracer is not None
+        )
+    result = ExperimentResult(
+        experiment_id="chaos",
+        title="Graceful degradation vs no-policy baseline under injected faults",
+    )
+    result.parallel_outcome = outcome.parallel_outcome
+    if tracer is not None:
+        tracer.emit("run_start", 0.0, label="chaos")
+        for arm_result in results:
+            for line in arm_result.trace_lines:
+                obj = json.loads(line)
+                payload = {
+                    key: value
+                    for key, value in obj.items()
+                    if key not in ("v", "seq", "t", "ev")
+                }
+                tracer.emit(obj["ev"], obj["t"], **payload)
+    drop_gauge = dropped_counter = None
+    if registry is not None:
+        drop_gauge = registry.gauge(
+            "repro_chaos_session_drop_rate",
+            "Session-drop rate per chaos cell.",
+            labelnames=("intensity", "arm"),
+            tier=TIER_STABLE,
+        )
+        dropped_counter = registry.counter(
+            "repro_chaos_sessions_dropped_total",
+            "Sessions lost to fault injection, per chaos cell.",
+            labelnames=("intensity", "arm"),
+            tier=TIER_STABLE,
+        )
+        export_parallel_outcome(outcome.parallel_outcome, registry)
+    table = result.add_table(
+        Table(
+            caption=(
+                "identical fault plan, workload and seeds per intensity; "
+                "only the degradation policy differs"
+            ),
+            headers=(
+                "intensity", "arm", "dropped", "drop_rate", "degraded",
+                "p_hit", "faults", "revoked", "collapsed",
+            ),
+        )
+    )
+    for cell in outcome.cells:
+        for arm, report in (("baseline", cell.baseline), ("policy", cell.policy)):
+            table.add_row(
+                cell.intensity,
+                arm,
+                report.viewers_dropped,
+                round(report.session_drop_rate, 4),
+                report.viewers_degraded,
+                round(report.hit_rate, 4),
+                report.faults_injected,
+                report.streams_revoked,
+                report.partitions_collapsed,
+            )
+            if drop_gauge is not None:
+                label = f"{cell.intensity:g}"
+                drop_gauge.labels(label, arm).set(report.session_drop_rate)
+                dropped_counter.labels(label, arm).inc(report.viewers_dropped)
+        low, high = cell.hit_ci
+        verdict = "CONFIRMED" if cell.dominates else "VIOLATED"
+        result.add_note(
+            f"intensity {cell.intensity:g}: policy drop rate "
+            f"{cell.policy.session_drop_rate:.4f} vs baseline "
+            f"{cell.baseline.session_drop_rate:.4f} (strictly lower: "
+            f"{'yes' if cell.drop_rate_dominates else 'no'}); policy P(hit) "
+            f"{cell.policy.hit_rate:.4f} vs baseline Wilson 95% CI "
+            f"[{low:.4f}, {high:.4f}] (within: "
+            f"{'yes' if cell.hit_within_ci else 'no'}) — dominance {verdict}"
+        )
+    result.add_note(
+        "dominance criterion: the policy arm must strictly lower the "
+        "session-drop rate while keeping P(hit) inside the baseline's Wilson "
+        "CI — degradation may trade VCR service and batching latency for "
+        "session survival, but never the hit probability itself"
+    )
+    if tracer is not None:
+        tracer.emit("run_end", 0.0, label="chaos")
+        tracer.flush()
+    return result

@@ -14,6 +14,7 @@ from repro.experiments.ablations import (
     run_ablation_sensitivity,
     run_ablation_server,
 )
+from repro.experiments.chaos import run_chaos
 from repro.experiments.example1 import run_example1
 from repro.experiments.example2 import run_example2
 from repro.experiments.figure7 import run_figure7
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "ablation-sensitivity": run_ablation_sensitivity,
     "ablation-population": run_ablation_population,
     "online-control": run_online_control,
+    "chaos": run_chaos,
 }
 
 

@@ -1,0 +1,15 @@
+"""Deterministic fault injection for the VOD server and its control plane.
+
+The paper pre-allocates buffer and I/O streams as if the hardware never
+fails; this subpackage injects the failures — disk-bandwidth degradation,
+stream-grant revocation, buffer pressure, telemetry outages — as *scheduled
+simulation events* derived from a seeded, JSON-serialisable
+:class:`~repro.faults.plan.FaultPlan`.  Because faults are ordinary events
+on the sim clock, the same plan and seed reproduce byte-identical traces for
+any worker count, which is what lets CI diff a degraded run against itself.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import PLAN_VERSION, FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["PLAN_VERSION", "FaultKind", "FaultEvent", "FaultPlan", "FaultInjector"]

@@ -1,0 +1,230 @@
+"""Drives a :class:`~repro.faults.plan.FaultPlan` from the sim engine.
+
+The injector is one ordinary simulation process: it sleeps until each
+scheduled fault's time, applies the raw effect to the targeted subsystem
+(shrink the stream pool, revoke grants, squeeze the buffer pool, silence
+telemetry) and, for transient faults, schedules the recovery edge.  All of
+this happens on the sim clock, so a plan's effects are byte-identical across
+runs and worker counts.
+
+Graceful degradation is *not* the injector's job: when a
+:class:`~repro.vod.degradation.DegradationManager` is attached the injector
+notifies it after each raw effect and after each recovery, and the manager
+decides what to shed.  With no manager attached the faults simply land — the
+no-policy baseline the chaos experiment compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Sequence
+
+from repro.exceptions import FaultPlanError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies a fault plan's events to live simulation targets.
+
+    Targets are duck-typed and optional: ``streams`` (a
+    ``repro.vod.streams.StreamPool``), ``buffers`` (a
+    ``repro.vod.buffer.BufferPool``), ``services`` (the popular movies'
+    ``MovieService`` objects, for partition eviction), ``telemetry``
+    (anything with ``set_outage(bool)``) and ``manager`` (a
+    ``DegradationManager``).  A fault whose target is absent is recorded but
+    has no effect.
+    """
+
+    def __init__(
+        self,
+        env,
+        plan: FaultPlan,
+        streams=None,
+        buffers=None,
+        services: Sequence = (),
+        telemetry=None,
+        manager=None,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        self._env = env
+        self._plan = plan
+        self._streams = streams
+        self._buffers = buffers
+        self._services = tuple(services)
+        self._telemetry = telemetry
+        self._manager = manager
+        self._metrics = metrics
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self._started = False
+        self._nominal_streams: int | None = None
+        self._nominal_buffer_mb: float | None = None
+        self._disk_factors: list[float] = []
+        self._buffer_losses: list[float] = []
+        self._outage_depth = 0
+        self._transients_active = 0
+        self.faults_applied = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Record nominal capacities and launch the injection process."""
+        if self._started:
+            return
+        self._started = True
+        if self._streams is not None:
+            self._nominal_streams = self._streams.capacity
+        if self._buffers is not None:
+            self._nominal_buffer_mb = self._buffers.capacity_megabytes
+        self._env.process(self._run(), name="fault-injector")
+
+    def _run(self) -> Generator:
+        for event in self._plan.events:
+            if event.time > self._env.now:
+                yield self._env.timeout(event.time - self._env.now)
+            self._apply(event)
+
+    # ------------------------------------------------------------------
+    # Application.
+    # ------------------------------------------------------------------
+    def _apply(self, event: FaultEvent) -> None:
+        self.faults_applied += 1
+        self._record(event.kind, recovered=False, magnitude=event.magnitude)
+        if event.kind is FaultKind.DISK_DEGRADE:
+            self._apply_disk_degrade(event)
+        elif event.kind is FaultKind.STREAM_REVOKE:
+            self._apply_stream_revoke(event)
+        elif event.kind is FaultKind.BUFFER_PRESSURE:
+            self._apply_buffer_pressure(event)
+        elif event.kind is FaultKind.TELEMETRY_OUTAGE:
+            self._apply_telemetry_outage(event)
+        else:  # pragma: no cover - enum is closed
+            raise FaultPlanError(f"unhandled fault kind {event.kind!r}")
+
+    def _record(self, kind: FaultKind, recovered: bool, magnitude: float) -> None:
+        if self._metrics is not None:
+            name = "faults.recovered" if recovered else "faults.injected"
+            self._metrics.counter(name).increment()
+            if not recovered:
+                self._metrics.counter(f"faults.injected.{kind.value}").increment()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "fault_injected",
+                self._env.now,
+                kind=kind.value,
+                magnitude=magnitude,
+                recovered=recovered,
+            )
+
+    # --- disk-bandwidth degradation ------------------------------------
+    def _apply_disk_degrade(self, event: FaultEvent) -> None:
+        if self._streams is None:
+            return
+        self._disk_factors.append(event.magnitude)
+        self._resize_streams()
+        self._notify_pressure()
+        if event.duration is not None:
+            self._transients_active += 1
+            self._env.process(
+                self._recover_disk(event), name="fault-recover:disk"
+            )
+
+    def _recover_disk(self, event: FaultEvent) -> Generator:
+        yield self._env.timeout(event.duration)
+        self._disk_factors.remove(event.magnitude)
+        self._resize_streams()
+        self._record(event.kind, recovered=True, magnitude=event.magnitude)
+        self._transient_done()
+
+    def _resize_streams(self) -> None:
+        factor = min(self._disk_factors, default=1.0)
+        self._streams.resize(int(math.floor(self._nominal_streams * factor)))
+
+    # --- stream revocation ----------------------------------------------
+    def _apply_stream_revoke(self, event: FaultEvent) -> None:
+        if self._streams is None:
+            return
+        victims = self._streams.revoke(int(event.magnitude))
+        # A revoked playback grant kills its partition immediately.
+        for service in self._services:
+            service.reap_revoked()
+        if self._manager is not None:
+            self._manager.on_revocation(victims)
+
+    # --- buffer pressure --------------------------------------------------
+    def _apply_buffer_pressure(self, event: FaultEvent) -> None:
+        if self._buffers is None:
+            return
+        self._buffer_losses.append(event.magnitude)
+        self._resize_buffers()
+        live = sum(len(s.live_streams) for s in self._services)
+        evict = int(math.ceil(event.magnitude * live))
+        if evict:
+            if self._manager is not None:
+                self._manager.shed_partitions(evict)
+            else:
+                self._evict_newest(evict)
+        if event.duration is not None:
+            self._transients_active += 1
+            self._env.process(
+                self._recover_buffers(event), name="fault-recover:buffer"
+            )
+
+    def _recover_buffers(self, event: FaultEvent) -> Generator:
+        yield self._env.timeout(event.duration)
+        self._buffer_losses.remove(event.magnitude)
+        self._resize_buffers()
+        self._record(event.kind, recovered=True, magnitude=event.magnitude)
+        self._transient_done()
+
+    def _resize_buffers(self) -> None:
+        remaining = 1.0
+        for loss in self._buffer_losses:
+            remaining *= 1.0 - loss
+        self._buffers.resize(self._nominal_buffer_mb * remaining)
+
+    def _evict_newest(self, count: int) -> None:
+        """No-policy eviction: the youngest partitions go first (the worst
+        victims — they serve the most future viewers), deterministically."""
+        candidates = [
+            (stream, service)
+            for service in self._services
+            for stream in service.live_streams
+        ]
+        candidates.sort(
+            key=lambda pair: (-pair[0].start_time, pair[1].movie.movie_id)
+        )
+        for stream, service in candidates[:count]:
+            service.collapse(stream)
+
+    # --- telemetry outage -------------------------------------------------
+    def _apply_telemetry_outage(self, event: FaultEvent) -> None:
+        if self._telemetry is None:
+            return
+        self._outage_depth += 1
+        self._telemetry.set_outage(True)
+        self._transients_active += 1
+        self._env.process(
+            self._recover_telemetry(event), name="fault-recover:telemetry"
+        )
+
+    def _recover_telemetry(self, event: FaultEvent) -> Generator:
+        yield self._env.timeout(event.magnitude)
+        self._outage_depth -= 1
+        if self._outage_depth == 0:
+            self._telemetry.set_outage(False)
+        self._record(event.kind, recovered=True, magnitude=event.magnitude)
+        self._transient_done()
+
+    # --- shared recovery bookkeeping -------------------------------------
+    def _notify_pressure(self) -> None:
+        if self._manager is not None:
+            self._manager.on_pressure()
+
+    def _transient_done(self) -> None:
+        self._transients_active -= 1
+        if self._transients_active == 0 and self._manager is not None:
+            self._manager.on_recovery()

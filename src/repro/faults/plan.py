@@ -1,0 +1,272 @@
+"""Fault plans: what breaks, when, by how much, and for how long.
+
+A :class:`FaultPlan` is a schema-versioned, JSON-serialisable schedule of
+:class:`FaultEvent`\\ s on the simulation clock.  Plans come from two places:
+hand-written JSON files (``repro-vod faults run plan.json``) and
+:meth:`FaultPlan.generate`, which draws a random plan from the repo's
+standard ``SeedSequence`` lineage so a ``(seed, horizon, intensity)`` triple
+always produces the same plan on any machine or worker count.
+
+Magnitude semantics are kind-specific:
+
+========================  =====================================================
+kind                      magnitude
+========================  =====================================================
+``disk_degrade``          fraction of nominal stream capacity *remaining*
+                          (0, 1]; ``duration`` minutes until recovery
+                          (``null`` = permanent)
+``stream_revoke``         number of live grants to revoke (integer >= 1),
+                          instantaneous
+``buffer_pressure``       fraction of nominal buffer capacity *lost* (0, 1];
+                          ``duration`` as for ``disk_degrade``
+``telemetry_outage``      outage length in simulation minutes
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.exceptions import FaultPlanError
+from repro.sim.rng import RandomStreams
+
+__all__ = ["PLAN_VERSION", "FaultKind", "FaultEvent", "FaultPlan"]
+
+#: Version of the plan-file schema (independent of the trace schema).
+PLAN_VERSION = 1
+
+
+class FaultKind(enum.Enum):
+    """What breaks."""
+
+    DISK_DEGRADE = "disk_degrade"
+    STREAM_REVOKE = "stream_revoke"
+    BUFFER_PRESSURE = "buffer_pressure"
+    TELEMETRY_OUTAGE = "telemetry_outage"
+
+
+#: Kinds whose effect can be transient (``duration`` set) or permanent.
+_TRANSIENT_KINDS = frozenset({FaultKind.DISK_DEGRADE, FaultKind.BUFFER_PRESSURE})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: injection time, kind, magnitude, recovery."""
+
+    time: float
+    kind: FaultKind
+    magnitude: float
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.time) and self.time >= 0.0):
+            raise FaultPlanError(f"fault time must be finite and >= 0, got {self.time}")
+        if not (math.isfinite(self.magnitude) and self.magnitude > 0.0):
+            raise FaultPlanError(
+                f"{self.kind.value}: magnitude must be finite and > 0, "
+                f"got {self.magnitude}"
+            )
+        if self.kind in _TRANSIENT_KINDS:
+            if not 0.0 < self.magnitude <= 1.0:
+                raise FaultPlanError(
+                    f"{self.kind.value}: magnitude is a fraction in (0, 1], "
+                    f"got {self.magnitude}"
+                )
+            if self.duration is not None and not (
+                math.isfinite(self.duration) and self.duration > 0.0
+            ):
+                raise FaultPlanError(
+                    f"{self.kind.value}: duration must be positive or null, "
+                    f"got {self.duration}"
+                )
+        else:
+            if self.duration is not None:
+                raise FaultPlanError(
+                    f"{self.kind.value}: duration is not meaningful "
+                    "(revocations are instantaneous; an outage's length is its "
+                    "magnitude)"
+                )
+            if self.kind is FaultKind.STREAM_REVOKE and self.magnitude != int(
+                self.magnitude
+            ):
+                raise FaultPlanError(
+                    f"stream_revoke: magnitude is a whole number of grants, "
+                    f"got {self.magnitude}"
+                )
+
+    def to_obj(self) -> dict:
+        """The event as a JSON-ready dict."""
+        obj: dict = {
+            "time": self.time,
+            "kind": self.kind.value,
+            "magnitude": self.magnitude,
+        }
+        if self.duration is not None:
+            obj["duration"] = self.duration
+        return obj
+
+    @classmethod
+    def from_obj(cls, obj: Mapping) -> "FaultEvent":
+        """Decode one event dict; raises :class:`FaultPlanError` on bad shape."""
+        if not isinstance(obj, Mapping):
+            raise FaultPlanError(f"fault event must be an object, got {type(obj).__name__}")
+        unknown = set(obj) - {"time", "kind", "magnitude", "duration"}
+        if unknown:
+            raise FaultPlanError(f"fault event has unknown field(s) {sorted(unknown)}")
+        for field_name in ("time", "kind", "magnitude"):
+            if field_name not in obj:
+                raise FaultPlanError(f"fault event missing field {field_name!r}")
+        try:
+            kind = FaultKind(obj["kind"])
+        except ValueError:
+            raise FaultPlanError(
+                f"unknown fault kind {obj['kind']!r} "
+                f"(known: {[k.value for k in FaultKind]})"
+            ) from None
+        for field_name in ("time", "magnitude", "duration"):
+            value = obj.get(field_name)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, (int, float))
+            ):
+                raise FaultPlanError(
+                    f"fault event field {field_name!r} must be a number, got {value!r}"
+                )
+        return cls(
+            time=float(obj["time"]),
+            kind=kind,
+            magnitude=float(obj["magnitude"]),
+            duration=None if obj.get("duration") is None else float(obj["duration"]),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A versioned, time-sorted schedule of faults plus its defining seed."""
+
+    seed: int
+    events: tuple[FaultEvent, ...]
+    version: int = PLAN_VERSION
+
+    def __post_init__(self) -> None:
+        if self.version != PLAN_VERSION:
+            raise FaultPlanError(
+                f"unsupported fault-plan version {self.version!r} "
+                f"(this reader speaks {PLAN_VERSION})"
+            )
+        # Stable time sort so injection order is part of the plan's identity.
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=lambda e: e.time))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Serialisation.
+    # ------------------------------------------------------------------
+    def to_obj(self) -> dict:
+        """The plan as a JSON-ready dict."""
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "events": [event.to_obj() for event in self.events],
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Mapping) -> "FaultPlan":
+        """Decode a plan dict; raises :class:`FaultPlanError` on bad shape."""
+        if not isinstance(obj, Mapping):
+            raise FaultPlanError(f"fault plan must be an object, got {type(obj).__name__}")
+        unknown = set(obj) - {"version", "seed", "events"}
+        if unknown:
+            raise FaultPlanError(f"fault plan has unknown field(s) {sorted(unknown)}")
+        for field_name in ("version", "seed", "events"):
+            if field_name not in obj:
+                raise FaultPlanError(f"fault plan missing field {field_name!r}")
+        if isinstance(obj["seed"], bool) or not isinstance(obj["seed"], int):
+            raise FaultPlanError(f"fault plan seed must be an integer, got {obj['seed']!r}")
+        if not isinstance(obj["events"], Sequence) or isinstance(obj["events"], str):
+            raise FaultPlanError("fault plan events must be an array")
+        return cls(
+            seed=obj["seed"],
+            events=tuple(FaultEvent.from_obj(e) for e in obj["events"]),
+            version=obj["version"],
+        )
+
+    def dump(self, path: str | Path) -> None:
+        """Write the plan to a JSON file."""
+        Path(path).write_text(
+            json.dumps(self.to_obj(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        """Read a plan from a JSON file; raises :class:`FaultPlanError`."""
+        try:
+            obj = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan {path} is not valid JSON: {exc.msg}") from exc
+        return cls.from_obj(obj)
+
+    # ------------------------------------------------------------------
+    # Generation.
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon: float,
+        intensity: float,
+        kinds: Sequence[FaultKind] = tuple(FaultKind),
+    ) -> "FaultPlan":
+        """Draw a random plan: ~``intensity`` faults per hour over ``horizon``.
+
+        Draws come from the ``"fault-plan"`` named substream of the repo's
+        ``SeedSequence`` lineage, so the plan is a pure function of
+        ``(seed, horizon, intensity, kinds)`` — independent of every other
+        stochastic component and of worker count.
+        """
+        if horizon <= 0.0:
+            raise FaultPlanError(f"horizon must be positive, got {horizon}")
+        if intensity <= 0.0:
+            raise FaultPlanError(f"intensity must be positive, got {intensity}")
+        if not kinds:
+            raise FaultPlanError("need at least one fault kind to draw from")
+        rng = RandomStreams(seed).stream("fault-plan")
+        count = max(1, int(rng.poisson(intensity * horizon / 60.0)))
+        times = sorted(float(t) for t in rng.uniform(0.0, horizon, size=count))
+        events = []
+        for time in times:
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            if kind is FaultKind.DISK_DEGRADE:
+                event = FaultEvent(
+                    time=time,
+                    kind=kind,
+                    magnitude=float(rng.uniform(0.4, 0.9)),
+                    duration=float(rng.uniform(0.05, 0.25) * horizon),
+                )
+            elif kind is FaultKind.STREAM_REVOKE:
+                event = FaultEvent(
+                    time=time, kind=kind, magnitude=float(1 + int(rng.poisson(2.0)))
+                )
+            elif kind is FaultKind.BUFFER_PRESSURE:
+                event = FaultEvent(
+                    time=time,
+                    kind=kind,
+                    magnitude=float(rng.uniform(0.2, 0.6)),
+                    duration=float(rng.uniform(0.05, 0.25) * horizon),
+                )
+            else:
+                event = FaultEvent(
+                    time=time, kind=kind, magnitude=float(rng.uniform(5.0, 30.0))
+                )
+            events.append(event)
+        return cls(seed=seed, events=tuple(events))

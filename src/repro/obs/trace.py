@@ -31,7 +31,9 @@ from repro.exceptions import TraceSchemaError
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
     "EVENT_SCHEMA",
+    "EVENT_SCHEMAS",
     "TraceWriter",
     "NullTraceWriter",
     "validate_event",
@@ -39,7 +41,7 @@ __all__ = [
     "read_trace",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _NUM = (int, float)
 _OPT_NUM = (int, float, type(None))
@@ -93,14 +95,53 @@ EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
         "p_hit": _NUM,
         "feasible": (bool,),
     },
+    # Fault injection (schema v2): one per applied fault.  ``magnitude`` is
+    # kind-specific (capacity fraction, streams revoked, buffer fraction,
+    # outage minutes); ``recovered`` marks the restoring edge of a
+    # transient fault.
+    "fault_injected": {"kind": (str,), "magnitude": _NUM, "recovered": (bool,)},
+    # Graceful degradation (schema v2): the manager entered/left a shedding
+    # level.  ``policy`` names the deepest shedding step taken
+    # ("shed_vcr", "widen_restart", "collapse_partition", ...).
+    "degradation_entered": {"level": (int,), "policy": (str,)},
+    "degradation_exited": {"level": (int,)},
+    # Parallel resilience (schema v2): a dead worker's shard was reassigned.
+    # Diagnostic only — never part of a deterministic run trace, since its
+    # presence depends on which process died.
+    "worker_retry": {"shard": (int,), "attempt": (int,)},
 }
+
+#: Event types introduced by each schema version after 1.
+_EVENTS_ADDED: dict[int, frozenset[str]] = {
+    2: frozenset(
+        {"fault_injected", "degradation_entered", "degradation_exited", "worker_retry"}
+    ),
+}
+
+#: Schema version -> its event-type table.  Version ``N`` speaks every event
+#: introduced at or before ``N``; readers accept any supported version but a
+#: single file must be uniformly one version.
+EVENT_SCHEMAS: dict[int, dict[str, dict[str, tuple]]] = {
+    1: {
+        name: fields
+        for name, fields in EVENT_SCHEMA.items()
+        if name not in _EVENTS_ADDED[2]
+    },
+    2: EVENT_SCHEMA,
+}
+
+SUPPORTED_VERSIONS: tuple[int, ...] = tuple(sorted(EVENT_SCHEMAS))
 
 _ENVELOPE = ("v", "seq", "t", "ev")
 
 
-def validate_event(obj: Mapping, line: int | None = None) -> None:
+def validate_event(
+    obj: Mapping, line: int | None = None, version: int | None = None
+) -> None:
     """Validate one decoded event object against the schema.
 
+    ``version`` pins the expected schema version (used by file readers to
+    reject mixed-version traces); ``None`` accepts any supported version.
     Raises :class:`~repro.exceptions.TraceSchemaError` naming the offending
     line (1-based, when given) and field.
     """
@@ -108,19 +149,26 @@ def validate_event(obj: Mapping, line: int | None = None) -> None:
     for field in _ENVELOPE:
         if field not in obj:
             raise TraceSchemaError(f"{where}missing envelope field {field!r}")
-    if obj["v"] != SCHEMA_VERSION:
+    if obj["v"] not in EVENT_SCHEMAS:
         raise TraceSchemaError(
             f"{where}unsupported schema version {obj['v']!r} "
-            f"(this reader speaks {SCHEMA_VERSION})"
+            f"(this reader speaks {list(SUPPORTED_VERSIONS)})"
+        )
+    if version is not None and obj["v"] != version:
+        raise TraceSchemaError(
+            f"{where}mixed-version trace: event has v={obj['v']!r} "
+            f"but the file started with v={version}"
         )
     if not isinstance(obj["seq"], int) or isinstance(obj["seq"], bool):
         raise TraceSchemaError(f"{where}seq must be an integer, got {obj['seq']!r}")
     if not isinstance(obj["t"], (int, float)) or isinstance(obj["t"], bool):
         raise TraceSchemaError(f"{where}t must be a number, got {obj['t']!r}")
     event_type = obj["ev"]
-    fields = EVENT_SCHEMA.get(event_type)
+    fields = EVENT_SCHEMAS[obj["v"]].get(event_type)
     if fields is None:
-        raise TraceSchemaError(f"{where}unknown event type {event_type!r}")
+        raise TraceSchemaError(
+            f"{where}unknown event type {event_type!r} for schema v{obj['v']}"
+        )
     for name, types in fields.items():
         if name not in obj:
             raise TraceSchemaError(f"{where}{event_type}: missing field {name!r}")
@@ -240,9 +288,13 @@ class NullTraceWriter:
 def read_trace(path: str | Path) -> Iterator[dict]:
     """Iterate a trace file's events, validating each line.
 
-    Raises :class:`~repro.exceptions.TraceSchemaError` naming the offending
-    1-based line on malformed JSON or schema violations.
+    The first event's ``v`` fixes the file's schema version; every later
+    event must carry the same one (a mixed-version file is two traces
+    concatenated, and replaying it would silently mix schemas).  Raises
+    :class:`~repro.exceptions.TraceSchemaError` naming the offending 1-based
+    line on malformed JSON, schema violations or a version change.
     """
+    file_version: int | None = None
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -258,7 +310,9 @@ def read_trace(path: str | Path) -> Iterator[dict]:
                 raise TraceSchemaError(
                     f"line {line_number}: expected a JSON object, got {type(obj).__name__}"
                 )
-            validate_event(obj, line=line_number)
+            validate_event(obj, line=line_number, version=file_version)
+            if file_version is None:
+                file_version = obj["v"]
             yield obj
 
 

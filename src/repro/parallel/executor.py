@@ -33,6 +33,15 @@ Every run reports per-shard wall-clock timing and cache hit/miss deltas
 back to the driver via :class:`ShardReport`, so operators can verify both
 the speedup and that worker-side memoisation is actually working.
 
+Dead workers do not kill the run: a worker that dies mid-shard (OOM kill,
+segfault, ``os._exit``) surfaces as a broken pool, and the driver re-submits
+only the shards that never delivered, in a fresh pool, up to
+``max_shard_retries`` times.  Because tasks are pure and keyed by index, a
+re-run shard produces exactly the results the dead worker would have — the
+determinism contract survives the crash.  Exhausting the retries raises
+:class:`~repro.exceptions.WorkerCrashError`; ordinary task exceptions still
+propagate unchanged on first occurrence (they would recur verbatim anyway).
+
 Task callables must be module-level (picklable by qualified name) and items
 must be picklable.
 """
@@ -42,12 +51,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from typing import TYPE_CHECKING
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, WorkerCrashError
 from repro.obs.log import get_logger
 from repro.obs.spans import span
 
@@ -126,13 +136,15 @@ class ShardReport:
     cache_hits: int
     cache_misses: int
     pid: int
+    attempts: int = 1
 
     def describe(self) -> str:
         """One-line human-readable form."""
+        retried = f", attempt {self.attempts}" if self.attempts > 1 else ""
         return (
             f"shard {self.shard}: {self.tasks} tasks in {self.seconds:.2f}s "
             f"(cache {self.cache_hits} hits / {self.cache_misses} misses, "
-            f"pid {self.pid})"
+            f"pid {self.pid}{retried})"
         )
 
 
@@ -144,6 +156,7 @@ class ParallelOutcome:
     shards: tuple[ShardReport, ...]
     workers: int
     seconds: float
+    retried_shards: int = 0
 
     @property
     def tasks(self) -> int:
@@ -183,6 +196,7 @@ class ParallelOutcome:
             shards=tuple(s for o in outcomes for s in o.shards),
             workers=max(o.workers for o in outcomes),
             seconds=sum(o.seconds for o in outcomes),
+            retried_shards=sum(o.retried_shards for o in outcomes),
         )
 
     def timing_payload(self) -> dict:
@@ -191,6 +205,7 @@ class ParallelOutcome:
             "workers": self.workers,
             "tasks": self.tasks,
             "seconds": self.seconds,
+            "retried_shards": self.retried_shards,
             "shards": [
                 {
                     "shard": s.shard,
@@ -199,6 +214,7 @@ class ParallelOutcome:
                     "cache_hits": s.cache_hits,
                     "cache_misses": s.cache_misses,
                     "pid": s.pid,
+                    "attempts": s.attempts,
                 }
                 for s in self.shards
             ],
@@ -248,8 +264,23 @@ def _run_shard(
 class ParallelExecutor:
     """Fans a pure task function over items with deterministic output order."""
 
-    def __init__(self, workers: int | None = 1) -> None:
+    def __init__(
+        self,
+        workers: int | None = 1,
+        max_shard_retries: int = 2,
+        tracer=None,
+    ) -> None:
+        if max_shard_retries < 0:
+            raise ConfigurationError(
+                f"max_shard_retries must be >= 0, got {max_shard_retries}"
+            )
         self._workers = resolve_workers(workers)
+        self._max_shard_retries = max_shard_retries
+        # Diagnostic only: ``worker_retry`` events depend on *when* a worker
+        # died, so they never belong in a deterministic run trace — attach a
+        # tracer here only for post-mortems.
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self.shard_retries = 0
 
     @property
     def workers(self) -> int:
@@ -270,6 +301,7 @@ class ParallelExecutor:
         for index, item in indexed:
             shards[index % shard_count].append((index, item))
 
+        attempts: dict[int, int] = {}
         with span("parallel.map") as timer:
             if shard_count == 1 or not fork_available():
                 shard_results = [
@@ -277,21 +309,16 @@ class ParallelExecutor:
                     for shard_index, shard in enumerate(shards)
                 ]
             else:
-                context = multiprocessing.get_context("fork")
-                with ProcessPoolExecutor(
-                    max_workers=shard_count, mp_context=context
-                ) as pool:
-                    futures = [
-                        pool.submit(_run_shard, func, shard_index, shard)
-                        for shard_index, shard in enumerate(shards)
-                    ]
-                    shard_results = [future.result() for future in futures]
+                shard_results = self._map_with_retries(
+                    func, list(enumerate(shards)), attempts
+                )
         seconds = timer.elapsed
 
         keyed: list[tuple[int, R]] = []
         for shard_result in shard_results:
             keyed.extend(shard_result.keyed_results)
         keyed.sort(key=lambda pair: pair[0])
+        shard_results.sort(key=lambda s: s.shard)
         return ParallelOutcome(
             results=tuple(result for _, result in keyed),
             shards=tuple(
@@ -302,9 +329,70 @@ class ParallelExecutor:
                     cache_hits=s.cache_hits,
                     cache_misses=s.cache_misses,
                     pid=s.pid,
+                    attempts=attempts.get(s.shard, 1),
                 )
                 for s in shard_results
             ),
             workers=shard_count,
             seconds=seconds,
+            retried_shards=sum(1 for n in attempts.values() if n > 1),
         )
+
+    def _map_with_retries(
+        self,
+        func: Callable[[T], R],
+        pending: list[tuple[int, Sequence[tuple[int, T]]]],
+        attempts: dict[int, int],
+    ) -> list[_ShardResult]:
+        """Fan the shards out, re-submitting the ones a dead worker ate.
+
+        A crashed worker breaks its whole pool, so every shard still in
+        flight fails together; the completed ones keep their results and the
+        rest go into a fresh pool.  Task purity makes the re-run exact, and
+        the driver keys results by task index, so the output is byte-for-byte
+        the output of a crash-free run.
+        """
+        context = multiprocessing.get_context("fork")
+        shard_results: list[_ShardResult] = []
+        for shard_index, _ in pending:
+            attempts[shard_index] = 1
+        while True:
+            failed: list[tuple[int, Sequence[tuple[int, T]]]] = []
+            with ProcessPoolExecutor(
+                max_workers=len(pending), mp_context=context
+            ) as pool:
+                futures = [
+                    (shard_index, shard, pool.submit(_run_shard, func, shard_index, shard))
+                    for shard_index, shard in pending
+                ]
+                for shard_index, shard, future in futures:
+                    try:
+                        shard_results.append(future.result())
+                    except BrokenProcessPool:
+                        failed.append((shard_index, shard))
+            if not failed:
+                return shard_results
+            exhausted = [
+                shard_index
+                for shard_index, _ in failed
+                if attempts[shard_index] > self._max_shard_retries
+            ]
+            if exhausted:
+                raise WorkerCrashError(
+                    f"shard(s) {exhausted} kept crashing their worker; gave up "
+                    f"after {self._max_shard_retries} retries each"
+                )
+            for shard_index, _ in failed:
+                attempt = attempts[shard_index]
+                attempts[shard_index] = attempt + 1
+                self.shard_retries += 1
+                _log.warning(
+                    "worker died; re-submitting shard %d (attempt %d)",
+                    shard_index,
+                    attempt + 1,
+                )
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "worker_retry", 0.0, shard=shard_index, attempt=attempt + 1
+                    )
+            pending = failed

@@ -21,13 +21,16 @@ loop closed while traffic drifts.  This package is that loop:
 * :mod:`repro.runtime.actuator` — applies deltas to a running server
   between batch restarts, never mid-window;
 * :mod:`repro.runtime.admission` — gates new sessions against the *current*
-  plan plus the Erlang VCR reserve of :mod:`repro.sizing.reservation`.
+  plan plus the Erlang VCR reserve of :mod:`repro.sizing.reservation`;
+* :mod:`repro.runtime.circuit` — a circuit breaker around the whole cycle:
+  repeated failures open it and the server coasts on the last-good plan.
 """
 
 from __future__ import annotations
 
 from repro.runtime.actuator import ActuationReport, PlanActuator
 from repro.runtime.admission import GateDecision, RuntimeAdmissionGate
+from repro.runtime.circuit import CircuitBreaker, GuardedControlLoop
 from repro.runtime.controller import (
     AllocationDelta,
     CapacityController,
@@ -44,6 +47,8 @@ __all__ = [
     "PlanActuator",
     "GateDecision",
     "RuntimeAdmissionGate",
+    "CircuitBreaker",
+    "GuardedControlLoop",
     "AllocationDelta",
     "CapacityController",
     "ControllerPolicy",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ResourceError
+from repro.obs.registry import TIER_STABLE
 from repro.runtime.controller import AllocationDelta, MovieChange
 
 __all__ = ["ActuationReport", "PlanActuator"]
@@ -55,10 +56,19 @@ class ActuationReport:
 class PlanActuator:
     """Pushes accepted deltas into a :class:`~repro.vod.server.VODServer`."""
 
-    def __init__(self, server, gate=None, tracer=None) -> None:
+    def __init__(self, server, gate=None, tracer=None, registry=None) -> None:
         self._server = server
         self._gate = gate
         self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self._partial_counter = (
+            registry.counter(
+                "repro_partial_actuations_total",
+                "Deltas that landed with at least one change rejected.",
+                tier=TIER_STABLE,
+            )
+            if registry is not None
+            else None
+        )
         self.deltas_applied = 0
         self.changes_applied = 0
         self.changes_rejected = 0
@@ -86,6 +96,8 @@ class PlanActuator:
         self.deltas_applied += 1
         self.changes_applied += len(applied)
         self.changes_rejected += len(rejected)
+        if rejected and self._partial_counter is not None:
+            self._partial_counter.inc()
         if self._tracer is not None:
             self._tracer.emit(
                 "plan_actuation",

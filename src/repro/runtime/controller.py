@@ -23,11 +23,15 @@ Hysteresis keeps the plan from churning.  Three gates run in order:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 from repro.core.parameters import SystemConfiguration, VCRRates
-from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.exceptions import (
+    ActuationRetryExhausted,
+    ConfigurationError,
+    InfeasibleError,
+)
 from repro.obs.log import get_logger
 from repro.runtime.modelcache import ModelEvaluationCache
 from repro.runtime.refit import IncrementalRefitter, RefitPolicy
@@ -84,8 +88,13 @@ class ControllerPolicy:
     min_improvement: float = 0.02
     blocking_target: float = 0.01
     include_end_hit: bool = True
+    max_requeue_attempts: int = 3
 
     def __post_init__(self) -> None:
+        if self.max_requeue_attempts < 1:
+            raise ConfigurationError(
+                f"max_requeue_attempts must be >= 1, got {self.max_requeue_attempts}"
+            )
         if self.cooldown_minutes < 0.0:
             raise ConfigurationError(
                 f"cooldown_minutes must be >= 0, got {self.cooldown_minutes}"
@@ -203,6 +212,9 @@ class CapacityController:
         self.skipped_no_improvement = 0
         self.skipped_insufficient_data = 0
         self.infeasible_plans = 0
+        self.requeued_actuations = 0
+        self._pending_requeue: AllocationDelta | None = None
+        self._requeue_attempts = 0
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -237,7 +249,39 @@ class CapacityController:
             "skipped_no_improvement": self.skipped_no_improvement,
             "skipped_insufficient_data": self.skipped_insufficient_data,
             "infeasible_plans": self.infeasible_plans,
+            "requeued_actuations": self.requeued_actuations,
         }
+
+    # ------------------------------------------------------------------
+    # Actuation feedback.
+    # ------------------------------------------------------------------
+    def notify_actuation(self, report, delta: AllocationDelta) -> None:
+        """Learn how the last delta landed; queue any remainder for re-try.
+
+        A fully-applied report clears the retry state.  A partial one keeps
+        only the rejected changes (as a new delta with the same target map)
+        so the next :meth:`tick` re-emits exactly the unfinished work instead
+        of re-planning from scratch.  Attempts are bounded by
+        ``policy.max_requeue_attempts`` — beyond that the loop is wedged on
+        something re-trying cannot fix and :class:`ActuationRetryExhausted`
+        tells the caller to fall back (the circuit breaker's job).
+        """
+        if report.fully_applied:
+            self._pending_requeue = None
+            self._requeue_attempts = 0
+            return
+        self._requeue_attempts += 1
+        rejected = tuple(change for change, _ in report.rejected)
+        if self._requeue_attempts >= self.policy.max_requeue_attempts:
+            self._pending_requeue = None
+            names = ", ".join(change.name for change in rejected)
+            raise ActuationRetryExhausted(
+                f"gave up re-queueing {len(rejected)} rejected change(s) [{names}] "
+                f"after {self._requeue_attempts} attempts"
+            )
+        self._pending_requeue = replace(
+            delta, changes=rejected, reason="partial actuation re-queue"
+        )
 
     # ------------------------------------------------------------------
     # The tick.
@@ -252,6 +296,14 @@ class CapacityController:
     def tick(self, now: float) -> AllocationDelta | None:
         """Run one control cycle; returns a delta only when the plan moves."""
         self.ticks += 1
+        if self._pending_requeue is not None:
+            # Finish the half-applied delta before considering new plans —
+            # the deployed state is not yet what the incumbent map claims.
+            delta = replace(self._pending_requeue, at_minutes=now)
+            self._pending_requeue = None
+            self.requeued_actuations += 1
+            self._trace_decision(now, "requeue")
+            return delta
         snapshots = {
             movie_id: telemetry.snapshot(now)
             for movie_id, telemetry in (

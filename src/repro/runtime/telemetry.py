@@ -219,6 +219,32 @@ class TelemetryHub:
         self._window_size = window_size
         self._half_life = half_life_minutes
         self._movies: dict[int, MovieTelemetry] = {}
+        self._outage = False
+        self.samples_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Fault layer.
+    # ------------------------------------------------------------------
+    @property
+    def outage(self) -> bool:
+        """True while the telemetry link is down (samples are dropped)."""
+        return self._outage
+
+    def set_outage(self, active: bool) -> None:
+        """Silence (or restore) the live observer feed.
+
+        During an outage the observer hooks drop their samples — the decayed
+        counters simply see a gap, exactly what a dead telemetry link looks
+        like to the control plane — while ``movie()`` access and trace replay
+        keep working.
+        """
+        self._outage = bool(active)
+
+    def _drop_if_out(self) -> bool:
+        if self._outage:
+            self.samples_dropped += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Access.
@@ -254,20 +280,28 @@ class TelemetryHub:
     # ------------------------------------------------------------------
     def on_session_start(self, movie_id: int, movie_length: float, now: float) -> None:
         """Observer hook: one admitted session for a popular movie."""
+        if self._drop_if_out():
+            return
         self.movie(movie_id, movie_length).record_session_start(now)
 
     def on_vcr(
         self, movie_id: int, operation: VCROperation, duration: float, now: float
     ) -> None:
         """Observer hook: one issued VCR operation with its sampled duration."""
+        if self._drop_if_out():
+            return
         self.movie(movie_id).record_operation(operation, duration, now)
 
     def on_playback(self, movie_id: int, minutes: float, now: float) -> None:
         """Observer hook: ``minutes`` of normal playback just elapsed."""
+        if self._drop_if_out():
+            return
         self.movie(movie_id).record_playback(minutes, now)
 
     def on_resume(self, movie_id: int, hit: bool, now: float) -> None:
         """Observer hook: one resume outcome (hit or miss)."""
+        if self._drop_if_out():
+            return
         self.movie(movie_id).record_resume(hit, now)
 
     def on_session_end(self, movie_id: int, now: float) -> None:

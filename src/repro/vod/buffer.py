@@ -121,3 +121,15 @@ class BufferPool:
         if self._capacity_mb == 0:
             return 0.0
         return self._reserved_mb / self._capacity_mb
+
+    def resize(self, capacity_megabytes: float) -> None:
+        """Change the pool size (the fault layer's buffer-pressure lever).
+
+        Shrinking below the reserved total is allowed — existing
+        reservations survive (their partitions are evicted separately by the
+        degradation path) but new reservations fail until space frees, so
+        ``utilization`` can transiently exceed 1.
+        """
+        if capacity_megabytes < 0:
+            raise ResourceError(f"capacity must be >= 0, got {capacity_megabytes}")
+        self._capacity_mb = float(capacity_megabytes)

@@ -36,6 +36,23 @@ class DiskModel:
         """The 2 GB / 5 MB/s / $700 SCSI disk of Example 2."""
         return cls()
 
+    def degraded(self, factor: float) -> "DiskModel":
+        """This disk running at ``factor`` of its nominal transfer rate.
+
+        The fault layer's ``disk_degrade`` magnitude maps through this to a
+        stream-capacity loss: ``degraded(f).streams_supported(r)`` is the
+        capacity the injector resizes the pool to.
+        """
+        if not (math.isfinite(factor) and 0.0 < factor <= 1.0):
+            raise ConfigurationError(
+                f"degradation factor must be in (0, 1], got {factor}"
+            )
+        return DiskModel(
+            capacity_gb=self.capacity_gb,
+            transfer_rate_mb_s=self.transfer_rate_mb_s * factor,
+            cost_dollars=self.cost_dollars,
+        )
+
     def streams_supported(self, bitrate_mbps: float) -> int:
         """Concurrent streams of ``bitrate_mbps`` video one disk sustains."""
         if bitrate_mbps <= 0:

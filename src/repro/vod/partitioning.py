@@ -125,13 +125,15 @@ class MovieService:
         # The I/O stream ends when the playhead reaches the end of the movie.
         yield self._env.timeout(self.movie.length / playback)
         grant, stream.grant = stream.grant, None
-        if grant is not None:
+        if grant is not None and not grant.revoked:
             self._streams.release(grant)
         # The buffered tail serves the partition's remaining viewers for
         # `span` more minutes before the window disappears.
         if self.config.partition_span > 0.0:
             yield self._env.timeout(self.config.partition_span / playback)
-        self._live.remove(stream)
+        # The fault layer may have collapsed the partition while we slept.
+        if stream in self._live:
+            self._live.remove(stream)
 
     def reconfigure(self, config: SystemConfiguration) -> None:
         """Adopt a new ``(B, n)`` for this movie's service.
@@ -153,6 +155,50 @@ class MovieService:
             self.config = config
             self._metrics.counter(f"reconfigured.{self.movie.movie_id}").increment()
             self._metrics.counter("reconfigured").increment()
+
+    # ------------------------------------------------------------------
+    # Fault layer.
+    # ------------------------------------------------------------------
+    def reap_revoked(self) -> int:
+        """Drop partitions whose playback grant the fault layer revoked.
+
+        The window disappears immediately — viewers inside it miss on their
+        next resume, which is the degradation the fault model wants (the
+        stream is gone; the buffered tail cannot be refilled).  Returns the
+        number of partitions reaped.
+        """
+        reaped = 0
+        for stream in list(self._live):
+            if stream.grant is not None and stream.grant.revoked:
+                stream.grant = None
+                self._live.remove(stream)
+                reaped += 1
+        if reaped:
+            self._metrics.counter("partitions.collapsed").increment(reaped)
+            self._metrics.counter(
+                f"partitions.collapsed.{self.movie.movie_id}"
+            ).increment(reaped)
+        return reaped
+
+    def collapse(self, stream: LiveStream) -> None:
+        """Evict one live partition, returning its stream to the pool.
+
+        Used by buffer-pressure eviction and the ``collapse_partition``
+        shedding policy; the grant is released properly (unless the fault
+        layer already revoked it), so the pool's books stay balanced.
+        """
+        if stream not in self._live:
+            raise SimulationError(
+                f"collapse of a partition {self.movie.title!r} is not serving"
+            )
+        grant, stream.grant = stream.grant, None
+        if grant is not None and not grant.revoked:
+            self._streams.release(grant)
+        self._live.remove(stream)
+        self._metrics.counter("partitions.collapsed").increment()
+        self._metrics.counter(
+            f"partitions.collapsed.{self.movie.movie_id}"
+        ).increment()
 
     # ------------------------------------------------------------------
     # Queries.

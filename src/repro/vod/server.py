@@ -89,6 +89,17 @@ class ServerMetricsReport:
     viewers_completed: int
     viewers_defected: int
     mean_wait_minutes: float
+    # Fault-layer outcomes (all zero on a fault-free run).
+    viewers_dropped: int = 0
+    viewers_degraded: int = 0
+    faults_injected: int = 0
+    streams_revoked: int = 0
+    partitions_collapsed: int = 0
+
+    @property
+    def session_drop_rate(self) -> float:
+        """Fraction of started sessions lost to revocations."""
+        return self.viewers_dropped / self.viewers_started if self.viewers_started else 0.0
 
     @property
     def vcr_denial_rate(self) -> float:
@@ -123,6 +134,12 @@ class ServerMetricsReport:
             f"viewers                  : started {self.viewers_started}, "
             f"completed {self.viewers_completed}, defected {self.viewers_defected}, "
             f"mean batching wait {self.mean_wait_minutes:.2f} min",
+            f"faults                   : injected {self.faults_injected}, "
+            f"streams revoked {self.streams_revoked}, "
+            f"partitions collapsed {self.partitions_collapsed}, "
+            f"sessions dropped {self.viewers_dropped} "
+            f"(drop rate {self.session_drop_rate:.4f}), "
+            f"degraded {self.viewers_degraded}",
         ]
 
 
@@ -171,6 +188,8 @@ class VODServer:
         self._observers = observers
         self._gate = gate
         self._started = False
+        self._degradation = None
+        self._injector = None
         self._env = Environment()
         self._metrics = MetricsRegistry()
         self._streams = StreamPool(
@@ -196,6 +215,76 @@ class VODServer:
     def env(self) -> Environment:
         """The underlying simulation environment."""
         return self._env
+
+    @property
+    def stream_pool(self) -> StreamPool:
+        """The shared I/O stream pool (fault-layer wiring point)."""
+        return self._streams
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        """The buffer pool (fault-layer wiring point)."""
+        return self._buffers
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission controller owning the movie services."""
+        return self._admission
+
+    @property
+    def degradation(self):
+        """The attached DegradationManager, or None."""
+        return self._degradation
+
+    # ------------------------------------------------------------------
+    # Fault layer.
+    # ------------------------------------------------------------------
+    def attach_fault_layer(
+        self,
+        plan,
+        degrade: bool = True,
+        policies: tuple[str, ...] | None = None,
+        telemetry=None,
+    ):
+        """Wire a :class:`~repro.faults.plan.FaultPlan` into this server.
+
+        With ``degrade=True`` a :class:`~repro.vod.degradation.DegradationManager`
+        sheds load gracefully (viewers degrade instead of dropping); with
+        ``degrade=False`` the faults simply land — the chaos experiment's
+        no-policy baseline.  Must be called before :meth:`start`.  Returns
+        the :class:`~repro.faults.injector.FaultInjector`.
+        """
+        # Local imports keep repro.vod importable without the faults package
+        # loaded (and avoid a cycle: repro.faults reads vod modules too).
+        from repro.faults.injector import FaultInjector
+        from repro.vod.degradation import DEFAULT_POLICIES, DegradationManager
+
+        if self._started:
+            raise SimulationError("attach_fault_layer() after start()")
+        if self._injector is not None:
+            raise SimulationError("a fault layer is already attached")
+        if degrade:
+            self._degradation = DegradationManager(
+                self._env,
+                self._streams,
+                self._admission.services,
+                reconfigure=self.reconfigure_movie,
+                policies=policies if policies is not None else DEFAULT_POLICIES,
+                metrics=self._metrics,
+                tracer=self._tracer,
+            )
+        self._injector = FaultInjector(
+            self._env,
+            plan,
+            streams=self._streams,
+            buffers=self._buffers,
+            services=self._admission.services,
+            telemetry=telemetry,
+            manager=self._degradation,
+            metrics=self._metrics,
+            tracer=self._tracer,
+        )
+        return self._injector
 
     # ------------------------------------------------------------------
     # Execution.
@@ -250,6 +339,8 @@ class VODServer:
                 )
         streams = RandomStreams(self._workload.seed)
         self._admission.start()
+        if self._injector is not None:
+            self._injector.start()
         self._env.process(self._arrival_process(streams), name="arrivals")
 
     def step(self, until: float) -> float:
@@ -331,6 +422,7 @@ class VODServer:
                     warmup=self._workload.warmup,
                     mean_patience=self._workload.mean_patience,
                     observers=self._observers,
+                    degradation=self._degradation,
                 )
                 env.process(viewer.process(), name=f"viewer-{viewer_seq}")
             else:
@@ -342,7 +434,11 @@ class VODServer:
     def _tail_viewer(self, grant, length: float) -> Generator[Event, object, None]:
         """A long-tail session: dedicated stream for the whole movie."""
         yield self._env.timeout(length)
-        self._streams.release(grant)
+        # A revoked dedicated stream already left the pool (the tail session
+        # was dropped mid-movie; no policy can save a session whose only
+        # stream is gone).
+        if not grant.revoked:
+            self._streams.release(grant)
 
     # ------------------------------------------------------------------
     # Reduction.
@@ -385,4 +481,9 @@ class VODServer:
             viewers_completed=m.counter_value("viewers.completed"),
             viewers_defected=m.counter_value("viewers.defected"),
             mean_wait_minutes=wait_stat.mean if wait_stat.count else 0.0,
+            viewers_dropped=m.counter_value("viewers.dropped"),
+            viewers_degraded=m.counter_value("viewers.degraded"),
+            faults_injected=m.counter_value("faults.injected"),
+            streams_revoked=m.counter_value("streams.revoked"),
+            partitions_collapsed=m.counter_value("partitions.collapsed"),
         )

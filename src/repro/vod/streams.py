@@ -13,12 +13,12 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.exceptions import ResourceError
+from repro.exceptions import ResourceError, StreamAccountingError
 from repro.sim.engine import Environment
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.resources import Resource, ResourceRequest
 
-__all__ = ["StreamPurpose", "StreamGrant", "StreamPool"]
+__all__ = ["StreamPurpose", "StreamGrant", "StreamPool", "REVOCATION_ORDER"]
 
 
 class StreamPurpose(enum.Enum):
@@ -30,6 +30,16 @@ class StreamPurpose(enum.Enum):
     UNPOPULAR = "unpopular"        # dedicated stream for a long-tail title
 
 
+#: Default order in which revocation sheds load: interactive extras go
+#: before anything a whole batch of viewers depends on.
+REVOCATION_ORDER: tuple[StreamPurpose, ...] = (
+    StreamPurpose.VCR,
+    StreamPurpose.MISS_HOLD,
+    StreamPurpose.UNPOPULAR,
+    StreamPurpose.PLAYBACK,
+)
+
+
 @dataclass
 class StreamGrant:
     """A granted stream plus its accounting tag."""
@@ -37,6 +47,11 @@ class StreamGrant:
     request: ResourceRequest
     purpose: StreamPurpose
     granted_at: float
+    #: Monotone issue number; orders grants deterministically for revocation.
+    token: int = -1
+    #: Set when the fault layer reclaimed the stream out from under the
+    #: holder; every later release/retag of this grant is an accounting error.
+    revoked: bool = False
 
     def retag(self, pool: "StreamPool", purpose: StreamPurpose) -> None:
         """Change the accounting purpose without releasing the stream.
@@ -68,6 +83,8 @@ class StreamPool:
         self._metrics = metrics or MetricsRegistry()
         self._tracer = tracer if tracer is not None and tracer.enabled else None
         self._held: dict[StreamPurpose, int] = {purpose: 0 for purpose in StreamPurpose}
+        self._live: dict[int, StreamGrant] = {}
+        self._next_token = 0
         for purpose in StreamPurpose:
             self._metrics.time_weighted(f"streams.{purpose.value}", now=env.now)
         self._metrics.time_weighted("streams.total", now=env.now)
@@ -107,17 +124,7 @@ class StreamPool:
         request = self._resource.try_request()
         if request is None:
             return None
-        grant = StreamGrant(request=request, purpose=purpose, granted_at=self._env.now)
-        self._held[purpose] += 1
-        self._account()
-        if self._tracer is not None:
-            self._tracer.emit(
-                "stream_acquire",
-                self._env.now,
-                purpose=purpose.value,
-                in_use=self._resource.in_use,
-            )
-        return grant
+        return self._issue(request, purpose)
 
     def acquire(self, purpose: StreamPurpose) -> ResourceRequest:
         """Blocking acquisition: yield the returned request in a process.
@@ -132,20 +139,16 @@ class StreamPool:
         """Tag a granted request obtained via :meth:`acquire`."""
         if not request.granted:
             raise ResourceError("attach() on a request that has not been granted")
-        grant = StreamGrant(request=request, purpose=purpose, granted_at=self._env.now)
-        self._held[purpose] += 1
-        self._account()
-        if self._tracer is not None:
-            self._tracer.emit(
-                "stream_acquire",
-                self._env.now,
-                purpose=purpose.value,
-                in_use=self._resource.in_use,
-            )
-        return grant
+        return self._issue(request, purpose)
 
     def release(self, grant: StreamGrant) -> None:
-        """Return the stream and record the hold duration."""
+        """Return the stream and record the hold duration.
+
+        Raises :class:`~repro.exceptions.StreamAccountingError` on a revoked
+        grant, a double release, or a grant this pool never issued.
+        """
+        self._check_live(grant, "release")
+        del self._live[grant.token]
         self._resource.release(grant.request)
         self._held[grant.purpose] -= 1
         if self._held[grant.purpose] < 0:
@@ -163,9 +166,96 @@ class StreamPool:
             )
 
     # ------------------------------------------------------------------
+    # Fault layer.
+    # ------------------------------------------------------------------
+    def resize(self, capacity: int) -> None:
+        """Change the pool size (growth wakes waiters, shrink is lazy)."""
+        self._resource.resize(capacity)
+        self._account()
+
+    def revoke(
+        self,
+        count: int,
+        order: tuple[StreamPurpose, ...] = REVOCATION_ORDER,
+    ) -> list[StreamGrant]:
+        """Forcibly reclaim up to ``count`` live grants, least critical first.
+
+        Victims are chosen deterministically: by ``order`` across purposes,
+        oldest issue token first within a purpose.  Each victim's stream unit
+        returns to the pool immediately and the grant is marked ``revoked``;
+        the holder discovers this at its next touch (or via the degradation
+        manager's interrupt) and must not release the grant again.  Returns
+        the revoked grants so callers can notify the holders.
+        """
+        if count < 0:
+            raise StreamAccountingError(f"cannot revoke {count} streams")
+        victims: list[StreamGrant] = []
+        by_purpose: dict[StreamPurpose, list[StreamGrant]] = {p: [] for p in order}
+        for grant in self._live.values():  # insertion == token order
+            if grant.purpose in by_purpose:
+                by_purpose[grant.purpose].append(grant)
+        for purpose in order:
+            for grant in by_purpose[purpose]:
+                if len(victims) >= count:
+                    break
+                victims.append(grant)
+        for grant in victims:
+            del self._live[grant.token]
+            grant.revoked = True
+            self._resource.release(grant.request)
+            self._held[grant.purpose] -= 1
+            held = self._env.now - grant.granted_at
+            self._metrics.tally(f"hold_minutes.{grant.purpose.value}").push(held)
+            self._metrics.counter("streams.revoked").increment()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "stream_release",
+                    self._env.now,
+                    purpose=grant.purpose.value,
+                    in_use=self._resource.in_use,
+                    held_minutes=held,
+                )
+        self._account()
+        return victims
+
+    # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
+    def _issue(self, request: ResourceRequest, purpose: StreamPurpose) -> StreamGrant:
+        grant = StreamGrant(
+            request=request,
+            purpose=purpose,
+            granted_at=self._env.now,
+            token=self._next_token,
+        )
+        self._next_token += 1
+        self._live[grant.token] = grant
+        self._held[purpose] += 1
+        self._account()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "stream_acquire",
+                self._env.now,
+                purpose=purpose.value,
+                in_use=self._resource.in_use,
+            )
+        return grant
+
+    def _check_live(self, grant: StreamGrant, verb: str) -> None:
+        if grant.revoked:
+            raise StreamAccountingError(
+                f"{verb} of a revoked {grant.purpose.value} grant "
+                f"(token {grant.token}): the fault layer already reclaimed it"
+            )
+        live = self._live.get(grant.token)
+        if live is not grant:
+            raise StreamAccountingError(
+                f"{verb} of a grant this pool does not hold "
+                f"(token {grant.token}): double {verb} or foreign grant"
+            )
+
     def _retag(self, grant: StreamGrant, purpose: StreamPurpose) -> None:
+        self._check_live(grant, "retag")
         self._held[grant.purpose] -= 1
         self._held[purpose] += 1
         self._metrics.tally(f"hold_minutes.{grant.purpose.value}").push(

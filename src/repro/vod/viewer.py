@@ -51,6 +51,7 @@ class PopularViewer:
         warmup: float = 0.0,
         mean_patience: float | None = None,
         observers: tuple = (),
+        degradation=None,
     ) -> None:
         self._env = env
         self._service = service
@@ -62,6 +63,7 @@ class PopularViewer:
         self._warmup = warmup
         self._mean_patience = mean_patience
         self._observers = tuple(observers)
+        self._degradation = degradation
         self.position = 0.0
         self._op_counted = False
 
@@ -99,6 +101,26 @@ class PopularViewer:
     def _tally_op(self, name: str, value: float) -> None:
         if self._op_counted:
             self._metrics.tally(name).push(value)
+
+    # ------------------------------------------------------------------
+    # Fault handling.
+    # ------------------------------------------------------------------
+    def _survives_revocation(self) -> bool:
+        """Resolve a revoked grant: degrade (True) or drop the session.
+
+        With a degradation policy attached the viewer carries on without the
+        stream — the resume becomes a miss/stall instead of a crash.  With no
+        policy the session is dropped on the spot (still traced to a terminal
+        ``session_end``), which is exactly the loss the chaos experiment's
+        baseline arm measures.
+        """
+        if self._degradation is not None:
+            self._count("viewers.degraded")
+            self._degradation.session_degraded()
+            return True
+        self._count("viewers.dropped")
+        self._notify("on_session_end")
+        return False
 
     # ------------------------------------------------------------------
     # The process.
@@ -167,7 +189,8 @@ class PopularViewer:
                         yield env.timeout(
                             (length - self.position) / rates.fast_forward
                         )
-                        self._streams.release(grant)
+                        if not grant.revoked:
+                            self._streams.release(grant)
                         self._count_op("vcr.end_release")
                         self._count("viewers.completed")
                         self._notify("on_vcr_end", operation, "end_of_movie")
@@ -189,13 +212,21 @@ class PopularViewer:
                 self._notify(
                     "on_resume_detail", True, self.position, window.start_time
                 )
-                if grant is not None:
+                # A revoked grant is already gone from the pool; the resume
+                # itself still hits (rejoining a partition needs no stream).
+                if grant is not None and not grant.revoked:
                     self._streams.release(grant)
                 continue
 
             self._count_op("resume.miss")
             self._notify("on_resume", False)
             self._notify("on_resume_detail", False, self.position, None)
+            if grant is not None and grant.revoked:
+                # The phase-1 stream was reclaimed mid-operation and the
+                # resume missed: nothing left to retag.
+                if not self._survives_revocation():
+                    return
+                grant = None
             if grant is not None:
                 grant.retag(self._streams, StreamPurpose.MISS_HOLD)
             else:
@@ -210,7 +241,15 @@ class PopularViewer:
                     continue
 
             # --- Phase 2: piggyback drift on the dedicated stream. ---
-            yield from self._phase2_drift(grant)
+            survived = yield from self._phase2_drift(grant)
+            if not survived:
+                # The hold stream was revoked mid-drift.
+                if not self._survives_revocation():
+                    return
+                stalled_at = env.now
+                yield from self._wait_until_covered()
+                self._tally_op("stall_minutes", env.now - stalled_at)
+                continue
             if self.position >= length - 1e-9:
                 self._count("viewers.completed")
                 self._notify("on_session_end")
@@ -219,7 +258,8 @@ class PopularViewer:
     # ------------------------------------------------------------------
     # Phase-2 helpers.
     # ------------------------------------------------------------------
-    def _phase2_drift(self, grant: StreamGrant) -> Generator[Event, object, None]:
+    def _phase2_drift(self, grant: StreamGrant) -> Generator[Event, object, bool]:
+        """Drift on the hold stream; False when it was revoked mid-drift."""
         env = self._env
         service = self._service
         rates = service.config.rates
@@ -231,6 +271,9 @@ class PopularViewer:
         )
         hold = plan.hold_minutes
         yield env.timeout(hold)
+        if grant.revoked:
+            self._count_op("piggyback.aborted")
+            return False
         epsilon = self._piggyback.rate_tolerance
         if plan.merges:
             factor = 1.0 + epsilon if plan.direction == "forward" else 1.0 - epsilon
@@ -241,6 +284,7 @@ class PopularViewer:
             self._count_op("piggyback.ran_to_end")
         self._tally_op("phase2_hold_minutes", hold)
         self._streams.release(grant)
+        return True
 
     def _live_gaps(self) -> tuple[float | None, float | None]:
         """Gaps to the nearest partitions, measured on the *actual* streams."""

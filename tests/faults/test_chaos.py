@@ -1,0 +1,120 @@
+"""Chaos experiment: dominance criterion, worker invariance, and the CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.cli import main
+from repro.experiments.chaos import (
+    chaos_tasks,
+    run_chaos,
+    run_chaos_arms,
+    run_chaos_task,
+)
+from repro.experiments.registry import available_experiments
+from repro.obs.registry import ObsRegistry
+from repro.obs.trace import TraceWriter
+
+
+class TestChaosArms:
+    def test_policy_dominates_baseline_everywhere(self):
+        outcome, results = run_chaos_arms(fast=True)
+        assert len(outcome.cells) == 2
+        assert len(results) == 4
+        for cell in outcome.cells:
+            assert cell.baseline.viewers_dropped > 0
+            assert cell.policy.viewers_dropped == 0
+            assert cell.policy.viewers_degraded > 0
+            assert cell.drop_rate_dominates
+            assert cell.hit_within_ci
+            low, high = cell.hit_ci
+            assert 0.0 <= low < high <= 1.0
+        assert outcome.dominates_everywhere
+
+    def test_both_arms_see_the_same_faults(self):
+        outcome, _ = run_chaos_arms(fast=True)
+        for cell in outcome.cells:
+            assert cell.baseline.faults_injected == cell.policy.faults_injected > 0
+
+    def test_task_rerun_is_exact(self):
+        task = chaos_tasks(fast=True, collect_traces=True)[0]
+        assert run_chaos_task(task) == run_chaos_task(task)
+
+
+class TestChaosExperiment:
+    def test_registered(self):
+        assert "chaos" in available_experiments()
+
+    def test_result_confirms_dominance_in_notes(self):
+        result = run_chaos(fast=True)
+        assert result.experiment_id == "chaos"
+        rendered = result.render()
+        assert rendered.count("dominance CONFIRMED") == 2
+        assert "dominance VIOLATED" not in rendered
+
+    def test_trace_is_worker_count_invariant(self):
+        def trace(workers: int) -> str:
+            sink = io.StringIO()
+            with TraceWriter(sink) as tracer:
+                run_chaos(fast=True, workers=workers, tracer=tracer)
+            return sink.getvalue()
+
+        serial = trace(1)
+        assert serial == trace(2)
+        events = [json.loads(line)["ev"] for line in serial.splitlines()]
+        assert "fault_injected" in events
+        assert "degradation_entered" in events
+
+    def test_registry_gains_stable_chaos_metrics(self):
+        registry = ObsRegistry()
+        run_chaos(fast=True, registry=registry)
+        text = registry.render_prometheus()
+        assert 'repro_chaos_session_drop_rate{intensity="1",arm="policy"}' in text
+        assert "repro_chaos_sessions_dropped_total" in text
+
+
+class TestFaultsCli:
+    def test_generated_run_writes_artifacts(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "faults", "run", "--intensity", "1.5", "--horizon", "150",
+                "--warmup", "30", "--dump-plan", str(plan_path),
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out and "policy (shed_vcr" in out
+        assert plan_path.exists() and trace_path.exists()
+        # The dumped plan replays byte-identically.
+        replay = tmp_path / "replay.jsonl"
+        assert main(
+            [
+                "faults", "run", str(plan_path), "--horizon", "150",
+                "--warmup", "30", "--trace-out", str(replay),
+            ]
+        ) == 0
+        assert replay.read_bytes() == trace_path.read_bytes()
+
+    def test_no_degrade_selects_the_baseline_arm(self, tmp_path, capsys):
+        code = main(
+            [
+                "faults", "run", "--intensity", "1.0", "--horizon", "150",
+                "--warmup", "30", "--no-degrade",
+            ]
+        )
+        assert code == 0
+        assert "baseline (no degradation policies)" in capsys.readouterr().out
+
+    def test_invalid_plan_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        assert main(["faults", "run", str(path)]) == 2
+        assert "invalid fault plan" in capsys.readouterr().err
+
+    def test_bad_generation_flags_exit_2(self, capsys):
+        assert main(["faults", "run", "--intensity", "0"]) == 2
+        assert "intensity" in capsys.readouterr().err

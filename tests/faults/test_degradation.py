@@ -1,0 +1,248 @@
+"""DegradationManager policies and the end-to-end degraded server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SystemConfiguration
+from repro.distributions import ExponentialDuration
+from repro.exceptions import SimulationError
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.sim.engine import Environment
+from repro.vod.buffer import BufferPool
+from repro.vod.degradation import DEFAULT_POLICIES, DegradationManager
+from repro.vod.movie import Movie, MovieCatalog
+from repro.vod.server import ServerWorkload, VODServer
+from repro.vod.streams import StreamPool, StreamPurpose
+from repro.vod.vcr import VCRBehavior
+
+
+class FakeMovie:
+    def __init__(self, movie_id):
+        self.movie_id = movie_id
+
+
+class FakeStream:
+    def __init__(self, start_time):
+        self.start_time = start_time
+
+
+class FakeService:
+    def __init__(self, movie_id, num_partitions=4, start_times=()):
+        self.movie = FakeMovie(movie_id)
+        self.config = SystemConfiguration(120.0, num_partitions, 60.0)
+        self._streams = [FakeStream(t) for t in start_times]
+        self.collapsed = []
+
+    @property
+    def live_streams(self):
+        return tuple(self._streams)
+
+    def collapse(self, stream):
+        self._streams.remove(stream)
+        self.collapsed.append(stream.start_time)
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError, match="unknown degradation"):
+            DegradationManager(env, StreamPool(env, 4), (), policies=("sacrifice",))
+
+
+class TestShedVcr:
+    def test_pressure_sheds_vcr_before_anything_else(self):
+        env = Environment()
+        pool = StreamPool(env, 10)
+        playback = [pool.try_acquire(StreamPurpose.PLAYBACK) for _ in range(6)]
+        vcr = [pool.try_acquire(StreamPurpose.VCR) for _ in range(4)]
+        manager = DegradationManager(env, pool, ())
+        pool.resize(8)  # in_use 10 > capacity 8
+        manager.on_pressure()
+        assert sum(1 for g in vcr if g.revoked) == 2
+        assert not any(g.revoked for g in playback)
+        assert manager.level == 1
+        assert manager.engaged_policies == ("shed_vcr",)
+
+    def test_no_overcommit_is_a_noop(self):
+        env = Environment()
+        pool = StreamPool(env, 10)
+        manager = DegradationManager(env, pool, ())
+        manager.on_pressure()
+        assert manager.level == 0
+
+
+class TestWidenRestart:
+    def test_widens_and_restores_on_recovery(self):
+        env = Environment()
+        pool = StreamPool(env, 10)
+        for _ in range(10):
+            pool.try_acquire(StreamPurpose.PLAYBACK)
+        service = FakeService(0, num_partitions=4)
+        reconfigured = []
+        manager = DegradationManager(
+            env,
+            pool,
+            [service],
+            reconfigure=lambda mid, cfg: reconfigured.append((mid, cfg)),
+            policies=("widen_restart",),
+        )
+        pool.resize(8)
+        manager.on_pressure()
+        assert reconfigured[-1][1].num_partitions == 3
+        assert manager.engaged_policies == ("widen_restart",)
+        manager.on_recovery()
+        assert reconfigured[-1][1].num_partitions == 4
+        assert manager.level == 0
+
+    def test_single_partition_movies_are_skipped(self):
+        env = Environment()
+        pool = StreamPool(env, 4)
+        for _ in range(4):
+            pool.try_acquire(StreamPurpose.PLAYBACK)
+        service = FakeService(0, num_partitions=1)
+        reconfigured = []
+        manager = DegradationManager(
+            env,
+            pool,
+            [service],
+            reconfigure=lambda mid, cfg: reconfigured.append((mid, cfg)),
+            policies=("widen_restart",),
+        )
+        pool.resize(2)
+        manager.on_pressure()
+        assert reconfigured == []
+        assert manager.level == 0
+
+
+class TestCollapseColdest:
+    def test_oldest_partitions_go_first(self):
+        env = Environment()
+        pool = StreamPool(env, 10)
+        for _ in range(10):
+            pool.try_acquire(StreamPurpose.PLAYBACK)
+        service = FakeService(0, start_times=[5.0, 25.0, 45.0])
+        manager = DegradationManager(
+            env, pool, [service], policies=("collapse_partition",)
+        )
+        pool.resize(8)
+        manager.on_pressure()
+        assert service.collapsed == [5.0, 25.0]
+        assert manager.engaged_policies == ("collapse_partition",)
+
+    def test_shed_partitions_counts(self):
+        env = Environment()
+        service = FakeService(0, start_times=[5.0, 25.0])
+        manager = DegradationManager(env, StreamPool(env, 4), [service])
+        assert manager.shed_partitions(5) == 2
+        assert manager.shed_partitions(0) == 0
+
+
+class TestRecoveryUnwind:
+    def test_levels_unwind_deepest_first(self):
+        env = Environment()
+        pool = StreamPool(env, 10)
+        for _ in range(6):
+            pool.try_acquire(StreamPurpose.PLAYBACK)
+        for _ in range(2):
+            pool.try_acquire(StreamPurpose.VCR)
+        service = FakeService(0, start_times=[5.0, 25.0])
+        manager = DegradationManager(env, pool, [service])
+        pool.resize(3)
+        manager.on_pressure()
+        assert manager.level >= 2  # shed_vcr then deeper policies engaged
+        manager.on_recovery()
+        assert manager.level == 0
+        assert manager.engaged_policies == ()
+
+
+def _catalog():
+    movies = [
+        Movie(0, "hot-a", 60.0, popularity=0.45),
+        Movie(1, "hot-b", 80.0, popularity=0.35),
+        Movie(2, "tail-a", 90.0, popularity=0.1),
+        Movie(3, "tail-b", 90.0, popularity=0.1),
+    ]
+    return MovieCatalog(movies, popular_count=2)
+
+
+def _server(seed=11, plan=None, degrade=True):
+    server = VODServer(
+        _catalog(),
+        {
+            0: SystemConfiguration(60.0, 10, 30.0),
+            1: SystemConfiguration(80.0, 10, 40.0),
+        },
+        num_streams=40,
+        buffer_pool=BufferPool.for_minutes(100.0),
+        behavior=VCRBehavior.uniform_duration_model(
+            ExponentialDuration(5.0), mean_think_time=10.0
+        ),
+        workload=ServerWorkload(
+            arrival_rate=0.8, horizon=500.0, warmup=100.0, seed=seed
+        ),
+    )
+    if plan is not None:
+        server.attach_fault_layer(plan, degrade=degrade)
+    return server
+
+
+def _chaos_plan():
+    return FaultPlan(
+        seed=0,
+        events=(
+            FaultEvent(150.0, FaultKind.DISK_DEGRADE, 0.6, duration=120.0),
+            FaultEvent(200.0, FaultKind.STREAM_REVOKE, 6.0),
+            FaultEvent(300.0, FaultKind.BUFFER_PRESSURE, 0.4, duration=80.0),
+        ),
+    )
+
+
+class TestServerIntegration:
+    def test_attach_after_start_rejected(self):
+        server = _server()
+        server.start()
+        with pytest.raises(SimulationError, match="after start"):
+            server.attach_fault_layer(_chaos_plan())
+
+    def test_double_attach_rejected(self):
+        server = _server(plan=_chaos_plan())
+        with pytest.raises(SimulationError, match="already attached"):
+            server.attach_fault_layer(_chaos_plan())
+
+    def test_no_fault_run_is_unchanged(self):
+        plain = _server(seed=5).run()
+        empty = _server(seed=5)  # no fault layer at all
+        assert plain.resume_hits == empty.run().resume_hits
+
+    def test_policy_prevents_session_drops(self):
+        baseline = _server(seed=11, plan=_chaos_plan(), degrade=False).run()
+        degraded = _server(seed=11, plan=_chaos_plan(), degrade=True).run()
+        assert baseline.viewers_dropped > 0
+        assert degraded.viewers_dropped == 0
+        assert degraded.viewers_degraded > 0
+        assert baseline.session_drop_rate > degraded.session_drop_rate
+        for report in (baseline, degraded):
+            assert report.faults_injected > 0
+            assert report.streams_revoked > 0
+
+    def test_degraded_run_is_deterministic(self):
+        a = _server(seed=11, plan=_chaos_plan(), degrade=True).run()
+        b = _server(seed=11, plan=_chaos_plan(), degrade=True).run()
+        assert a.resume_hits == b.resume_hits
+        assert a.viewers_degraded == b.viewers_degraded
+        assert a.streams_revoked == b.streams_revoked
+        assert a.mean_streams_total == pytest.approx(b.mean_streams_total)
+
+    def test_pool_books_balance_after_faults(self):
+        server = _server(seed=11, plan=_chaos_plan(), degrade=True)
+        server.run()
+        pool = server.stream_pool
+        assert pool.in_use + pool.available == pool.capacity
+
+    def test_default_policies_are_the_documented_order(self):
+        assert DEFAULT_POLICIES == (
+            "shed_vcr",
+            "widen_restart",
+            "collapse_partition",
+        )

@@ -1,0 +1,119 @@
+"""Property-based invariants: any generated fault plan leaves the books sane."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import SystemConfiguration
+from repro.distributions import ExponentialDuration
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.obs.trace import TraceWriter
+from repro.vod.buffer import BufferPool
+from repro.vod.movie import Movie, MovieCatalog
+from repro.vod.server import ServerWorkload, VODServer
+from repro.vod.streams import StreamPurpose
+from repro.vod.vcr import VCRBehavior
+
+HORIZON = 240.0
+_SLOW = settings(
+    max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+plans = st.builds(
+    FaultPlan.generate,
+    seed=st.integers(0, 2**16),
+    horizon=st.just(HORIZON),
+    intensity=st.floats(0.5, 4.0),
+)
+
+
+def _server(plan, degrade, tracer=None, seed=11):
+    catalog = MovieCatalog(
+        [
+            Movie(0, "hot-a", 60.0, popularity=0.45),
+            Movie(1, "hot-b", 80.0, popularity=0.35),
+            Movie(2, "tail-a", 90.0, popularity=0.2),
+        ],
+        popular_count=2,
+    )
+    server = VODServer(
+        catalog,
+        {
+            0: SystemConfiguration(60.0, 8, 30.0),
+            1: SystemConfiguration(80.0, 8, 40.0),
+        },
+        num_streams=32,
+        buffer_pool=BufferPool.for_minutes(100.0),
+        behavior=VCRBehavior.uniform_duration_model(
+            ExponentialDuration(5.0), mean_think_time=10.0
+        ),
+        workload=ServerWorkload(
+            arrival_rate=0.8, horizon=HORIZON, warmup=0.0, seed=seed
+        ),
+        tracer=tracer,
+    )
+    server.attach_fault_layer(plan, degrade=degrade)
+    return server
+
+
+class TestPlanProperties:
+    @_SLOW
+    @given(plan=plans)
+    def test_json_round_trip_is_identity(self, plan):
+        assert FaultPlan.from_obj(json.loads(json.dumps(plan.to_obj()))) == plan
+
+    @_SLOW
+    @given(plan=plans)
+    def test_events_sorted_and_valid(self, plan):
+        times = [event.time for event in plan.events]
+        assert times == sorted(times)
+        for event in plan.events:
+            assert 0.0 <= event.time <= HORIZON
+            assert FaultEvent.from_obj(event.to_obj()) == event
+            if event.kind is FaultKind.STREAM_REVOKE:
+                assert event.magnitude == int(event.magnitude) >= 1
+
+
+class TestServerInvariants:
+    @_SLOW
+    @given(plan=plans, degrade=st.booleans())
+    def test_stream_books_balance(self, plan, degrade):
+        server = _server(plan, degrade)
+        server.run()
+        pool = server.stream_pool
+        assert pool.in_use + pool.available == pool.capacity
+        assert pool.in_use >= 0
+        # Conservation: the per-purpose books sum to the total grant count.
+        assert sum(pool.held_for(p) for p in StreamPurpose) == pool.in_use
+
+    @_SLOW
+    @given(plan=plans, degrade=st.booleans())
+    def test_no_negative_partition_counts(self, plan, degrade):
+        server = _server(plan, degrade)
+        server.run()
+        for service in server.admission.services:
+            assert len(service.live_streams) >= 0
+            assert service.config.num_partitions >= 1
+
+    @_SLOW
+    @given(plan=plans)
+    def test_every_drop_reaches_a_traced_terminal_state(self, plan):
+        """Baseline arm: a revoked viewer's session still ends in the trace.
+
+        With ``warmup=0`` the metric counters and the trace cover the same
+        interval, so every ``session_end`` event pairs with exactly one
+        completed or dropped viewer — a dropped session is terminal, not
+        vanished.
+        """
+        sink = io.StringIO()
+        with TraceWriter(sink) as tracer:
+            server = _server(plan, degrade=False, tracer=tracer)
+            report = server.run()
+        events = [json.loads(line)["ev"] for line in sink.getvalue().splitlines()]
+        session_ends = sum(1 for ev in events if ev == "session_end")
+        assert session_ends == report.viewers_completed + report.viewers_dropped
+        assert events.count("session_start") >= session_ends

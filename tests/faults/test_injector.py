@@ -1,0 +1,199 @@
+"""FaultInjector unit behaviour against real pools and fake services."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.obs.trace import TraceWriter
+from repro.sim.engine import Environment
+from repro.sim.metrics import MetricsRegistry
+from repro.vod.buffer import BufferPool
+from repro.vod.streams import StreamPool, StreamPurpose
+
+
+class FakeMovie:
+    def __init__(self, movie_id):
+        self.movie_id = movie_id
+
+
+class FakeStream:
+    def __init__(self, start_time, grant=None):
+        self.start_time = start_time
+        self.grant = grant
+
+
+class FakeService:
+    """Just enough MovieService surface for eviction paths."""
+
+    def __init__(self, movie_id, start_times=()):
+        self.movie = FakeMovie(movie_id)
+        self._streams = [FakeStream(t) for t in start_times]
+        self.collapsed = []
+        self.reaped = 0
+
+    @property
+    def live_streams(self):
+        return tuple(self._streams)
+
+    def collapse(self, stream):
+        self._streams.remove(stream)
+        self.collapsed.append(stream.start_time)
+
+    def reap_revoked(self):
+        self.reaped += 1
+        return 0
+
+
+class FakeTelemetry:
+    def __init__(self):
+        self.outage_states = []
+
+    def set_outage(self, active):
+        self.outage_states.append(active)
+
+
+def _plan(*events):
+    return FaultPlan(seed=0, events=tuple(events))
+
+
+def _run(env, injector, until):
+    injector.start()
+    env.run(until=until)
+
+
+class TestDiskDegrade:
+    def test_shrinks_then_restores_capacity(self):
+        env = Environment()
+        pool = StreamPool(env, 20)
+        injector = FaultInjector(
+            env,
+            _plan(FaultEvent(10.0, FaultKind.DISK_DEGRADE, 0.5, duration=30.0)),
+            streams=pool,
+        )
+        _run(env, injector, until=11.0)
+        assert pool.capacity == 10
+        env.run(until=50.0)
+        assert pool.capacity == 20
+
+    def test_overlapping_degradations_take_the_minimum(self):
+        env = Environment()
+        pool = StreamPool(env, 20)
+        injector = FaultInjector(
+            env,
+            _plan(
+                FaultEvent(10.0, FaultKind.DISK_DEGRADE, 0.5, duration=100.0),
+                FaultEvent(20.0, FaultKind.DISK_DEGRADE, 0.8, duration=10.0),
+            ),
+            streams=pool,
+        )
+        _run(env, injector, until=25.0)
+        assert pool.capacity == 10  # min(0.5, 0.8) of 20
+        env.run(until=35.0)
+        assert pool.capacity == 10  # the 0.5 fault still holds
+        env.run(until=150.0)
+        assert pool.capacity == 20
+
+    def test_permanent_fault_never_recovers(self):
+        env = Environment()
+        pool = StreamPool(env, 20)
+        injector = FaultInjector(
+            env,
+            _plan(FaultEvent(10.0, FaultKind.DISK_DEGRADE, 0.5)),
+            streams=pool,
+        )
+        _run(env, injector, until=1000.0)
+        assert pool.capacity == 10
+
+    def test_missing_target_is_a_noop(self):
+        env = Environment()
+        injector = FaultInjector(
+            env, _plan(FaultEvent(10.0, FaultKind.DISK_DEGRADE, 0.5, duration=5.0))
+        )
+        _run(env, injector, until=100.0)
+        assert injector.faults_applied == 1
+
+
+class TestStreamRevoke:
+    def test_revokes_and_reaps(self):
+        env = Environment()
+        pool = StreamPool(env, 10)
+        grants = [pool.try_acquire(StreamPurpose.VCR) for _ in range(3)]
+        service = FakeService(0)
+        injector = FaultInjector(
+            env,
+            _plan(FaultEvent(5.0, FaultKind.STREAM_REVOKE, 2.0)),
+            streams=pool,
+            services=[service],
+        )
+        _run(env, injector, until=6.0)
+        assert sum(1 for g in grants if g.revoked) == 2
+        assert pool.in_use == 1
+        assert service.reaped == 1
+
+
+class TestBufferPressure:
+    def test_squeezes_pool_and_evicts_newest_without_policy(self):
+        env = Environment()
+        buffers = BufferPool(1000.0)
+        service = FakeService(0, start_times=[5.0, 15.0, 25.0, 35.0])
+        injector = FaultInjector(
+            env,
+            _plan(FaultEvent(40.0, FaultKind.BUFFER_PRESSURE, 0.5, duration=20.0)),
+            buffers=buffers,
+            services=[service],
+        )
+        _run(env, injector, until=41.0)
+        assert buffers.capacity_megabytes == pytest.approx(500.0)
+        # ceil(0.5 * 4) = 2 evictions, newest restarts first.
+        assert service.collapsed == [35.0, 25.0]
+        env.run(until=100.0)
+        assert buffers.capacity_megabytes == pytest.approx(1000.0)
+
+
+class TestTelemetryOutage:
+    def test_outage_toggles_and_nests(self):
+        env = Environment()
+        telemetry = FakeTelemetry()
+        injector = FaultInjector(
+            env,
+            _plan(
+                FaultEvent(10.0, FaultKind.TELEMETRY_OUTAGE, 20.0),
+                FaultEvent(15.0, FaultKind.TELEMETRY_OUTAGE, 5.0),
+            ),
+            telemetry=telemetry,
+        )
+        _run(env, injector, until=100.0)
+        # Two raising edges, one clearing edge (depth only hits 0 once).
+        assert telemetry.outage_states == [True, True, False]
+
+
+class TestRecordingAndTracing:
+    def test_metrics_and_trace_events(self):
+        env = Environment()
+        pool = StreamPool(env, 20)
+        metrics = MetricsRegistry()
+        sink = io.StringIO()
+        tracer = TraceWriter(sink)
+        injector = FaultInjector(
+            env,
+            _plan(FaultEvent(10.0, FaultKind.DISK_DEGRADE, 0.5, duration=30.0)),
+            streams=pool,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        _run(env, injector, until=100.0)
+        tracer.flush()
+        assert metrics.counter_value("faults.injected") == 1
+        assert metrics.counter_value("faults.injected.disk_degrade") == 1
+        assert metrics.counter_value("faults.recovered") == 1
+        events = [
+            json.loads(line)
+            for line in sink.getvalue().splitlines()
+            if json.loads(line)["ev"] == "fault_injected"
+        ]
+        assert [e["recovered"] for e in events] == [False, True]
+        assert all(e["kind"] == "disk_degrade" for e in events)

@@ -1,0 +1,157 @@
+"""FaultPlan: validation, JSON round-trips, deterministic generation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import FaultError, FaultPlanError, ReproError
+from repro.faults import PLAN_VERSION, FaultEvent, FaultKind, FaultPlan
+
+
+class TestFaultEvent:
+    def test_valid_transient(self):
+        event = FaultEvent(10.0, FaultKind.DISK_DEGRADE, 0.5, duration=30.0)
+        assert event.duration == 30.0
+
+    def test_valid_permanent(self):
+        assert FaultEvent(10.0, FaultKind.BUFFER_PRESSURE, 0.3).duration is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError, match="time"):
+            FaultEvent(-1.0, FaultKind.DISK_DEGRADE, 0.5)
+
+    def test_transient_magnitude_is_a_fraction(self):
+        with pytest.raises(FaultPlanError, match="fraction"):
+            FaultEvent(0.0, FaultKind.DISK_DEGRADE, 1.5)
+        with pytest.raises(FaultPlanError, match="> 0"):
+            FaultEvent(0.0, FaultKind.BUFFER_PRESSURE, 0.0)
+
+    def test_revoke_magnitude_is_whole(self):
+        FaultEvent(0.0, FaultKind.STREAM_REVOKE, 3.0)
+        with pytest.raises(FaultPlanError, match="whole number"):
+            FaultEvent(0.0, FaultKind.STREAM_REVOKE, 2.5)
+
+    def test_instantaneous_kinds_reject_duration(self):
+        with pytest.raises(FaultPlanError, match="duration"):
+            FaultEvent(0.0, FaultKind.STREAM_REVOKE, 2.0, duration=5.0)
+        with pytest.raises(FaultPlanError, match="duration"):
+            FaultEvent(0.0, FaultKind.TELEMETRY_OUTAGE, 10.0, duration=5.0)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(FaultPlanError, match="duration"):
+            FaultEvent(0.0, FaultKind.DISK_DEGRADE, 0.5, duration=-1.0)
+
+    def test_round_trip(self):
+        event = FaultEvent(12.5, FaultKind.BUFFER_PRESSURE, 0.4, duration=60.0)
+        assert FaultEvent.from_obj(event.to_obj()) == event
+
+    def test_from_obj_rejects_unknown_fields(self):
+        with pytest.raises(FaultPlanError, match="unknown field"):
+            FaultEvent.from_obj(
+                {"time": 0.0, "kind": "disk_degrade", "magnitude": 0.5, "x": 1}
+            )
+
+    def test_from_obj_rejects_unknown_kind(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultEvent.from_obj({"time": 0.0, "kind": "meteor", "magnitude": 0.5})
+
+    def test_from_obj_rejects_bool_magnitude(self):
+        with pytest.raises(FaultPlanError, match="number"):
+            FaultEvent.from_obj(
+                {"time": 0.0, "kind": "disk_degrade", "magnitude": True}
+            )
+
+    def test_typed_exception_lineage(self):
+        assert issubclass(FaultPlanError, FaultError)
+        assert issubclass(FaultPlanError, ReproError)
+        assert issubclass(FaultPlanError, ValueError)
+
+
+class TestFaultPlan:
+    def _events(self):
+        return (
+            FaultEvent(50.0, FaultKind.STREAM_REVOKE, 2.0),
+            FaultEvent(10.0, FaultKind.DISK_DEGRADE, 0.5, duration=30.0),
+        )
+
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(seed=1, events=self._events())
+        assert [e.time for e in plan.events] == [10.0, 50.0]
+        assert len(plan) == 2
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(FaultPlanError, match="version"):
+            FaultPlan(seed=1, events=(), version=PLAN_VERSION + 1)
+
+    def test_json_file_round_trip(self, tmp_path):
+        plan = FaultPlan(seed=7, events=self._events())
+        path = tmp_path / "plan.json"
+        plan.dump(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("not json")
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.load(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            FaultPlan.load(tmp_path / "absent.json")
+
+    def test_from_obj_rejects_bad_shapes(self):
+        with pytest.raises(FaultPlanError, match="object"):
+            FaultPlan.from_obj([1])
+        with pytest.raises(FaultPlanError, match="missing field"):
+            FaultPlan.from_obj({"version": 1, "seed": 3})
+        with pytest.raises(FaultPlanError, match="integer"):
+            FaultPlan.from_obj({"version": 1, "seed": "x", "events": []})
+        with pytest.raises(FaultPlanError, match="array"):
+            FaultPlan.from_obj({"version": 1, "seed": 3, "events": "zap"})
+
+
+class TestGenerate:
+    def test_same_inputs_same_plan(self):
+        a = FaultPlan.generate(seed=42, horizon=600.0, intensity=1.0)
+        b = FaultPlan.generate(seed=42, horizon=600.0, intensity=1.0)
+        assert a == b
+        assert len(a) >= 1
+
+    def test_seed_changes_plan(self):
+        a = FaultPlan.generate(seed=42, horizon=600.0, intensity=2.0)
+        b = FaultPlan.generate(seed=43, horizon=600.0, intensity=2.0)
+        assert a != b
+
+    def test_events_fit_the_horizon_and_validate(self):
+        plan = FaultPlan.generate(seed=3, horizon=300.0, intensity=3.0)
+        for event in plan.events:
+            assert 0.0 <= event.time <= 300.0
+            # Round-trips imply every generated event passed validation.
+            assert FaultEvent.from_obj(event.to_obj()) == event
+
+    def test_kind_restriction(self):
+        plan = FaultPlan.generate(
+            seed=5, horizon=600.0, intensity=3.0, kinds=(FaultKind.STREAM_REVOKE,)
+        )
+        assert all(e.kind is FaultKind.STREAM_REVOKE for e in plan.events)
+
+    def test_generated_plan_survives_json(self, tmp_path):
+        plan = FaultPlan.generate(seed=9, horizon=400.0, intensity=2.0)
+        path = tmp_path / "plan.json"
+        plan.dump(path)
+        loaded = FaultPlan.load(path)
+        assert loaded == plan
+        # And the file itself is stable (sorted keys, newline-terminated).
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["version"] == PLAN_VERSION
+
+    def test_validation(self):
+        with pytest.raises(FaultPlanError, match="horizon"):
+            FaultPlan.generate(seed=1, horizon=0.0, intensity=1.0)
+        with pytest.raises(FaultPlanError, match="intensity"):
+            FaultPlan.generate(seed=1, horizon=100.0, intensity=0.0)
+        with pytest.raises(FaultPlanError, match="kind"):
+            FaultPlan.generate(seed=1, horizon=100.0, intensity=1.0, kinds=())

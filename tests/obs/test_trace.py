@@ -10,7 +10,9 @@ import pytest
 from repro.exceptions import ObservabilityError, TraceSchemaError
 from repro.obs.trace import (
     EVENT_SCHEMA,
+    EVENT_SCHEMAS,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     NullTraceWriter,
     TraceWriter,
     read_trace,
@@ -36,7 +38,7 @@ class TestWriter:
         assert [obj["seq"] for obj in lines] == [0, 1, 2, 3, 4]
         assert all(obj["v"] == SCHEMA_VERSION for obj in lines)
         assert lines[2] == {
-            "v": 1, "seq": 2, "t": 10.0, "ev": "resume",
+            "v": SCHEMA_VERSION, "seq": 2, "t": 10.0, "ev": "resume",
             "movie": 0, "hit": True, "position": 12.5, "window_start": 3.0,
         }
 
@@ -159,3 +161,94 @@ class TestFileValidation:
         event = {"v": 1, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"}
         path.write_text("\n" + json.dumps(event) + "\n\n")
         assert validate_trace_file(path) == 1
+
+
+class TestSchemaV2:
+    """The fault/degradation events and the version-pinning rules."""
+
+    def _v2(self, ev, **payload):
+        return {"v": 2, "seq": 0, "t": 5.0, "ev": ev, **payload}
+
+    def test_current_version_is_two(self):
+        assert SCHEMA_VERSION == 2
+        assert SUPPORTED_VERSIONS == (1, 2)
+
+    def test_fault_events_validate(self):
+        validate_event(
+            self._v2("fault_injected", kind="disk_degrade", magnitude=0.5,
+                     recovered=False)
+        )
+        validate_event(
+            self._v2("degradation_entered", level=1, policy="shed_vcr")
+        )
+        validate_event(self._v2("degradation_exited", level=1))
+        validate_event(self._v2("worker_retry", shard=3, attempt=2))
+
+    def test_fault_events_are_not_v1(self):
+        obj = {
+            "v": 1, "seq": 0, "t": 5.0, "ev": "fault_injected",
+            "kind": "disk_degrade", "magnitude": 0.5, "recovered": False,
+        }
+        with pytest.raises(TraceSchemaError, match="schema v1"):
+            validate_event(obj)
+
+    def test_v1_table_is_a_strict_subset(self):
+        assert set(EVENT_SCHEMAS[1]) < set(EVENT_SCHEMAS[2])
+        for name, fields in EVENT_SCHEMAS[1].items():
+            assert EVENT_SCHEMAS[2][name] == fields
+
+    def test_v1_traces_still_read(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        events = [
+            {"v": 1, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"},
+            {"v": 1, "seq": 1, "t": 9.0, "ev": "run_end", "label": "x"},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert validate_trace_file(path) == 2
+
+    def test_mixed_version_file_rejected(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        events = [
+            {"v": 1, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"},
+            {"v": 2, "seq": 1, "t": 5.0, "ev": "degradation_exited", "level": 1},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        with pytest.raises(TraceSchemaError, match="mixed-version"):
+            validate_trace_file(path)
+
+    def test_mixed_version_pins_to_first_event(self, tmp_path):
+        # A v2 file that degrades to v1 mid-stream is just as broken.
+        path = tmp_path / "mixed.jsonl"
+        events = [
+            {"v": 2, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"},
+            {"v": 1, "seq": 1, "t": 5.0, "ev": "run_end", "label": "x"},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        with pytest.raises(TraceSchemaError, match="started with v=2"):
+            validate_trace_file(path)
+
+    def test_cli_validate_rejects_mixed_version_with_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "mixed.jsonl"
+        events = [
+            {"v": 1, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"},
+            {"v": 2, "seq": 1, "t": 5.0, "ev": "degradation_exited", "level": 1},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert main(["obs", "validate", str(path)]) == 2
+        err = capsys.readouterr().err.strip()
+        assert len(err.splitlines()) == 1
+        assert "mixed-version" in err
+
+    def test_cli_validate_accepts_clean_v2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ok.jsonl"
+        with TraceWriter(path) as writer:
+            writer.emit("run_start", 0.0, label="x")
+            writer.emit("fault_injected", 3.0, kind="stream_revoke",
+                        magnitude=2.0, recovered=False)
+            writer.emit("run_end", 9.0, label="x")
+        assert main(["obs", "validate", str(path)]) == 0
+        assert "schema OK" in capsys.readouterr().out

@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, WorkerCrashError
 from repro.parallel.executor import (
     ParallelExecutor,
     ParallelOutcome,
@@ -24,6 +24,24 @@ def _fail_on_three(value: int) -> int:
     if value == 3:
         raise ValueError("task three exploded")
     return value
+
+
+def _crash_once(arg) -> int:
+    """Kill the worker the first time value 3 is seen; succeed on re-run.
+
+    The sentinel file persists across the retry, so the second attempt runs
+    clean — the shape of a transient worker death (OOM kill, node blip).
+    """
+    sentinel, value = arg
+    if value == 3 and not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8") as handle:
+            handle.write("crashed")
+        os._exit(17)
+    return value * value
+
+
+def _always_crash(value) -> int:
+    os._exit(17)
 
 
 class TestResolveWorkers:
@@ -83,6 +101,43 @@ class TestParallelExecution:
     def test_task_exception_propagates(self):
         with pytest.raises(ValueError, match="task three exploded"):
             ParallelExecutor(workers=2).map(_fail_on_three, range(6))
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+class TestWorkerCrashRecovery:
+    def test_dead_worker_shard_is_reassigned(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+        items = [(sentinel, i) for i in range(8)]
+        executor = ParallelExecutor(workers=4, max_shard_retries=2)
+        outcome = executor.map(_crash_once, items)
+        assert outcome.results == tuple(i * i for i in range(8))
+        assert executor.shard_retries >= 1
+        assert outcome.retried_shards >= 1
+        assert any(s.attempts > 1 for s in outcome.shards)
+        assert outcome.timing_payload()["retried_shards"] == outcome.retried_shards
+
+    def test_recovered_run_matches_serial_byte_for_byte(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+        items = [(sentinel, i) for i in range(8)]
+        recovered = ParallelExecutor(workers=4).map(_crash_once, items)
+        serial = ParallelExecutor(workers=1).map(
+            _square, [i for _, i in items]
+        )
+        assert recovered.results == serial.results
+
+    def test_retries_are_bounded(self):
+        executor = ParallelExecutor(workers=2, max_shard_retries=1)
+        with pytest.raises(WorkerCrashError, match="gave up"):
+            executor.map(_always_crash, range(4))
+
+    def test_zero_retries_fail_fast(self):
+        executor = ParallelExecutor(workers=2, max_shard_retries=0)
+        with pytest.raises(WorkerCrashError):
+            executor.map(_always_crash, range(4))
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(workers=2, max_shard_retries=-1)
 
 
 class TestTelemetry:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import ResourceError
+from repro.exceptions import ResourceError, StreamAccountingError
 from repro.sim.engine import Environment
 from repro.vod.streams import StreamPool, StreamPurpose
 
@@ -86,6 +86,106 @@ class TestReleaseAndRetag:
         stat = pool.metrics.tally("hold_minutes.vcr")
         assert stat.count == 1
         assert stat.mean == pytest.approx(7.5)
+
+
+class TestAccountingGuards:
+    def test_double_release_rejected(self, env):
+        pool = StreamPool(env, 1)
+        grant = pool.try_acquire(StreamPurpose.VCR)
+        pool.release(grant)
+        with pytest.raises(StreamAccountingError, match="double release"):
+            pool.release(grant)
+        assert pool.in_use == 0 and pool.available == 1
+
+    def test_foreign_grant_rejected(self, env):
+        pool = StreamPool(env, 1)
+        other = StreamPool(env, 1)
+        foreign = other.try_acquire(StreamPurpose.VCR)
+        with pytest.raises(StreamAccountingError, match="foreign"):
+            pool.release(foreign)
+        assert other.in_use == 1  # the issuing pool's books are untouched
+
+    def test_retag_after_release_rejected(self, env):
+        pool = StreamPool(env, 1)
+        grant = pool.try_acquire(StreamPurpose.VCR)
+        pool.release(grant)
+        with pytest.raises(StreamAccountingError):
+            grant.retag(pool, StreamPurpose.MISS_HOLD)
+
+    def test_retag_foreign_grant_rejected(self, env):
+        pool = StreamPool(env, 1)
+        other = StreamPool(env, 1)
+        foreign = other.try_acquire(StreamPurpose.VCR)
+        with pytest.raises(StreamAccountingError):
+            foreign.retag(pool, StreamPurpose.MISS_HOLD)
+
+    def test_accounting_error_is_resource_error(self, env):
+        pool = StreamPool(env, 1)
+        grant = pool.try_acquire(StreamPurpose.VCR)
+        pool.release(grant)
+        with pytest.raises(ResourceError):
+            pool.release(grant)
+
+
+class TestRevocation:
+    def test_revoke_frees_capacity_and_marks_grants(self, env):
+        pool = StreamPool(env, 2)
+        grant = pool.try_acquire(StreamPurpose.VCR)
+        victims = pool.revoke(1)
+        assert victims == [grant]
+        assert grant.revoked
+        assert pool.in_use == 0 and pool.available == 2
+        assert pool.held_for(StreamPurpose.VCR) == 0
+        assert pool.metrics.counter("streams.revoked").count == 1
+
+    def test_revocation_order_sheds_vcr_before_playback(self, env):
+        pool = StreamPool(env, 4)
+        playback = pool.try_acquire(StreamPurpose.PLAYBACK)
+        vcr = pool.try_acquire(StreamPurpose.VCR)
+        miss = pool.try_acquire(StreamPurpose.MISS_HOLD)
+        victims = pool.revoke(2)
+        assert victims == [vcr, miss]
+        assert not playback.revoked
+
+    def test_revoke_oldest_first_within_purpose(self, env):
+        pool = StreamPool(env, 3)
+        first = pool.try_acquire(StreamPurpose.VCR)
+        second = pool.try_acquire(StreamPurpose.VCR)
+        assert pool.revoke(1) == [first]
+        assert not second.revoked
+
+    def test_revoke_more_than_live_returns_all(self, env):
+        pool = StreamPool(env, 2)
+        grant = pool.try_acquire(StreamPurpose.PLAYBACK)
+        assert pool.revoke(10) == [grant]
+
+    def test_release_of_revoked_grant_rejected(self, env):
+        pool = StreamPool(env, 1)
+        grant = pool.try_acquire(StreamPurpose.VCR)
+        pool.revoke(1)
+        with pytest.raises(StreamAccountingError, match="revoked"):
+            pool.release(grant)
+        with pytest.raises(StreamAccountingError, match="revoked"):
+            grant.retag(pool, StreamPurpose.MISS_HOLD)
+        assert pool.in_use == 0
+
+    def test_negative_revoke_rejected(self, env):
+        pool = StreamPool(env, 1)
+        with pytest.raises(StreamAccountingError):
+            pool.revoke(-1)
+
+
+class TestResize:
+    def test_shrink_is_lazy_grow_wakes(self, env):
+        pool = StreamPool(env, 2)
+        grant = pool.try_acquire(StreamPurpose.PLAYBACK)
+        pool.resize(1)
+        assert pool.capacity == 1 and pool.available == 0
+        assert pool.try_acquire(StreamPurpose.VCR) is None
+        pool.resize(3)
+        assert pool.available == 2
+        pool.release(grant)
+        assert pool.available == 3
 
 
 class TestOccupancyMetrics:

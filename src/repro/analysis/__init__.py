@@ -1,0 +1,63 @@
+"""Domain-aware static analysis for the reproduction's own invariants.
+
+The repository's hardest contracts — byte-identical traces for any worker
+count, seed-derived fault plans, schema-versioned JSONL events, the typed
+exception hierarchy, and the paper's unit discipline (minutes of movie time
+vs. stream counts) — are runtime-invisible until an integration test happens
+to execute the offending path.  This package checks them *statically*, from
+the AST, before any simulation runs:
+
+* :mod:`repro.analysis.determinism` — wall-clock calls, unseeded RNG
+  construction and set-ordering-dependent iteration in determinism-scoped
+  code;
+* :mod:`repro.analysis.schema_check` — every trace event emitted anywhere
+  must exist in :data:`repro.obs.trace.EVENT_SCHEMA` (and vice versa), and
+  every ``repro_*`` metric family must be declared in
+  :data:`repro.obs.catalog.METRIC_CATALOG` (and vice versa);
+* :mod:`repro.analysis.hygiene` — library code raises the typed hierarchy of
+  :mod:`repro.exceptions`, never bare builtins, and broad ``except`` blocks
+  must re-raise with context;
+* :mod:`repro.analysis.units` — names that encode paper units (``*_minutes``,
+  ``w``, ``l``, ``B``, ``n``, …) may not be mixed across unit families
+  without an explicit conversion.
+
+Rules are pluggable (:class:`~repro.analysis.base.Rule` +
+:func:`~repro.analysis.base.register_rule`, mirroring
+``repro.experiments.registry``), findings can be suppressed inline with
+``# lint: allow(<rule-id>)`` or ratcheted via a committed baseline file, and
+the whole pass is exposed as ``repro-vod lint`` (exit 0 clean, 2 findings).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import (
+    Finding,
+    LintContext,
+    ModuleInfo,
+    Rule,
+    available_rules,
+    create_rules,
+    register_rule,
+)
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintReport, collect_modules, run_lint
+
+# Importing the rule modules registers every built-in rule.
+from repro.analysis import determinism as _determinism  # noqa: F401
+from repro.analysis import hygiene as _hygiene  # noqa: F401
+from repro.analysis import schema_check as _schema_check  # noqa: F401
+from repro.analysis import units as _units  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "ModuleInfo",
+    "Rule",
+    "Baseline",
+    "LintReport",
+    "available_rules",
+    "create_rules",
+    "register_rule",
+    "collect_modules",
+    "run_lint",
+]

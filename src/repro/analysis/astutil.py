@@ -1,0 +1,89 @@
+"""Small AST helpers shared by the rules: import-aware name resolution.
+
+Rules reason about *qualified* call targets ("time.time",
+"datetime.datetime.now", "numpy.random.default_rng") regardless of how the
+module spelled the import (``import numpy as np``, ``from time import
+perf_counter``, …).  :class:`ImportMap` builds the alias table for one
+module; :func:`resolve_call_name` folds an attribute chain through it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict
+
+__all__ = [
+    "ImportMap",
+    "dotted_name",
+    "resolve_call_name",
+    "module_string_constants",
+]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local alias -> fully qualified dotted name, from a module's imports."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds the name ``a``.
+                        head = alias.name.split(".")[0]
+                        self.aliases[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def qualify(self, dotted: str) -> str:
+        """Replace the leading alias segment with its qualified form."""
+        head, _, rest = dotted.partition(".")
+        resolved = self.aliases.get(head, head)
+        return f"{resolved}.{rest}" if rest else resolved
+
+
+def resolve_call_name(call: ast.Call, imports: ImportMap) -> str | None:
+    """The qualified dotted target of a call, or ``None`` if not a name chain."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return imports.qualify(name)
+
+
+def module_string_constants(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments (metric-name constants)."""
+    constants: Dict[str, str] = {}
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None or not (
+            isinstance(value, ast.Constant) and isinstance(value.value, str)
+        ):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                constants[target.id] = value.value
+    return constants

@@ -1,0 +1,117 @@
+"""Baseline file: the ratchet that lets the lint gate start green.
+
+A baseline is a committed JSON list of finding fingerprints that are
+*known and deliberately tolerated*.  The gate fails on any finding not in
+the baseline, so new violations cannot land; burning down the baseline
+(fixing an entry, then regenerating with ``--update-baseline``) only ever
+shrinks it.  Fingerprints are line-independent
+(:attr:`repro.analysis.base.Finding.fingerprint`), so unrelated edits do not
+invalidate entries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.base import Finding
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of tolerated finding fingerprints, with human-readable context."""
+
+    #: fingerprint -> {"rule", "path", "message"} (context only; the
+    #: fingerprint alone decides suppression).
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline {path} must be a JSON object with version "
+                f"{BASELINE_VERSION}, got {data!r:.80}"
+            )
+        suppressions = data.get("suppressions", [])
+        entries: Dict[str, dict] = {}
+        for entry in suppressions:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise ConfigurationError(
+                    f"baseline {path}: every suppression needs a fingerprint"
+                )
+            entries[entry["fingerprint"]] = entry
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """A baseline tolerating exactly ``findings`` (``--update-baseline``)."""
+        entries = {
+            finding.fingerprint: {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in findings
+        }
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline deterministically (sorted, trailing newline)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "suppressions": [
+                self.entries[fingerprint]
+                for fingerprint in sorted(
+                    self.entries,
+                    key=lambda fp: (
+                        self.entries[fp].get("path", ""),
+                        self.entries[fp].get("rule", ""),
+                        fp,
+                    ),
+                )
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, baselined)."""
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        return new, suppressed
+
+    def stale_entries(self, findings: Iterable[Finding]) -> List[dict]:
+        """Entries whose finding no longer occurs — candidates for removal."""
+        seen = {finding.fingerprint for finding in findings}
+        return [
+            self.entries[fingerprint]
+            for fingerprint in sorted(self.entries)
+            if fingerprint not in seen
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries)

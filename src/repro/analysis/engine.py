@@ -1,0 +1,198 @@
+"""The lint engine: collect modules, run rules, apply suppressions.
+
+``run_lint(root)`` walks every ``*.py`` under ``root``, parses it once,
+extracts ``# lint: allow(rule-id[, rule-id])`` pragmas, runs every rule's
+per-module ``check`` and whole-tree ``finalize``, and filters the findings
+through the inline pragmas and (optionally) a committed baseline.  The
+result is a :class:`LintReport` the CLI renders as text or JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.analysis.base import (
+    Finding,
+    LintContext,
+    ModuleInfo,
+    Rule,
+    create_rules,
+)
+from repro.analysis.baseline import Baseline
+from repro.exceptions import ConfigurationError
+
+__all__ = ["collect_modules", "run_lint", "LintReport"]
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
+
+#: Directory names never scanned (caches, VCS internals).
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis"})
+
+
+def _module_name(root: Path, path: Path) -> str:
+    """Dotted module name for ``path`` relative to the scanned root.
+
+    The root may be the package directory itself (``src/repro``), its parent
+    (``src``), or any tree containing package directories; the name is
+    rooted at the nearest ancestor that looks like the scan root.
+    """
+    rel = path.relative_to(root)
+    parts = list(rel.parts)
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    if root.name and (root / "__init__.py").exists():
+        parts.insert(0, root.name)
+    return ".".join(parts)
+
+
+def _parse_allow_pragmas(source: str) -> dict[int, set[str]]:
+    """Line -> allowed rule ids, from ``# lint: allow(...)`` comments."""
+    allow: dict[int, set[str]] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if rules:
+            allow[line_number] = rules
+    return allow
+
+
+def collect_modules(root: str | Path) -> LintContext:
+    """Parse every ``*.py`` under ``root`` into a :class:`LintContext`."""
+    root = Path(root).resolve()
+    if not root.exists():
+        raise ConfigurationError(f"lint root {root} does not exist")
+    paths = sorted(
+        path
+        for path in root.rglob("*.py")
+        if not any(part in _SKIP_DIRS for part in path.parts)
+    )
+    modules: List[ModuleInfo] = []
+    for path in paths:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise ConfigurationError(
+                f"cannot lint {path}: syntax error at line {exc.lineno}: {exc.msg}"
+            ) from exc
+        modules.append(
+            ModuleInfo(
+                path=path,
+                relpath=path.relative_to(root).as_posix(),
+                module=_module_name(root, path),
+                source=source,
+                tree=tree,
+                allow=_parse_allow_pragmas(source),
+            )
+        )
+    return LintContext(root=root, modules=modules)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: new findings plus suppression accounting."""
+
+    findings: List[Finding]
+    suppressed_pragma: List[Finding] = field(default_factory=list)
+    suppressed_baseline: List[Finding] = field(default_factory=list)
+    stale_baseline: List[dict] = field(default_factory=list)
+    modules_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no un-suppressed finding remains."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 2 findings."""
+        return 0 if self.clean else 2
+
+    def render_text(self) -> str:
+        """Human-readable report (one diagnostic per line + summary)."""
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.modules_scanned} module(s) "
+            f"({len(self.suppressed_pragma)} allowed inline, "
+            f"{len(self.suppressed_baseline)} baselined)"
+        )
+        for entry in self.stale_baseline:
+            lines.append(
+                f"note: stale baseline entry {entry.get('fingerprint')} "
+                f"({entry.get('rule')} in {entry.get('path')}) — "
+                f"fixed; regenerate the baseline to ratchet"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON payload for ``--format json`` and the CI artifact."""
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed_pragma": [
+                finding.to_dict() for finding in self.suppressed_pragma
+            ],
+            "suppressed_baseline": [
+                finding.to_dict() for finding in self.suppressed_baseline
+            ],
+            "stale_baseline": self.stale_baseline,
+            "modules_scanned": self.modules_scanned,
+            "rules_run": list(self.rules_run),
+            "clean": self.clean,
+        }
+
+
+def run_lint(
+    root: str | Path,
+    rules: Sequence[Rule] | None = None,
+    rule_ids: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Run the static-analysis pass over ``root``.
+
+    ``rules`` takes pre-built rule instances (fixture tests inject custom
+    expected sets this way); otherwise ``rule_ids`` selects from the
+    registry, defaulting to every registered rule.
+    """
+    context = collect_modules(root)
+    active = list(rules) if rules is not None else create_rules(rule_ids)
+
+    raw: List[Finding] = []
+    for rule in active:
+        for module in context.modules:
+            raw.extend(rule.check(module, context))
+    for rule in active:
+        raw.extend(rule.finalize(context))
+
+    by_path = {module.relpath: module for module in context.modules}
+    visible: List[Finding] = []
+    pragma_suppressed: List[Finding] = []
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.allows(finding.rule, finding.line):
+            pragma_suppressed.append(finding)
+        else:
+            visible.append(finding)
+    visible.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    baseline_suppressed: List[Finding] = []
+    stale: List[dict] = []
+    if baseline is not None:
+        visible, baseline_suppressed = baseline.split(visible)
+        stale = baseline.stale_entries(visible + baseline_suppressed)
+
+    return LintReport(
+        findings=visible,
+        suppressed_pragma=pragma_suppressed,
+        suppressed_baseline=baseline_suppressed,
+        stale_baseline=stale,
+        modules_scanned=len(context.modules),
+        rules_run=[rule.rule_id for rule in active],
+    )

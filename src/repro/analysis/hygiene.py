@@ -1,0 +1,143 @@
+"""Exception hygiene: library code speaks the typed hierarchy.
+
+:mod:`repro.exceptions` gives callers a single base (:class:`ReproError`)
+with discriminating subclasses, most of which remain ``except ValueError``-
+compatible at the boundary.  Two habits erode that contract:
+
+* raising bare builtins (``ValueError``, ``RuntimeError``, ``Exception``)
+  from library code — callers lose the typed catch;
+* broad ``except Exception`` handlers that *absorb* anything — these hide
+  real failures.  A broad handler is acceptable only when it immediately
+  re-raises with context (``raise Typed(...) from exc`` or a bare
+  ``raise``), the pattern the observer dispatch uses.
+
+The CLI boundary (``repro.cli``, ``repro.__main__``) is allowlisted: it is
+the one place builtin-typed errors from user input are part of the job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, LintContext, ModuleInfo, register_rule
+
+__all__ = ["TypedRaiseRule", "BroadExceptRule"]
+
+#: Builtins library code must not raise directly (use repro.exceptions).
+_FORBIDDEN_RAISES = frozenset(
+    {"Exception", "BaseException", "ValueError", "TypeError", "RuntimeError",
+     "ArithmeticError", "OSError", "IOError"}
+)
+
+#: Modules allowed to speak builtins: the process boundary.
+_BOUNDARY_MODULES = frozenset({"repro.cli", "repro.__main__"})
+
+
+def _is_boundary(module: ModuleInfo) -> bool:
+    return module.module in _BOUNDARY_MODULES
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The bare name of ``raise Name(...)`` / ``raise Name``, else ``None``."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+@register_rule
+class TypedRaiseRule:
+    """Flag ``raise <builtin>`` in library modules."""
+
+    rule_id = "exception-hygiene"
+    description = (
+        "library code raises the typed hierarchy in repro.exceptions, never "
+        "bare ValueError/TypeError/RuntimeError/Exception (CLI boundary exempt)"
+    )
+
+    def check(self, module: ModuleInfo, context: LintContext) -> Iterable[Finding]:
+        """Flag ``raise`` of bare builtin exception types."""
+        if _is_boundary(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if name in _FORBIDDEN_RAISES:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"raise {name} in library code; raise the matching "
+                        f"repro.exceptions type instead (most stay "
+                        f"except-{name}-compatible)"
+                    ),
+                )
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        """No whole-tree findings for this rule."""
+        return ()
+
+
+def _reraises_with_context(handler: ast.ExceptHandler) -> bool:
+    """True when the handler's body re-raises: a bare ``raise``, or raising a
+    non-builtin exception chained ``from`` the caught name (or with the caught
+    name passed/formatted into it)."""
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if not isinstance(node, ast.Raise):
+            continue
+        if node.exc is None:  # bare ``raise``
+            return True
+        name = _raised_name(node)
+        if name is not None and name not in _FORBIDDEN_RAISES:
+            # ``raise Typed(...) from exc`` — or without the chain; either
+            # way the failure surfaces as a typed error, not silence.
+            return True
+    return False
+
+
+@register_rule
+class BroadExceptRule:
+    """Flag ``except Exception``/bare ``except:`` that swallow failures."""
+
+    rule_id = "broad-except"
+    description = (
+        "broad except handlers must re-raise with context (raise Typed(...) "
+        "from exc); silently absorbing Exception is forbidden (CLI exempt)"
+    )
+
+    def check(self, module: ModuleInfo, context: LintContext) -> Iterable[Finding]:
+        """Flag broad ``except`` handlers that do not re-raise with context."""
+        if _is_boundary(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None or (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+            )
+            if not broad:
+                continue
+            if _reraises_with_context(node):
+                continue
+            caught = "bare except" if node.type is None else f"except {node.type.id}"
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{caught} absorbs every failure; catch the specific typed "
+                    f"errors or re-raise a repro.exceptions type with context"
+                ),
+            )
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        """No whole-tree findings for this rule."""
+        return ()

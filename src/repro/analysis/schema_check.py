@@ -1,0 +1,194 @@
+"""Trace-event and metric-name cross-checks against the declared schemas.
+
+The JSONL trace schema (:data:`repro.obs.trace.EVENT_SCHEMA`) and the metric
+catalog (:data:`repro.obs.catalog.METRIC_CATALOG`) are contracts consumers
+replay against.  Runtime validation catches a bad event only when the
+offending path executes; these rules close the gap statically:
+
+* every literal event name at an ``.emit(...)`` site must be a schema event;
+* every schema event must be emitted by at least one site in the tree;
+* a non-literal event name (``tracer.emit(obj["ev"], ...)``) is flagged —
+  it cannot be checked, so it needs an explicit ``# lint: allow`` with a
+  human on the hook;
+* every literal ``repro_*`` family name at a ``.counter/.gauge/.histogram``
+  site must be declared in the catalog, and every declared name must be used.
+
+The "declared but never used" direction only fires when the scanned tree
+contains the schema module itself (``repro.obs.trace`` / ``repro.obs.catalog``)
+— a partial tree, like a rule-fixture directory, is never a complete witness
+of usage.  Expected sets are injectable for exactly that kind of test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.astutil import module_string_constants
+from repro.analysis.base import Finding, LintContext, ModuleInfo, register_rule
+
+__all__ = ["TraceSchemaRule", "MetricSchemaRule"]
+
+#: Module that declares EVENT_SCHEMA (completeness gate + anchor for findings).
+_TRACE_MODULE = "repro.obs.trace"
+#: Module that declares METRIC_CATALOG.
+_CATALOG_MODULE = "repro.obs.catalog"
+
+_METRIC_METHODS = ("counter", "gauge", "histogram")
+
+
+def _first_arg_literal(call: ast.Call, constants: Dict[str, str]) -> str | None:
+    """The call's first positional argument as a string, resolving
+    module-level constants (e.g. ``SPAN_METRIC``); ``None`` when dynamic."""
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.Name):
+        return constants.get(arg.id)
+    return None
+
+
+@register_rule
+class TraceSchemaRule:
+    """Cross-check ``.emit(...)`` sites against ``EVENT_SCHEMA``."""
+
+    rule_id = "trace-schema"
+    description = (
+        "every emitted trace event must exist in EVENT_SCHEMA, every schema "
+        "event must have an emission site, and event names must be literal"
+    )
+
+    def __init__(self, expected_events: frozenset[str] | None = None) -> None:
+        if expected_events is None:
+            from repro.obs.trace import EVENT_SCHEMA
+
+            expected_events = frozenset(EVENT_SCHEMA)
+        self.expected_events = expected_events
+        #: (event, module relpath, line) for every literal emission seen.
+        self.emitted: List[Tuple[str, str, int]] = []
+
+    def check(self, module: ModuleInfo, context: LintContext) -> Iterable[Finding]:
+        """Flag emitted event names missing from ``EVENT_SCHEMA``."""
+        if module.module == _TRACE_MODULE:
+            # The schema module's own docstrings/validators, not emission sites.
+            return
+        constants = module_string_constants(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+            ):
+                continue
+            event = _first_arg_literal(node, constants)
+            if event is None:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "dynamic event name in .emit(...) cannot be checked "
+                        "against EVENT_SCHEMA; emit a literal or allow explicitly"
+                    ),
+                )
+                continue
+            self.emitted.append((event, module.relpath, node.lineno))
+            if event not in self.expected_events:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"event {event!r} is emitted here but not declared in "
+                        f"EVENT_SCHEMA"
+                    ),
+                )
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        """Flag declared events that no scanned module ever emits."""
+        schema_module = context.module_named(_TRACE_MODULE)
+        if schema_module is None:
+            return  # partial tree: usage cannot be decided
+        emitted_names = {event for event, _, _ in self.emitted}
+        for event in sorted(self.expected_events - emitted_names):
+            yield Finding(
+                rule=self.rule_id,
+                path=schema_module.relpath,
+                line=1,
+                col=0,
+                message=(
+                    f"EVENT_SCHEMA declares {event!r} but no module emits it; "
+                    f"remove the entry or instrument the producer"
+                ),
+            )
+
+
+@register_rule
+class MetricSchemaRule:
+    """Cross-check ``repro_*`` metric family names against METRIC_CATALOG."""
+
+    rule_id = "metric-schema"
+    description = (
+        "every repro_* metric family used against an ObsRegistry must be "
+        "declared in repro.obs.catalog.METRIC_CATALOG, and vice versa"
+    )
+
+    def __init__(self, catalog: frozenset[str] | None = None) -> None:
+        if catalog is None:
+            from repro.obs.catalog import METRIC_CATALOG
+
+            catalog = METRIC_CATALOG
+        self.catalog = catalog
+        self.used: List[Tuple[str, str, int]] = []
+
+    def check(self, module: ModuleInfo, context: LintContext) -> Iterable[Finding]:
+        """Flag registered metric names missing from ``METRIC_CATALOG``."""
+        if module.module in (_CATALOG_MODULE, "repro.obs.registry"):
+            return
+        constants = module_string_constants(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_METHODS
+            ):
+                continue
+            name = _first_arg_literal(node, constants)
+            if name is None or not name.startswith("repro_"):
+                # Sim-internal tallies and dynamic names are out of scope;
+                # the repro_ prefix is what marks an ObsRegistry family.
+                continue
+            self.used.append((name, module.relpath, node.lineno))
+            if name not in self.catalog:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"metric family {name!r} is not declared in "
+                        f"repro.obs.catalog.METRIC_CATALOG"
+                    ),
+                )
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        """Flag catalogued metrics that no scanned module registers."""
+        catalog_module = context.module_named(_CATALOG_MODULE)
+        if catalog_module is None:
+            return
+        used_names = {name for name, _, _ in self.used}
+        for name in sorted(self.catalog - used_names):
+            yield Finding(
+                rule=self.rule_id,
+                path=catalog_module.relpath,
+                line=1,
+                col=0,
+                message=(
+                    f"METRIC_CATALOG declares {name!r} but no registration "
+                    f"site uses it; remove the entry or wire the producer"
+                ),
+            )

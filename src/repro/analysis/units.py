@@ -1,0 +1,140 @@
+"""Config-unit lint: don't mix paper-unit families without a conversion.
+
+Everything in the model is minutes of movie time (``B``, ``w``, ``l``,
+``*_minutes``), counts (``n``, ``num_*``, ``*_streams``) or wall seconds
+(``*_seconds``, from spans and shard telemetry).  Adding, subtracting or
+comparing across families is always a bug — ``buffer_minutes + num_streams``
+type-checks and simulates, it just answers a question nobody asked.
+
+The check is deliberately conservative to stay false-positive free in
+numerical code: it only fires when *both* operands of ``+``/``-`` or a
+comparison are plain names/attributes whose names resolve to *different*
+unit families, or when a call passes a keyword argument whose name encodes
+one family a value whose name encodes another.  Multiplication and division
+are exempt (rates convert units), and any wrapping call (an explicit
+conversion function) breaks the pattern and silences the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, LintContext, ModuleInfo, register_rule
+
+__all__ = ["UnitMixRule", "unit_family"]
+
+#: family -> (exact names, suffixes, prefixes)
+_FAMILIES: dict[str, tuple[frozenset[str], tuple[str, ...], tuple[str, ...]]] = {
+    "minutes": (
+        frozenset({"w", "l", "B", "horizon", "warmup"}),
+        ("_minutes",),
+        (),
+    ),
+    "seconds": (frozenset(), ("_seconds", "_secs"), ()),
+    "count": (
+        frozenset({"n"}),
+        ("_count", "_streams", "_partitions"),
+        ("num_",),
+    ),
+}
+
+
+def unit_family(name: str) -> str | None:
+    """The unit family a name encodes, or ``None`` for unit-free names."""
+    for family, (exact, suffixes, prefixes) in _FAMILIES.items():
+        if name in exact:
+            return family
+        if any(name.endswith(suffix) for suffix in suffixes):
+            return family
+        if any(name.startswith(prefix) for prefix in prefixes):
+            return family
+    return None
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The final identifier of a plain Name/Attribute chain, else ``None``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register_rule
+class UnitMixRule:
+    """Flag additive/comparison mixing of names from different unit families."""
+
+    rule_id = "unit-mix"
+    description = (
+        "names encoding paper units (*_minutes, w/l/B, n/num_*, *_seconds) "
+        "must not be added/subtracted/compared across families without an "
+        "explicit conversion call"
+    )
+
+    def check(self, module: ModuleInfo, context: LintContext) -> Iterable[Finding]:
+        """Flag additive mixing of variables from different unit families."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(module, node, node.left, node.right)
+            elif isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                yield from self._check_pair(
+                    module, node, node.left, node.comparators[0]
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_keywords(module, node)
+
+    def _check_pair(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+    ) -> Iterable[Finding]:
+        left_name, right_name = _terminal_name(left), _terminal_name(right)
+        if left_name is None or right_name is None:
+            return
+        left_family, right_family = unit_family(left_name), unit_family(right_name)
+        if left_family is None or right_family is None:
+            return
+        if left_family != right_family:
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"mixing unit families: {left_name!r} is {left_family} but "
+                    f"{right_name!r} is {right_family}; convert explicitly"
+                ),
+            )
+
+    def _check_keywords(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> Iterable[Finding]:
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            target_family = unit_family(keyword.arg)
+            if target_family is None:
+                continue
+            value_name = _terminal_name(keyword.value)
+            if value_name is None:
+                continue
+            value_family = unit_family(value_name)
+            if value_family is None or value_family == target_family:
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=keyword.value.lineno,
+                col=keyword.value.col_offset,
+                message=(
+                    f"argument {keyword.arg!r} expects {target_family} but "
+                    f"{value_name!r} is {value_family}; convert explicitly"
+                ),
+            )
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        """No whole-tree findings for this rule."""
+        return ()

@@ -31,6 +31,10 @@ Subcommands
     Run the chaos test-bed server under a fault plan — loaded from JSON or
     generated from ``(--seed, --horizon, --intensity)`` — with or without
     the graceful-degradation policies, and report the realised outcome.
+``lint [root] [--format json] [--baseline FILE] [--update-baseline] [...]``
+    Run the project's domain-aware static analysis (determinism lints,
+    trace/metric schema cross-checks, exception hygiene, unit mixing) over a
+    source tree.  Exit 0 when clean, 2 on findings.
 
 Observability
 -------------
@@ -231,6 +235,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the effective plan JSON to FILE",
     )
     _add_obs_outputs(faults_run)
+
+    lint_cmd = sub.add_parser(
+        "lint", help="run the domain-aware static analysis over a source tree"
+    )
+    lint_cmd.add_argument(
+        "root", nargs="?", type=Path, default=Path("src"),
+        help="source tree to scan (default: src)",
+    )
+    lint_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="output_format",
+        help="report format (json is the CI artifact shape)",
+    )
+    lint_cmd.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="baseline file of tolerated findings (default: "
+        "lint-baseline.json next to the scanned tree, when present)",
+    )
+    lint_cmd.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report the full finding set)",
+    )
+    lint_cmd.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to tolerate exactly the current findings",
+    )
+    lint_cmd.add_argument(
+        "--rules", type=str, default=None, metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_cmd.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
     return parser
 
 
@@ -703,6 +739,53 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis pass; exit 0 clean, 2 findings."""
+    from repro.analysis import Baseline, available_rules, run_lint
+    from repro.exceptions import ConfigurationError
+
+    if args.list_rules:
+        for rule_id, description in available_rules():
+            print(f"{rule_id:26s} {description}")
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = args.root / ".." / "lint-baseline.json"
+        candidate = default.resolve()
+        if candidate.exists():
+            baseline_path = candidate
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+
+    try:
+        baseline = (
+            None
+            if args.no_baseline or baseline_path is None
+            else Baseline.load(baseline_path)
+        )
+        report = run_lint(args.root, rule_ids=rule_ids, baseline=baseline)
+    except ConfigurationError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = baseline_path or (args.root / ".." / "lint-baseline.json").resolve()
+        # Tolerate exactly what fires today: new findings plus the surviving
+        # baselined ones (stale entries drop out — the ratchet only shrinks).
+        current = report.findings + report.suppressed_baseline
+        Baseline.from_findings(current).save(target)
+        print(f"wrote {target} ({len(current)} suppression(s))")
+        return 0
+
+    if args.output_format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -727,6 +810,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_obs(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -30,6 +30,7 @@ from repro.core.catchup import ff_catchup_factor
 from repro.core.hitsets import fastforward_end_interval, fastforward_hit_intervals
 from repro.core.parameters import SystemConfiguration
 from repro.distributions.base import DurationDistribution
+from repro.exceptions import ConfigurationError
 from repro.numerics.quadrature import gauss_legendre
 
 __all__ = [
@@ -97,7 +98,7 @@ def p_hit_jump(
 ) -> float:
     """``P(hit_j^i | FF)`` — the four-term sum of Eqs. (15)–(18)."""
     if jump_index < 1:
-        raise ValueError(f"jump index must be >= 1, got {jump_index}")
+        raise ConfigurationError(f"jump index must be >= 1, got {jump_index}")
     alpha = ff_catchup_factor(config.rates)
     length = config.movie_length
     span = config.partition_span

@@ -26,6 +26,7 @@ import math
 from repro.core.hitsets import pause_hit_intervals
 from repro.core.parameters import SystemConfiguration
 from repro.distributions.base import DurationDistribution
+from repro.exceptions import ConfigurationError
 from repro.numerics.quadrature import gauss_legendre
 
 __all__ = [
@@ -88,7 +89,7 @@ def p_hit_pause_jump(
 ) -> float:
     """Probability of resuming under the ``jump_index``-th later stream."""
     if jump_index < 1:
-        raise ValueError(f"jump index must be >= 1, got {jump_index}")
+        raise ConfigurationError(f"jump index must be >= 1, got {jump_index}")
     span = config.partition_span
     spacing = config.partition_spacing
     if span == 0.0:
@@ -105,9 +106,9 @@ def p_hit_pause_jump(
 def wrap_duration(x: float, movie_length: float) -> float:
     """Section 2.1's equivalence: a pause of ``x > l`` behaves like ``x mod l``."""
     if movie_length <= 0.0:
-        raise ValueError(f"movie_length must be positive, got {movie_length}")
+        raise ConfigurationError(f"movie_length must be positive, got {movie_length}")
     if x < 0.0:
-        raise ValueError(f"duration must be non-negative, got {x}")
+        raise ConfigurationError(f"duration must be non-negative, got {x}")
     if x < movie_length:
         return x
     return math.fmod(x, movie_length)

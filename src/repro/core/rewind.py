@@ -26,6 +26,7 @@ from repro.core.catchup import rw_catchup_factor
 from repro.core.hitsets import rewind_hit_intervals
 from repro.core.parameters import SystemConfiguration
 from repro.distributions.base import DurationDistribution
+from repro.exceptions import ConfigurationError
 from repro.numerics.quadrature import gauss_legendre
 
 __all__ = [
@@ -97,7 +98,7 @@ def p_hit_rewind_jump(
 ) -> float:
     """Hit in the ``jump_index``-th partition *behind* the viewer."""
     if jump_index < 1:
-        raise ValueError(f"jump index must be >= 1, got {jump_index}")
+        raise ConfigurationError(f"jump index must be >= 1, got {jump_index}")
     gamma = rw_catchup_factor(config.rates)
     span = config.partition_span
     spacing = config.partition_spacing

@@ -14,6 +14,7 @@ import math
 import numpy as np
 
 from repro.distributions.base import DurationDistribution
+from repro.exceptions import DistributionError
 
 __all__ = ["LognormalDuration"]
 
@@ -28,7 +29,7 @@ class LognormalDuration(DurationDistribution):
     def __init__(self, mu: float, sigma: float) -> None:
         self._mu = float(mu)
         if not math.isfinite(self._mu):
-            raise ValueError(f"mu must be finite, got {mu}")
+            raise DistributionError(f"mu must be finite, got {mu}")
         self._sigma = self._require_positive("sigma", sigma)
 
     @classmethod

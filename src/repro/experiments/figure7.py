@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.core.hitmodel import HitProbabilityModel, VCRMix
 from repro.core.vcrop import VCROperation
 from repro.distributions.gamma import GammaDuration
+from repro.exceptions import ConfigurationError
 from repro.experiments.charts import ascii_chart
 from repro.experiments.reporting import ExperimentResult, Table
 from repro.simulation.hit_simulator import SimulationSettings
@@ -54,7 +55,9 @@ def run_figure7(panel: str, fast: bool = False) -> ExperimentResult:
     the full setting matches the fidelity of the paper's plots.
     """
     if panel not in PANEL_OPERATIONS:
-        raise ValueError(f"panel must be one of {sorted(PANEL_OPERATIONS)}, got {panel!r}")
+        raise ConfigurationError(
+            f"panel must be one of {sorted(PANEL_OPERATIONS)}, got {panel!r}"
+        )
     operation = PANEL_OPERATIONS[panel]
     model = paper_figure7_model()
     settings = SimulationSettings(

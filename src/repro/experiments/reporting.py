@@ -11,6 +11,8 @@ import io
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.exceptions import ConfigurationError
+
 __all__ = ["Table", "ExperimentResult"]
 
 
@@ -31,7 +33,7 @@ class Table:
     def add_row(self, *values: Any) -> None:
         """Append one row; the cell count must match the headers."""
         if len(values) != len(self.headers):
-            raise ValueError(
+            raise ConfigurationError(
                 f"row has {len(values)} cells but table has {len(self.headers)} columns"
             )
         self.rows.append(values)

@@ -153,9 +153,10 @@ def gauss_legendre(
     xs = mid + half * nodes
     try:
         ys = np.asarray(func(xs), dtype=float)
-        if ys.shape != xs.shape:
-            raise TypeError("integrand did not broadcast")
     except (TypeError, ValueError, IndexError):
+        ys = None
+    if ys is None or ys.shape != xs.shape:
+        # Scalar-only integrand: evaluate pointwise instead of vectorised.
         ys = np.asarray([float(func(float(x))) for x in xs])
     return float(half * np.dot(weights, ys))
 

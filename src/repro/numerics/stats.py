@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.exceptions import InsufficientDataError, NumericsError
+
 __all__ = [
     "RunningStat",
     "SummaryStatistics",
@@ -30,7 +32,7 @@ def normal_quantile(p: float) -> float:
     Implemented locally so the core library needs only NumPy.
     """
     if not 0.0 < p < 1.0:
-        raise ValueError(f"normal quantile requires p in (0, 1), got {p}")
+        raise NumericsError(f"normal quantile requires p in (0, 1), got {p}")
     # Coefficients from Peter Acklam's algorithm.
     a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
          1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
@@ -122,7 +124,7 @@ class RunningStat:
     def mean(self) -> float:
         """Sample mean (raises on an empty accumulator)."""
         if self._count == 0:
-            raise ValueError("mean of empty RunningStat")
+            raise InsufficientDataError("mean of empty RunningStat")
         return self._mean
 
     @property
@@ -141,14 +143,14 @@ class RunningStat:
     def minimum(self) -> float:
         """Smallest observation seen."""
         if self._count == 0:
-            raise ValueError("minimum of empty RunningStat")
+            raise InsufficientDataError("minimum of empty RunningStat")
         return self._min
 
     @property
     def maximum(self) -> float:
         """Largest observation seen."""
         if self._count == 0:
-            raise ValueError("maximum of empty RunningStat")
+            raise InsufficientDataError("maximum of empty RunningStat")
         return self._max
 
     def summary(self) -> "SummaryStatistics":
@@ -175,7 +177,7 @@ class SummaryStatistics:
     def standard_error(self) -> float:
         """Standard error of the mean."""
         if self.count == 0:
-            raise ValueError("standard error of an empty sample")
+            raise InsufficientDataError("standard error of an empty sample")
         return self.stddev / math.sqrt(self.count)
 
     def ci(self, confidence: float = 0.95) -> tuple[float, float]:
@@ -187,7 +189,7 @@ class SummaryStatistics:
 def confidence_halfwidth(stddev: float, count: int, confidence: float = 0.95) -> float:
     """Half-width of a normal-approximation CI for a sample mean."""
     if count < 1:
-        raise ValueError("confidence interval requires at least one observation")
+        raise InsufficientDataError("confidence interval requires at least one observation")
     if count == 1:
         return math.inf
     z = normal_quantile(0.5 + confidence / 2.0)

@@ -190,7 +190,7 @@ class ParallelOutcome:
         the worker count is the maximum any phase used.
         """
         if not outcomes:
-            raise ValueError("merge needs at least one outcome")
+            raise ConfigurationError("merge needs at least one outcome")
         return ParallelOutcome(
             results=tuple(r for o in outcomes for r in o.results),
             shards=tuple(s for o in outcomes for s in o.shards),

@@ -33,6 +33,8 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
+
 __all__ = ["RandomStreams"]
 
 #: Spawn-key tag for a named stream's encoded bytes.
@@ -95,7 +97,9 @@ class RandomStreams:
         collision-free.
         """
         if replication < 0:
-            raise ValueError(f"replication index must be >= 0, got {replication}")
+            raise ConfigurationError(
+                f"replication index must be >= 0, got {replication}"
+            )
         return RandomStreams(
             self._seed, self._lineage + (_REPLICATION_TAG, int(replication))
         )

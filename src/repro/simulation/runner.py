@@ -15,6 +15,7 @@ from repro.core.hitmodel import HitProbabilityModel, VCRMix
 from repro.core.parameters import SystemConfiguration
 from repro.core.vcrop import VCROperation
 from repro.distributions.base import DurationDistribution
+from repro.exceptions import ConfigurationError
 from repro.simulation.hit_simulator import (
     HitSimulationResult,
     HitSimulator,
@@ -34,7 +35,7 @@ def simulate_hit_probability(
 ) -> HitSimulationResult:
     """Pooled hit-rate estimate over independent replications."""
     if replications < 1:
-        raise ValueError(f"need >= 1 replication, got {replications}")
+        raise ConfigurationError(f"need >= 1 replication, got {replications}")
     simulator = HitSimulator(
         config, durations, mix, settings=settings, count_end_as_hit=count_end_as_hit
     )

@@ -46,6 +46,10 @@ def notify_observers(
             continue
         try:
             hook(movie_id, *args, now)
+        except ObserverError:
+            # Nested dispatch (an observer driving its own observers) already
+            # named the offender; don't bury it under another layer.
+            raise
         except Exception as exc:
             raise ObserverError(
                 f"observer {type(observer).__name__} raised in {method} "

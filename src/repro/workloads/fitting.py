@@ -34,6 +34,7 @@ from repro.exceptions import (
     ConfigurationError,
     FittingError,
     InsufficientDataError,
+    NumericsError,
     ReproError,
 )
 from repro.vod.vcr import VCRBehavior
@@ -103,7 +104,9 @@ def _weibull_shape_from_cv(cv: float) -> float:
     target = min(max(cv, 0.05), 5.0)
     try:
         return bisect(lambda k: cv_of(k) - target, 0.2, 20.0, tol=1e-6)
-    except Exception:
+    except (NumericsError, OverflowError):
+        # No sign change in the bracket (CV outside the Weibull family's
+        # reachable range) — fall back to the exponential special case.
         return 1.0
 
 

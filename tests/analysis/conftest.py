@@ -1,0 +1,28 @@
+"""Shared fixtures for the static-analysis test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Materialise a fixture source tree and return its root.
+
+    ``files`` maps repo-relative POSIX paths (``repro/sim/engine.py``) to
+    source text.  The root itself carries no ``__init__.py``, so module
+    names derive purely from the relative path — exactly how the real
+    ``src`` layout is scanned.
+    """
+
+    def build(files: dict[str, str]) -> Path:
+        root = tmp_path / "fixture-src"
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        return root
+
+    return build

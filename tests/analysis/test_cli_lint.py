@@ -1,0 +1,130 @@
+"""`repro-vod lint` subcommand: exit codes, JSON output, baseline workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+DIRTY_SIM = "import time\n\ndef now():\n    return time.time()\n"
+CLEAN_SIM = "def now(env):\n    return env.now\n"
+
+
+class TestParser:
+    def test_lint_parses_with_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert str(args.root) == "src"
+        assert args.output_format == "text"
+
+    def test_lint_accepts_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["lint", str(tmp_path), "--format", "json", "--rules", "unit-mix",
+             "--no-baseline"]
+        )
+        assert args.output_format == "json" and args.no_baseline
+
+    def test_lint_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, make_tree, capsys):
+        root = make_tree({"repro/sim/engine.py": CLEAN_SIM})
+        assert main(["lint", str(root), "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_two(self, make_tree, capsys):
+        root = make_tree({"repro/sim/engine.py": DIRTY_SIM})
+        assert main(["lint", str(root), "--no-baseline"]) == 2
+        out = capsys.readouterr().out
+        assert "determinism-wallclock" in out
+        assert "repro/sim/engine.py:4" in out
+
+    def test_missing_root_exits_two_with_stderr(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent"), "--no-baseline"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_rule_selection(self, make_tree):
+        root = make_tree({"repro/sim/engine.py": DIRTY_SIM})
+        assert main(["lint", str(root), "--no-baseline", "--rules", "unit-mix"]) == 0
+
+    def test_unknown_rule_exits_two(self, make_tree, capsys):
+        root = make_tree({"repro/sim/engine.py": CLEAN_SIM})
+        assert main(["lint", str(root), "--no-baseline", "--rules", "bogus"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_machine_readable_payload(self, make_tree, capsys):
+        root = make_tree({"repro/sim/engine.py": DIRTY_SIM})
+        assert main(["lint", str(root), "--no-baseline", "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["modules_scanned"] == 1
+        (finding,) = [f for f in payload["findings"]]
+        assert finding["rule"] == "determinism-wallclock"
+        assert finding["path"] == "repro/sim/engine.py"
+        assert finding["fingerprint"]
+        assert "determinism-wallclock" in payload["rules_run"]
+
+
+class TestBaselineWorkflow:
+    def test_update_then_enforce_round_trip(self, make_tree, capsys):
+        root = make_tree({"repro/sim/engine.py": DIRTY_SIM})
+        baseline = root.parent / "baseline.json"
+
+        assert main(["lint", str(root), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        data = json.loads(baseline.read_text())
+        assert data["version"] == 1 and len(data["suppressions"]) == 1
+
+        # Baselined finding no longer fails the gate...
+        assert main(["lint", str(root), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # ...but a fresh violation still does.
+        (root / "repro/sim/other.py").write_text(DIRTY_SIM)
+        assert main(["lint", str(root), "--baseline", str(baseline)]) == 2
+
+    def test_no_baseline_ignores_committed_file(self, make_tree, capsys):
+        root = make_tree({"repro/sim/engine.py": DIRTY_SIM})
+        baseline = root.parent / "baseline.json"
+        assert main(["lint", str(root), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(root), "--baseline", str(baseline),
+                     "--no-baseline"]) == 2
+
+    def test_update_keeps_surviving_entries(self, make_tree, capsys):
+        # A second --update-baseline run with the finding still present must
+        # keep suppressing it (the ratchet shrinks only when code is fixed).
+        root = make_tree({"repro/sim/engine.py": DIRTY_SIM})
+        baseline = root.parent / "baseline.json"
+        main(["lint", str(root), "--baseline", str(baseline), "--update-baseline"])
+        main(["lint", str(root), "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        assert len(json.loads(baseline.read_text())["suppressions"]) == 1
+        assert main(["lint", str(root), "--baseline", str(baseline)]) == 0
+
+    def test_update_drops_fixed_entries(self, make_tree, capsys):
+        root = make_tree({"repro/sim/engine.py": DIRTY_SIM})
+        baseline = root.parent / "baseline.json"
+        main(["lint", str(root), "--baseline", str(baseline), "--update-baseline"])
+        (root / "repro/sim/engine.py").write_text(CLEAN_SIM)
+        main(["lint", str(root), "--baseline", str(baseline), "--update-baseline"])
+        capsys.readouterr()
+        assert json.loads(baseline.read_text())["suppressions"] == []
+
+
+class TestListRules:
+    def test_lists_every_registered_rule(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("determinism-wallclock", "trace-schema", "metric-schema",
+                        "exception-hygiene", "broad-except", "unit-mix"):
+            assert rule_id in out

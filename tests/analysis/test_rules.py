@@ -1,0 +1,297 @@
+"""Fixture tests for every rule family: one firing case, one clean case."""
+
+from __future__ import annotations
+
+from repro.analysis import run_lint
+from repro.analysis.determinism import SetOrderRule, UnseededRngRule, WallClockRule
+from repro.analysis.hygiene import BroadExceptRule, TypedRaiseRule
+from repro.analysis.schema_check import MetricSchemaRule, TraceSchemaRule
+from repro.analysis.units import UnitMixRule
+
+
+def rules_of(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+class TestWallClock:
+    def test_flags_time_time_in_sim(self, make_tree):
+        root = make_tree({
+            "repro/sim/engine.py": "import time\n\ndef now():\n    return time.time()\n",
+        })
+        report = run_lint(root, rules=[WallClockRule()])
+        (finding,) = report.findings
+        assert finding.rule == "determinism-wallclock"
+        assert finding.path == "repro/sim/engine.py"
+        assert finding.line == 4
+        assert "time.time" in finding.message
+
+    def test_flags_datetime_now_in_emitting_module(self, make_tree):
+        # Out-of-prefix module, but it emits trace events -> in scope.
+        root = make_tree({
+            "repro/experiments/report.py": (
+                "import datetime\n\n"
+                "def stamp(tracer):\n"
+                "    tracer.emit('run_start', 0.0)\n"
+                "    return datetime.datetime.now()\n"
+            ),
+        })
+        report = run_lint(root, rules=[WallClockRule()])
+        assert len(report.findings) == 1
+        assert "datetime.datetime.now" in report.findings[0].message
+
+    def test_clean_outside_scope(self, make_tree):
+        # Same wall-clock call in a module that neither matches the scope
+        # prefixes nor emits trace events: allowed (process-tier timing).
+        root = make_tree({
+            "repro/experiments/timing.py": "import time\n\ndef now():\n    return time.time()\n",
+        })
+        report = run_lint(root, rules=[WallClockRule()])
+        assert report.findings == []
+
+    def test_clean_in_scope_without_wall_clock(self, make_tree):
+        root = make_tree({
+            "repro/sim/engine.py": "def now(env):\n    return env.now\n",
+        })
+        assert run_lint(root, rules=[WallClockRule()]).findings == []
+
+
+class TestUnseededRng:
+    def test_flags_module_level_random(self, make_tree):
+        root = make_tree({
+            "repro/workloads/gen.py": "import random\n\ndef draw():\n    return random.random()\n",
+        })
+        report = run_lint(root, rules=[UnseededRngRule()])
+        (finding,) = report.findings
+        assert finding.rule == "determinism-unseeded-rng"
+
+    def test_flags_unseeded_constructor_and_legacy_numpy(self, make_tree):
+        root = make_tree({
+            "repro/workloads/gen.py": (
+                "import random\nimport numpy as np\n\n"
+                "def make():\n"
+                "    return random.Random(), np.random.rand(3)\n"
+            ),
+        })
+        report = run_lint(root, rules=[UnseededRngRule()])
+        assert len(report.findings) == 2
+
+    def test_clean_seeded(self, make_tree):
+        root = make_tree({
+            "repro/workloads/gen.py": (
+                "import random\nimport numpy as np\n\n"
+                "def make(seed):\n"
+                "    return random.Random(seed), np.random.default_rng(seed)\n"
+            ),
+        })
+        assert run_lint(root, rules=[UnseededRngRule()]).findings == []
+
+
+class TestSetOrder:
+    def test_flags_set_iteration_in_scope(self, make_tree):
+        root = make_tree({
+            "repro/parallel/shards.py": (
+                "def emit_all(tracer, ids):\n"
+                "    for shard in {1, 2, 3}:\n"
+                "        tracer.emit('run_start', 0.0)\n"
+            ),
+        })
+        report = run_lint(root, rules=[SetOrderRule()])
+        (finding,) = report.findings
+        assert finding.rule == "determinism-set-order"
+        assert finding.line == 2
+
+    def test_flags_list_of_set_call(self, make_tree):
+        root = make_tree({
+            "repro/sim/tally.py": "def order(xs):\n    return list(set(xs))\n",
+        })
+        assert len(run_lint(root, rules=[SetOrderRule()]).findings) == 1
+
+    def test_clean_sorted_and_out_of_scope(self, make_tree):
+        root = make_tree({
+            "repro/sim/tally.py": "def order(xs):\n    return sorted(set(xs))\n",
+            "repro/sizing/plan.py": "def f():\n    for x in {1, 2}:\n        pass\n",
+        })
+        assert run_lint(root, rules=[SetOrderRule()]).findings == []
+
+
+class TestTraceSchema:
+    def test_flags_unknown_event(self, make_tree):
+        root = make_tree({
+            "repro/vod/server.py": "def go(tracer):\n    tracer.emit('sesion_start', 0.0)\n",
+        })
+        rule = TraceSchemaRule(expected_events=frozenset({"session_start"}))
+        report = run_lint(root, rules=[rule])
+        (finding,) = report.findings
+        assert finding.rule == "trace-schema"
+        assert "sesion_start" in finding.message
+
+    def test_flags_dynamic_event_name(self, make_tree):
+        root = make_tree({
+            "repro/vod/server.py": "def go(tracer, name):\n    tracer.emit(name, 0.0)\n",
+        })
+        rule = TraceSchemaRule(expected_events=frozenset({"session_start"}))
+        report = run_lint(root, rules=[rule])
+        assert len(report.findings) == 1
+        assert "dynamic" in report.findings[0].message
+
+    def test_declared_never_emitted_needs_trace_module(self, make_tree):
+        files = {
+            "repro/vod/server.py": "def go(tracer):\n    tracer.emit('session_start', 0.0)\n",
+        }
+        expected = frozenset({"session_start", "session_end"})
+        # Without repro.obs.trace in the scanned tree, the completeness
+        # direction stays silent (partial fixture trees must be lintable).
+        report = run_lint(root=make_tree(files), rules=[TraceSchemaRule(expected)])
+        assert report.findings == []
+
+    def test_declared_never_emitted_fires_with_trace_module(self, make_tree):
+        root = make_tree({
+            "repro/obs/trace.py": "EVENT_SCHEMA = {'session_start': {}, 'session_end': {}}\n",
+            "repro/vod/server.py": "def go(tracer):\n    tracer.emit('session_start', 0.0)\n",
+        })
+        expected = frozenset({"session_start", "session_end"})
+        report = run_lint(root, rules=[TraceSchemaRule(expected)])
+        (finding,) = report.findings
+        assert finding.path == "repro/obs/trace.py"
+        assert "session_end" in finding.message and "no module emits" in finding.message
+
+
+class TestMetricSchema:
+    CATALOG = frozenset({"repro_demo_total"})
+
+    def test_flags_undeclared_metric(self, make_tree):
+        root = make_tree({
+            "repro/obs/adapters.py": (
+                "def wire(registry):\n"
+                "    registry.counter('repro_other_total', 'd')\n"
+            ),
+        })
+        report = run_lint(root, rules=[MetricSchemaRule(self.CATALOG)])
+        (finding,) = report.findings
+        assert finding.rule == "metric-schema"
+        assert "repro_other_total" in finding.message
+
+    def test_resolves_module_constant(self, make_tree):
+        root = make_tree({
+            "repro/obs/spans.py": (
+                "NAME = 'repro_missing_seconds'\n\n"
+                "def wire(registry):\n"
+                "    registry.histogram(NAME, 'd')\n"
+            ),
+        })
+        assert len(run_lint(root, rules=[MetricSchemaRule(self.CATALOG)]).findings) == 1
+
+    def test_clean_declared_and_non_repro_names(self, make_tree):
+        root = make_tree({
+            "repro/obs/adapters.py": (
+                "def wire(registry, tally):\n"
+                "    registry.counter('repro_demo_total', 'd')\n"
+                "    tally.counter('restarts')\n"  # sim-internal tally: out of scope
+            ),
+        })
+        assert run_lint(root, rules=[MetricSchemaRule(self.CATALOG)]).findings == []
+
+    def test_declared_never_used_fires_with_catalog_module(self, make_tree):
+        root = make_tree({
+            "repro/obs/catalog.py": "METRIC_CATALOG = frozenset({'repro_demo_total'})\n",
+            "repro/obs/adapters.py": "def wire(registry):\n    pass\n",
+        })
+        report = run_lint(root, rules=[MetricSchemaRule(self.CATALOG)])
+        (finding,) = report.findings
+        assert finding.path == "repro/obs/catalog.py"
+        assert "repro_demo_total" in finding.message
+
+
+class TestTypedRaise:
+    def test_flags_builtin_raise(self, make_tree):
+        root = make_tree({
+            "repro/core/check.py": (
+                "def validate(x):\n"
+                "    if x < 0:\n"
+                "        raise ValueError('negative')\n"
+            ),
+        })
+        report = run_lint(root, rules=[TypedRaiseRule()])
+        (finding,) = report.findings
+        assert finding.rule == "exception-hygiene"
+        assert "ValueError" in finding.message
+
+    def test_clean_typed_raise_and_cli_boundary(self, make_tree):
+        root = make_tree({
+            "repro/core/check.py": (
+                "from repro.exceptions import ConfigurationError\n\n"
+                "def validate(x):\n"
+                "    if x < 0:\n"
+                "        raise ConfigurationError('negative')\n"
+            ),
+            # The CLI boundary is allowed to speak in builtins (argparse land).
+            "repro/cli.py": "def parse(x):\n    raise ValueError('bad flag')\n",
+        })
+        assert run_lint(root, rules=[TypedRaiseRule()]).findings == []
+
+
+class TestBroadExcept:
+    def test_flags_swallowing_handler(self, make_tree):
+        root = make_tree({
+            "repro/vod/hooks.py": (
+                "def dispatch(hook):\n"
+                "    try:\n"
+                "        hook()\n"
+                "    except Exception:\n"
+                "        pass\n"
+            ),
+        })
+        report = run_lint(root, rules=[BroadExceptRule()])
+        (finding,) = report.findings
+        assert finding.rule == "broad-except"
+
+    def test_clean_reraise_with_context(self, make_tree):
+        root = make_tree({
+            "repro/vod/hooks.py": (
+                "from repro.exceptions import ObserverError\n\n"
+                "def dispatch(hook):\n"
+                "    try:\n"
+                "        hook()\n"
+                "    except Exception as exc:\n"
+                "        raise ObserverError('hook died') from exc\n"
+            ),
+            "repro/parallel/pool.py": (
+                "def forward(fn):\n"
+                "    try:\n"
+                "        fn()\n"
+                "    except Exception:\n"
+                "        raise\n"
+            ),
+        })
+        assert run_lint(root, rules=[BroadExceptRule()]).findings == []
+
+
+class TestUnitMix:
+    def test_flags_minutes_plus_count(self, make_tree):
+        root = make_tree({
+            "repro/sizing/plan.py": "def total(w, n):\n    return w + n\n",
+        })
+        report = run_lint(root, rules=[UnitMixRule()])
+        (finding,) = report.findings
+        assert finding.rule == "unit-mix"
+        assert "minutes" in finding.message and "count" in finding.message
+
+    def test_flags_keyword_family_mismatch(self, make_tree):
+        root = make_tree({
+            "repro/sizing/plan.py": (
+                "def plan(build, n):\n"
+                "    return build(wait_minutes=n)\n"
+            ),
+        })
+        assert len(run_lint(root, rules=[UnitMixRule()]).findings) == 1
+
+    def test_clean_same_family_and_multiplicative(self, make_tree):
+        root = make_tree({
+            "repro/sizing/plan.py": (
+                "def span(w, l, B, n):\n"
+                "    same = w + l\n"          # minutes + minutes
+                "    scaled = B / n\n"        # ratios convert units: exempt
+                "    return same + scaled\n"  # rhs is not a bare name: exempt
+            ),
+        })
+        assert run_lint(root, rules=[UnitMixRule()]).findings == []

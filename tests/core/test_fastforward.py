@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.exceptions import ConfigurationError
 from repro.core.fastforward import (
     max_jump_index,
     p_end,
@@ -85,7 +86,7 @@ class TestComponents:
 
     def test_jump_rejects_bad_index(self, duration):
         config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             p_hit_jump(config, duration, 0)
 
     def test_max_jump_index_formula(self):

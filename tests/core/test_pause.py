@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.core.hitsets import hit_probability
 from repro.core.parameters import SystemConfiguration
 from repro.core.pause import (
@@ -82,7 +83,8 @@ def test_pure_batching_pause_zero(duration):
 
 def test_jump_rejects_bad_index(duration):
     config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)
-    with pytest.raises(ValueError):
+    # ConfigurationError subclasses ValueError, so older catch sites still work.
+    with pytest.raises(ConfigurationError):
         p_hit_pause_jump(config, duration, 0)
 
 
@@ -98,7 +100,7 @@ class TestWrapDuration:
         assert wrap_duration(240.0, 120.0) == pytest.approx(0.0)
 
     def test_rejects_bad_inputs(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             wrap_duration(-1.0, 120.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             wrap_duration(10.0, 0.0)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.exceptions import ConfigurationError
 from repro.core.hitsets import hit_probability
 from repro.core.parameters import SystemConfiguration
 from repro.core.rewind import (
@@ -55,7 +56,7 @@ def test_jump_terms_decrease(duration):
 
 def test_jump_rejects_bad_index(duration):
     config = SystemConfiguration.from_wait(LENGTH, 30, 1.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         p_hit_rewind_jump(config, duration, 0)
 
 

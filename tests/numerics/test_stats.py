@@ -9,8 +9,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.exceptions import InsufficientDataError, NumericsError
 from repro.numerics.stats import (
     RunningStat,
+    confidence_halfwidth,
     confidence_interval,
     normal_quantile,
     summarize,
@@ -33,7 +35,7 @@ class TestNormalQuantile:
 
     @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.5])
     def test_rejects_out_of_range(self, p):
-        with pytest.raises(ValueError):
+        with pytest.raises(NumericsError):
             normal_quantile(p)
 
 
@@ -49,8 +51,18 @@ class TestRunningStat:
 
     def test_empty_raises(self):
         stat = RunningStat()
-        with pytest.raises(ValueError):
+        # InsufficientDataError subclasses ConfigurationError (a ValueError),
+        # so callers catching either level keep working.
+        with pytest.raises(InsufficientDataError):
             _ = stat.mean
+        with pytest.raises(ValueError):
+            _ = stat.minimum
+        with pytest.raises(InsufficientDataError):
+            _ = stat.maximum
+
+    def test_empty_summary_standard_error_raises(self):
+        with pytest.raises(InsufficientDataError):
+            confidence_halfwidth(1.0, 0)
 
     def test_single_observation(self):
         stat = RunningStat()

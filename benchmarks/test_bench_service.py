@@ -1,0 +1,131 @@
+"""Live admission-service benchmark: throughput and decision latency.
+
+Starts a real :class:`~repro.service.server.AdmissionService` (asyncio TCP,
+loopback) and drives it with the wall-clock load generator at increasing
+concurrency levels — the top level holds at least ten thousand concurrent
+simulated sessions open at once (phased driving: every ``session_start``
+lands before the first ``session_end``).  For each level the run records
+admissions per second and the client-observed p50/p99 decision latency, and
+the whole ladder lands in a JSON artifact for CI to archive.
+
+The sessions target planned (popular) movies, so admissions take the
+batching path — the decision the paper's front-end makes at scale — and the
+session registry genuinely holds the full concurrency level open.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+from repro.core.parameters import SystemConfiguration
+from repro.service.clock import VirtualClock
+from repro.service.engine import AdmissionEngine
+from repro.service.loadgen import run_wall
+from repro.service.server import AdmissionService
+from repro.vod.movie import Movie, MovieCatalog
+from repro.workloads.events import SessionRecord, Trace
+
+#: Where the latency/throughput payload lands (CI uploads it as an artifact).
+TIMING_PATH = Path(os.environ.get("SERVICE_BENCH_JSON", "service_bench.json"))
+
+#: Concurrent simulated sessions per level; the top level is the ISSUE's
+#: ten-thousand-session floor.
+CONCURRENCY_LEVELS = (1_000, 5_000, 10_000)
+
+CONNECTIONS = 16
+
+
+def _deployment():
+    movies = [
+        Movie(0, "hot-a", 100.0, popularity=0.5),
+        Movie(1, "hot-b", 90.0, popularity=0.3),
+        Movie(2, "hot-c", 80.0, popularity=0.2),
+    ]
+    catalog = MovieCatalog(movies, popular_count=3)
+    plan = {
+        0: SystemConfiguration(100.0, 5, 50.0),
+        1: SystemConfiguration(90.0, 3, 30.0),
+        2: SystemConfiguration(80.0, 2, 40.0),
+    }
+    return catalog, plan
+
+
+def _session_burst(count: int) -> Trace:
+    """``count`` sessions for planned movies, arrivals packed tightly."""
+    trace = Trace()
+    for index in range(count):
+        trace.add(
+            SessionRecord(
+                session_id=index,
+                arrival_minutes=index * 1e-4,
+                movie_id=index % 3,
+                movie_length=(100.0, 90.0, 80.0)[index % 3],
+                events=(),
+                completed=True,
+                ended_at_minutes=index * 1e-4 + 60.0,
+            )
+        )
+    return trace
+
+
+async def _drive_level(sessions: int) -> dict:
+    catalog, plan = _deployment()
+    engine = AdmissionEngine(
+        catalog, plan, capacity=12, reserve_streams=1, clock=VirtualClock()
+    )
+    service = AdmissionService(
+        engine, host="127.0.0.1", port=0, max_in_flight=4 * CONNECTIONS
+    )
+    await service.start()
+    try:
+        report = await run_wall(
+            "127.0.0.1",
+            service.port,
+            _session_burst(sessions),
+            connections=CONNECTIONS,
+            phased=True,
+        )
+    finally:
+        await service.shutdown()
+    assert report.sessions_started == sessions
+    assert report.peak_concurrency == sessions
+    assert engine.registry.peak_open == sessions
+    assert "error" not in report.decisions
+    return {
+        "sessions": sessions,
+        "connections": CONNECTIONS,
+        "requests": report.requests_sent,
+        "peak_concurrency": report.peak_concurrency,
+        "elapsed_seconds": round(report.elapsed_seconds, 4),
+        "admissions_per_second": round(report.admissions_per_second, 1),
+        "latency_ms": {
+            "p50": round(report.latency_percentile(0.50), 4),
+            "p99": round(report.latency_percentile(0.99), 4),
+        },
+    }
+
+
+def test_service_sustains_ten_thousand_concurrent_sessions():
+    levels = [asyncio.run(_drive_level(sessions)) for sessions in CONCURRENCY_LEVELS]
+
+    top = levels[-1]
+    assert top["peak_concurrency"] >= 10_000
+    assert top["admissions_per_second"] > 0.0
+    assert all(level["latency_ms"]["p99"] >= level["latency_ms"]["p50"] >= 0.0
+               for level in levels)
+
+    payload = {"connections": CONNECTIONS, "levels": levels}
+    TIMING_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    for level in levels:
+        print(
+            f"{level['sessions']:>6d} sessions: "
+            f"{level['admissions_per_second']:>9.1f} admissions/s, "
+            f"p50 {level['latency_ms']['p50']:.3f}ms, "
+            f"p99 {level['latency_ms']['p99']:.3f}ms "
+            f"({level['requests']} requests in {level['elapsed_seconds']:.2f}s)"
+        )
+    print(f"-> {TIMING_PATH}")

@@ -31,6 +31,16 @@ Subcommands
     Run the chaos test-bed server under a fault plan — loaded from JSON or
     generated from ``(--seed, --horizon, --intensity)`` — with or without
     the graceful-degradation policies, and report the realised outcome.
+``serve [--port P] [--duration SEC] [...]``
+    Run the live asyncio admission service: a TCP JSON-line server routing
+    session-start/VCR/session-end requests through the runtime control
+    plane, with backpressure, graceful drain and deterministic fault
+    injection (see :mod:`repro.service`).
+``loadgen [--mode wall|virtual] [...]``
+    Drive an admission service from a seeded workload: ``wall`` mode
+    benchmarks a running ``serve`` instance over TCP; ``virtual`` mode runs
+    the same deployment in process on a virtual clock and writes a
+    byte-identical decision log for a given seed.
 ``lint [root] [--format json] [--baseline FILE] [--update-baseline] [...]``
     Run the project's domain-aware static analysis (determinism lints,
     trace/metric schema cross-checks, exception hygiene, unit mixing) over a
@@ -72,6 +82,41 @@ def _add_obs_outputs(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--metrics-out", type=Path, default=None, metavar="FILE",
         help="write Prometheus-format metrics (stable tier) to FILE",
+    )
+
+
+def _add_service_deployment(command: argparse.ArgumentParser) -> None:
+    """Attach the deployment knobs ``serve`` and ``loadgen`` must share."""
+    command.add_argument(
+        "--movies", type=int, default=20, help="catalog size (Zipf popularity)"
+    )
+    command.add_argument(
+        "--popular", type=int, default=5,
+        help="movies covered by the batching plan; the rest are long tail",
+    )
+    command.add_argument(
+        "--wait", type=float, default=2.0, metavar="MIN",
+        help="batching wait target w for planned movies",
+    )
+    command.add_argument(
+        "--capacity", type=int, default=None, metavar="STREAMS",
+        help="total I/O stream capacity (default: plan + reserve + tail headroom)",
+    )
+    command.add_argument(
+        "--reserve", type=int, default=None, metavar="STREAMS",
+        help="VCR reserve streams (default: 10%% of the plan, at least 1)",
+    )
+    command.add_argument(
+        "--tick", type=float, default=30.0, metavar="MIN",
+        help="re-planning cadence in service minutes",
+    )
+    command.add_argument(
+        "--speedup", type=float, default=60.0, metavar="X",
+        help="service minutes per wall minute (60 = 1 wall second is 1 "
+        "service minute)",
+    )
+    command.add_argument(
+        "--seed", type=int, default=1234, help="workload / catalog seed"
     )
 
 
@@ -235,6 +280,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the effective plan JSON to FILE",
     )
     _add_obs_outputs(faults_run)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the live asyncio admission service"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=7733,
+        help="TCP port (0 picks a free port and prints it)",
+    )
+    _add_service_deployment(serve_cmd)
+    serve_cmd.add_argument(
+        "--max-in-flight", type=int, default=1024, metavar="N",
+        help="in-flight request cap; excess requests get 'backpressure'",
+    )
+    serve_cmd.add_argument(
+        "--duration", type=float, default=None, metavar="SEC",
+        help="serve for SEC wall seconds, then drain and exit (default: "
+        "until SIGTERM/SIGINT)",
+    )
+    serve_cmd.add_argument(
+        "--no-replan", action="store_true",
+        help="disable the telemetry-driven capacity controller",
+    )
+    serve_cmd.add_argument(
+        "--decision-log", type=Path, default=None, metavar="FILE",
+        help="append every admission decision as one JSON line to FILE",
+    )
+    serve_cmd.add_argument(
+        "--fault-drop-every", type=int, default=None, metavar="K",
+        help="sever every K-th connection (deterministic fault injection)",
+    )
+    serve_cmd.add_argument(
+        "--fault-stall-every", type=int, default=None, metavar="K",
+        help="declare every K-th connection a slow client and close it",
+    )
+    serve_cmd.add_argument(
+        "--fault-actuation-failures", type=int, default=0, metavar="N",
+        help="fail the first N plan actuations (opens the circuit breaker)",
+    )
+    serve_cmd.add_argument(
+        "--fault-capacity-at", type=float, default=None, metavar="MIN",
+        help="shrink stream capacity at this service minute",
+    )
+    serve_cmd.add_argument(
+        "--fault-capacity-fraction", type=float, default=0.5, metavar="F",
+        help="surviving capacity fraction for --fault-capacity-at",
+    )
+    serve_cmd.add_argument(
+        "--fault-capacity-recovery", type=float, default=None, metavar="MIN",
+        help="restore capacity this many service minutes after the fault",
+    )
+    _add_obs_outputs(serve_cmd)
+
+    loadgen_cmd = sub.add_parser(
+        "loadgen", help="drive an admission service from a seeded workload"
+    )
+    loadgen_cmd.add_argument(
+        "--mode", choices=("wall", "virtual"), default="wall",
+        help="wall: benchmark a running server over TCP; "
+        "virtual: deterministic in-process run on a virtual clock",
+    )
+    loadgen_cmd.add_argument("--host", default="127.0.0.1", help="server address")
+    loadgen_cmd.add_argument("--port", type=int, default=7733, help="server port")
+    _add_service_deployment(loadgen_cmd)
+    loadgen_cmd.add_argument(
+        "--arrival-rate", type=float, default=2.0, metavar="PER_MIN",
+        help="Poisson session arrival rate (sessions per service minute)",
+    )
+    loadgen_cmd.add_argument(
+        "--horizon", type=float, default=120.0, metavar="MIN",
+        help="workload horizon in service minutes",
+    )
+    loadgen_cmd.add_argument(
+        "--connections", type=int, default=8, metavar="N",
+        help="TCP connections to multiplex sessions over (wall mode)",
+    )
+    loadgen_cmd.add_argument(
+        "--timeline-order", action="store_true",
+        help="wall mode: replay in workload order instead of phasing all "
+        "session starts first (lower peak concurrency)",
+    )
+    loadgen_cmd.add_argument(
+        "--decision-log", type=Path, default=None, metavar="FILE",
+        help="virtual mode: write the deterministic decision log to FILE",
+    )
+    loadgen_cmd.add_argument(
+        "--json", type=Path, default=None, metavar="FILE", dest="json_out",
+        help="write the load report as JSON to FILE",
+    )
+    _add_obs_outputs(loadgen_cmd)
 
     lint_cmd = sub.add_parser(
         "lint", help="run the domain-aware static analysis over a source tree"
@@ -739,6 +874,226 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service_deployment(args: argparse.Namespace):
+    """Resolve the shared deployment knobs into (catalog, plan, capacity,
+    reserve); raises a typed error on inconsistent settings."""
+    from repro.service.bootstrap import (
+        capacity_for,
+        default_catalog,
+        plan_for,
+        reserve_for,
+    )
+
+    catalog = default_catalog(args.movies, args.popular, seed=args.seed)
+    plan = plan_for(catalog, args.wait)
+    reserve = args.reserve if args.reserve is not None else reserve_for(plan)
+    capacity = (
+        args.capacity
+        if args.capacity is not None
+        else capacity_for(catalog, plan, reserve)
+    )
+    return catalog, plan, capacity, reserve
+
+
+def _build_service_controller(args: argparse.Namespace, catalog, capacity, reserve, hub, tracer):
+    """The capacity controller for a live deployment (None when disabled)."""
+    from repro.runtime.controller import CapacityController, ControllerPolicy, MovieSlot
+
+    slots = [
+        MovieSlot(
+            movie_id=movie.movie_id,
+            name=movie.title,
+            length=movie.length,
+            max_wait=min(args.wait, movie.length),
+            p_star=0.5,
+        )
+        for movie in catalog.popular
+    ]
+    policy = ControllerPolicy(
+        stream_budget=max(1, capacity - reserve), cooldown_minutes=args.tick
+    )
+    return CapacityController(slots, hub, policy=policy, tracer=tracer)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live admission service until SIGTERM/SIGINT or --duration."""
+    import asyncio
+    import signal
+
+    from repro.exceptions import ReproError
+    from repro.service import AdmissionEngine, AdmissionService, ServiceFaultConfig, WallClock
+
+    try:
+        catalog, plan, capacity, reserve = _build_service_deployment(args)
+        faults = ServiceFaultConfig(
+            drop_every=args.fault_drop_every,
+            stall_every=args.fault_stall_every,
+            actuation_failures=args.fault_actuation_failures,
+            capacity_fault_at=args.fault_capacity_at,
+            capacity_fraction=args.fault_capacity_fraction,
+            capacity_recovery=args.fault_capacity_recovery,
+        )
+        if args.max_in_flight < 1:
+            raise ReproError(f"--max-in-flight must be >= 1, got {args.max_in_flight}")
+        if args.duration is not None and args.duration <= 0.0:
+            raise ReproError(f"--duration must be positive, got {args.duration}")
+    except ReproError as exc:
+        print(f"invalid service configuration: {exc}", file=sys.stderr)
+        return 2
+    tracer = _open_tracer(args)
+    registry = ObsRegistry()
+    decision_log = (
+        args.decision_log.open("w") if args.decision_log is not None else None
+    )
+    try:
+        engine = AdmissionEngine(
+            catalog,
+            plan,
+            capacity,
+            reserve_streams=reserve,
+            clock=WallClock(speedup=args.speedup),
+            tracer=tracer,
+            registry=registry,
+            decision_log=decision_log,
+            tick_minutes=args.tick,
+            faults=faults,
+        )
+        if not args.no_replan:
+            engine.attach_controller(
+                _build_service_controller(
+                    args, catalog, capacity, reserve, engine.hub, tracer
+                )
+            )
+        service = AdmissionService(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_in_flight=args.max_in_flight,
+            registry=registry,
+            tracer=tracer,
+        )
+
+        async def _serve() -> int:
+            await service.start()
+            if tracer is not None:
+                tracer.emit("run_start", 0.0, label="serve")
+            print(f"listening on {args.host}:{service.port}", flush=True)
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, stop.set)
+            if args.duration is not None:
+                loop.call_later(args.duration, stop.set)
+            await stop.wait()
+            closed = await service.shutdown()
+            if tracer is not None:
+                tracer.emit("run_end", engine.now, label="serve")
+            print(
+                f"drained: {closed} sessions closed, "
+                f"{service.requests_served} requests served, "
+                f"peak open {engine.registry.peak_open}"
+            )
+            return closed
+
+        asyncio.run(_serve())
+    finally:
+        if decision_log is not None:
+            decision_log.close()
+        if tracer is not None:
+            tracer.close()
+    stats = engine.stats
+    print(
+        "decisions        : "
+        f"admit={stats.admitted} batch={stats.batched} reject={stats.rejected} "
+        f"vcr_admit={stats.vcr_admitted} vcr_deny={stats.vcr_denied} "
+        f"hit={stats.resume_hits} miss={stats.resume_misses} "
+        f"closed={stats.closed} errors={stats.errors}"
+    )
+    if service.limiter.rejected:
+        print(f"backpressure     : {service.limiter.rejected} rejects")
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
+    _write_metrics(args, registry)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a service: wall-clock benchmark or deterministic virtual run."""
+    import asyncio
+
+    from repro.exceptions import ReproError
+    from repro.service import AdmissionEngine, VirtualClock, run_virtual, run_wall
+    from repro.service.bootstrap import workload_for
+
+    try:
+        catalog, plan, capacity, reserve = _build_service_deployment(args)
+        if args.arrival_rate <= 0.0:
+            raise ReproError(
+                f"--arrival-rate must be positive, got {args.arrival_rate}"
+            )
+        if args.horizon <= 0.0:
+            raise ReproError(f"--horizon must be positive, got {args.horizon}")
+        trace = workload_for(catalog, args.arrival_rate, args.horizon, args.seed)
+    except ReproError as exc:
+        print(f"invalid loadgen configuration: {exc}", file=sys.stderr)
+        return 2
+    if not trace.sessions:
+        print("workload horizon produced no sessions", file=sys.stderr)
+        return 2
+    tracer = _open_tracer(args)
+    registry = ObsRegistry()
+    decision_log = (
+        args.decision_log.open("w") if args.decision_log is not None else None
+    )
+    try:
+        if args.mode == "virtual":
+            engine = AdmissionEngine(
+                catalog,
+                plan,
+                capacity,
+                reserve_streams=reserve,
+                clock=VirtualClock(),
+                tracer=tracer,
+                registry=registry,
+                decision_log=decision_log,
+                tick_minutes=args.tick,
+            )
+            if tracer is not None:
+                tracer.emit("run_start", 0.0, label="loadgen-virtual")
+            report = run_virtual(engine, trace)
+            engine.drain()
+            if tracer is not None:
+                tracer.emit("run_end", engine.now, label="loadgen-virtual")
+        else:
+            try:
+                report = asyncio.run(
+                    run_wall(
+                        args.host,
+                        args.port,
+                        trace,
+                        connections=args.connections,
+                        phased=not args.timeline_order,
+                    )
+                )
+            except ReproError as exc:
+                print(f"loadgen failed: {exc}", file=sys.stderr)
+                return 1
+    finally:
+        if decision_log is not None:
+            decision_log.close()
+        if tracer is not None:
+            tracer.close()
+    summary = report.to_dict()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json_out}")
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
+    _write_metrics(args, registry)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the static-analysis pass; exit 0 clean, 2 findings."""
     from repro.analysis import Baseline, available_rules, run_lint
@@ -810,6 +1165,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_obs(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

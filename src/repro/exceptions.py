@@ -135,6 +135,28 @@ class ActuationRetryExhausted(FaultError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Base class for the live admission service (:mod:`repro.service`)."""
+
+
+class ProtocolError(ServiceError, ValueError):
+    """A request/response line violates the JSON-line wire protocol.
+
+    Inherits :class:`ValueError` because a malformed line is fundamentally a
+    bad argument; the server answers with a typed ``error`` response instead
+    of dropping the connection, so one bad client line never kills a session.
+    """
+
+
+class SessionStateError(ServiceError):
+    """A request references a session in an impossible state.
+
+    Raised (and mapped to an ``error`` response at the server boundary) on
+    duplicate ``session_start`` ids, on VCR/end requests for sessions that
+    were never started, and on requests arriving after the session closed.
+    """
+
+
 class WorkerCrashError(FaultError):
     """A parallel worker process died and bounded shard retries ran out.
 

@@ -39,6 +39,10 @@ METRIC_CATALOG: frozenset[str] = frozenset(
         "repro_parallel_shard_seconds",
         "repro_parallel_shard_tasks",
         "repro_parallel_workers",
+        # Live admission service (repro.service).
+        "repro_service_decisions_total",
+        "repro_service_inflight_requests",
+        "repro_service_request_latency_seconds",
         # Simulation exports (repro.obs.adapters).
         "repro_sim_events_total",
         "repro_sim_tally_mean",

@@ -41,7 +41,7 @@ __all__ = [
     "read_trace",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _NUM = (int, float)
 _OPT_NUM = (int, float, type(None))
@@ -109,12 +109,43 @@ EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
     # Diagnostic only — never part of a deterministic run trace, since its
     # presence depends on which process died.
     "worker_retry": {"shard": (int,), "attempt": (int,)},
+    # Live admission service (schema v3).  ``t`` is the *service* clock in
+    # minutes: the virtual clock in deterministic runs, scaled wall time in
+    # live deployments.  ``kind`` is the request type from the wire protocol.
+    "request_received": {"kind": (str,), "session": (int,)},
+    # One per routed request: the control plane's verdict.  ``decision`` is
+    # "admit"/"batch"/"reject"/"deny"/"hit"/"miss"/"pong"/"closed"/"error".
+    "admission_decision": {
+        "session": (int,),
+        "movie": (int,),
+        "kind": (str,),
+        "decision": (str,),
+        "reason": (str,),
+    },
+    # A session left the registry.  ``reason`` is "completed" (client ended
+    # it), "drained" (server shutdown), "dropped" (connection lost/stalled)
+    # or "shed" (degradation revoked its stream).
+    "session_closed": {"session": (int,), "movie": (int,), "reason": (str,)},
+    # The bounded in-flight queue refused a request before routing.
+    "backpressure_reject": {"kind": (str,), "in_flight": (int,), "limit": (int,)},
+    # Graceful drain finished: every in-flight request answered and every
+    # open session closed.
+    "drain_complete": {"sessions_closed": (int,), "in_flight": (int,)},
 }
 
 #: Event types introduced by each schema version after 1.
 _EVENTS_ADDED: dict[int, frozenset[str]] = {
     2: frozenset(
         {"fault_injected", "degradation_entered", "degradation_exited", "worker_retry"}
+    ),
+    3: frozenset(
+        {
+            "request_received",
+            "admission_decision",
+            "session_closed",
+            "backpressure_reject",
+            "drain_complete",
+        }
     ),
 }
 
@@ -125,9 +156,14 @@ EVENT_SCHEMAS: dict[int, dict[str, dict[str, tuple]]] = {
     1: {
         name: fields
         for name, fields in EVENT_SCHEMA.items()
-        if name not in _EVENTS_ADDED[2]
+        if name not in _EVENTS_ADDED[2] | _EVENTS_ADDED[3]
     },
-    2: EVENT_SCHEMA,
+    2: {
+        name: fields
+        for name, fields in EVENT_SCHEMA.items()
+        if name not in _EVENTS_ADDED[3]
+    },
+    3: EVENT_SCHEMA,
 }
 
 SUPPORTED_VERSIONS: tuple[int, ...] = tuple(sorted(EVENT_SCHEMAS))

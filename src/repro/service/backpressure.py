@@ -1,0 +1,68 @@
+"""Bounded in-flight admission: the service's load shield.
+
+An admission service that accepts every request it can read will, under
+overload, queue unboundedly and answer *everyone* late — the worst possible
+QoE outcome, since admission delay feeds directly into startup delay.  The
+:class:`InflightLimiter` caps the number of requests between *received* and
+*answered*; past the cap a request gets an immediate typed ``backpressure``
+response (and a ``backpressure_reject`` trace event) instead of a slot in a
+silently growing queue.  Clients see a fast, honest refusal they can retry
+against, and latency for admitted requests stays bounded.
+
+The limiter also owns the ``repro_service_inflight_requests`` gauge so the
+exposition always reflects the same counter the cap enforces.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["InflightLimiter"]
+
+
+class InflightLimiter:
+    """Counted in-flight guard with typed rejects and trace/metric hooks."""
+
+    def __init__(self, limit: int, registry=None, tracer=None) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"in-flight limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self._gauge = None
+        if registry is not None:
+            self._gauge = registry.gauge(
+                "repro_service_inflight_requests",
+                "requests currently between receipt and response",
+            )
+
+    def try_enter(self, kind: str, now: float) -> bool:
+        """Claim an in-flight slot; False (and a trace event) when full."""
+        if self.in_flight >= self.limit:
+            self.rejected += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "backpressure_reject",
+                    now,
+                    kind=kind,
+                    in_flight=self.in_flight,
+                    limit=self.limit,
+                )
+            return False
+        self.in_flight += 1
+        self.admitted += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        if self._gauge is not None:
+            self._gauge.set(self.in_flight)
+        return True
+
+    def exit(self) -> None:
+        """Release an in-flight slot (the response was written)."""
+        if self.in_flight < 1:
+            raise ConfigurationError("in-flight counter underflow: exit without enter")
+        self.in_flight -= 1
+        if self._gauge is not None:
+            self._gauge.set(self.in_flight)

@@ -1,0 +1,105 @@
+"""Shared deployment assembly for ``repro-vod serve`` and ``repro-vod loadgen``.
+
+Both commands must agree on the deployment — the catalog, the per-movie
+``(B, n)`` plan, the capacity and the reserve — or the load generator would
+drive sessions for movies the server never configured.  This module derives
+all of it deterministically from a handful of CLI knobs (movie count,
+popular count, wait target, seed), the same way the sizing layer would:
+
+* popular movies get a batching configuration from Eq. (2), choosing ``n``
+  so roughly half the movie is buffered (``n ≈ l / 2w``, then
+  ``B = l − n·w``);
+* the VCR reserve defaults to 10% of the planned streams (at least one) —
+  a stand-in for the Erlang-B sizing the planner performs offline;
+* capacity defaults to plan + reserve + one tail stream per unpopular
+  movie, so the default deployment has headroom without being infinite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.hitmodel import VCRMix
+from repro.core.parameters import SystemConfiguration
+from repro.distributions.uniform import UniformDuration
+from repro.exceptions import ConfigurationError
+from repro.vod.movie import MovieCatalog
+from repro.vod.vcr import VCRBehavior
+from repro.workloads.generator import WorkloadGenerator
+
+__all__ = [
+    "default_catalog",
+    "default_behavior",
+    "plan_for",
+    "reserve_for",
+    "capacity_for",
+    "workload_for",
+]
+
+
+def default_catalog(movies: int, popular: int, seed: int = 7) -> MovieCatalog:
+    """The synthetic Zipf catalog both commands share."""
+    if movies < 1:
+        raise ConfigurationError(f"movie count must be >= 1, got {movies}")
+    if not 0 < popular <= movies:
+        raise ConfigurationError(
+            f"popular count must be in [1, {movies}], got {popular}"
+        )
+    return MovieCatalog.synthetic(count=movies, popular_count=popular, seed=seed)
+
+
+def default_behavior(mean_think_time: float = 15.0) -> VCRBehavior:
+    """Figure-7(d) mix with a shared uniform duration model."""
+    return VCRBehavior.uniform_duration_model(
+        UniformDuration(0.5, 3.0),
+        mix=VCRMix.paper_figure7d(),
+        mean_think_time=mean_think_time,
+    )
+
+
+def plan_for(
+    catalog: MovieCatalog, wait_minutes: float
+) -> dict[int, SystemConfiguration]:
+    """A ``(B, n)`` configuration per popular movie from the wait target."""
+    if wait_minutes <= 0.0:
+        raise ConfigurationError(f"wait target must be positive, got {wait_minutes}")
+    plan: dict[int, SystemConfiguration] = {}
+    for movie in catalog.popular:
+        partitions = max(1, math.floor(movie.length / (2.0 * wait_minutes)))
+        plan[movie.movie_id] = SystemConfiguration.from_wait(
+            movie_length=movie.length,
+            num_partitions=partitions,
+            max_wait=wait_minutes,
+        )
+    return plan
+
+
+def reserve_for(plan: dict[int, SystemConfiguration]) -> int:
+    """Default VCR reserve: 10% of the planned streams, at least one."""
+    total = sum(config.num_partitions for config in plan.values())
+    return max(1, total // 10)
+
+
+def capacity_for(
+    catalog: MovieCatalog, plan: dict[int, SystemConfiguration], reserve: int
+) -> int:
+    """Default capacity: plan + reserve + one tail stream per unpopular movie."""
+    total = sum(config.num_partitions for config in plan.values())
+    return total + reserve + max(1, len(catalog.unpopular))
+
+
+def workload_for(
+    catalog: MovieCatalog,
+    arrival_rate: float,
+    horizon_minutes: float,
+    seed: int,
+    mean_think_time: float = 15.0,
+):
+    """The workload trace the load generator drives (seeded, replayable)."""
+    generator = WorkloadGenerator(
+        catalog,
+        default_behavior(mean_think_time),
+        arrival_rate=arrival_rate,
+        seed=seed,
+    )
+    return generator.generate(horizon_minutes)

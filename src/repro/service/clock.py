@@ -1,0 +1,74 @@
+"""Service clocks: one interface, two time sources.
+
+Everything in :mod:`repro.service` reads time through a clock object instead
+of the ``time`` module, which buys two properties at once:
+
+* **Determinism** — a :class:`VirtualClock` is advanced explicitly by the
+  load generator, so a seeded virtual-clock run is a pure function of its
+  inputs and the decision log replays byte-identically (the same contract
+  :mod:`repro.sim` makes with ``env.now``).
+* **Lint honesty** — the modules that emit trace events are inside the
+  determinism lint scope and therefore must not call ``time.monotonic``
+  directly; the single wall-clock read lives here, in a module that emits
+  nothing.
+
+Both clocks speak **service minutes**, the same unit as the simulation and
+the plan (``w``, ``B`` and movie lengths are minutes).  :class:`WallClock`
+maps elapsed wall seconds to service minutes through a ``speedup`` factor:
+``speedup=60`` means one wall second is one service minute, so a live
+deployment can compress a day of batching behaviour into a short benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["VirtualClock", "WallClock"]
+
+
+class VirtualClock:
+    """A manually advanced clock for deterministic in-process runs."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current service time in minutes."""
+        return self._now
+
+    def advance_to(self, minutes: float) -> None:
+        """Move the clock forward to ``minutes`` (never backward)."""
+        if minutes < self._now:
+            raise ConfigurationError(
+                f"virtual clock cannot go backward: {minutes} < {self._now}"
+            )
+        self._now = float(minutes)
+
+    def seconds(self) -> float:
+        """Monotonic seconds for latency measurement (virtual: frozen).
+
+        Virtual-clock request handling is instantaneous by construction, so
+        latency samples are exactly zero and the decision log stays a pure
+        function of the inputs.
+        """
+        return self._now * 60.0
+
+
+class WallClock:
+    """Monotonic wall time mapped to service minutes via ``speedup``."""
+
+    def __init__(self, speedup: float = 60.0) -> None:
+        if speedup <= 0.0:
+            raise ConfigurationError(f"speedup must be positive, got {speedup}")
+        self.speedup = float(speedup)
+        self._start = time.monotonic()
+
+    def now(self) -> float:
+        """Service minutes elapsed since the clock was created."""
+        return (time.monotonic() - self._start) / 60.0 * self.speedup
+
+    def seconds(self) -> float:
+        """Monotonic wall seconds (latency measurement)."""
+        return time.monotonic()

@@ -1,0 +1,92 @@
+"""Deterministic fault injection for the live service.
+
+The simulator's fault layer (:mod:`repro.faults`) schedules faults on the
+simulation clock; the service adds the failure modes only a *live* system
+has — clients that vanish, clients that stop reading, actuations that die —
+and one capacity fault that exercises the degradation ladder end to end.
+
+Every knob is a deterministic counter or service-clock instant, never an
+RNG draw: the test suite and CI can assert the exact connection that drops
+and the exact request that trips the stall guard.
+
+=====================  ======================================================
+knob                   effect
+=====================  ======================================================
+``drop_every``         the server severs every *k*-th accepted connection
+                       after ``drop_after_requests`` requests (simulating the
+                       peer vanishing mid-session); its sessions close with
+                       reason ``dropped`` and the server keeps serving
+``stall_every``        every *k*-th connection is declared a slow client
+                       after ``stall_after_requests`` requests — the guard
+                       that normally fires when a client stops draining its
+                       socket — and is closed gracefully the same way
+``actuation_failures`` the first *n* plan actuations raise, driving the
+                       control loop's circuit breaker open (the service
+                       coasts on the last-good plan)
+``capacity_fault_at``  at this service minute the stream capacity shrinks to
+                       ``capacity_fraction`` of nominal; the degradation
+                       manager sheds in policy order; ``capacity_recovery``
+                       minutes later the capacity (and the shed levels)
+                       restore
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ServiceFaultConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceFaultConfig:
+    """Deterministic failure schedule for one service run."""
+
+    drop_every: int | None = None
+    drop_after_requests: int = 1
+    stall_every: int | None = None
+    stall_after_requests: int = 1
+    actuation_failures: int = 0
+    capacity_fault_at: float | None = None
+    capacity_fraction: float = 0.5
+    capacity_recovery: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_every", "stall_every"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
+        if self.drop_after_requests < 0 or self.stall_after_requests < 0:
+            raise ConfigurationError("fault request thresholds must be >= 0")
+        if self.actuation_failures < 0:
+            raise ConfigurationError(
+                f"actuation_failures must be >= 0, got {self.actuation_failures}"
+            )
+        if self.capacity_fault_at is not None:
+            if self.capacity_fault_at < 0.0:
+                raise ConfigurationError(
+                    f"capacity_fault_at must be >= 0, got {self.capacity_fault_at}"
+                )
+            if not 0.0 < self.capacity_fraction <= 1.0:
+                raise ConfigurationError(
+                    f"capacity_fraction must be in (0, 1], got {self.capacity_fraction}"
+                )
+            if self.capacity_recovery is not None and self.capacity_recovery <= 0.0:
+                raise ConfigurationError(
+                    f"capacity_recovery must be positive, got {self.capacity_recovery}"
+                )
+
+    @property
+    def any_connection_faults(self) -> bool:
+        """True when the server must track per-connection fault counters."""
+        return self.drop_every is not None or self.stall_every is not None
+
+    def drops_connection(self, connection_index: int) -> bool:
+        """Is this (1-based) connection scheduled to be severed?"""
+        return self.drop_every is not None and connection_index % self.drop_every == 0
+
+    def stalls_connection(self, connection_index: int) -> bool:
+        """Is this (1-based) connection scheduled to be declared stalled?"""
+        return self.stall_every is not None and connection_index % self.stall_every == 0

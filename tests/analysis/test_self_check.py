@@ -27,6 +27,10 @@ V1_EVENTS = frozenset({
 V2_EVENTS = frozenset({
     "degradation_entered", "degradation_exited", "fault_injected", "worker_retry",
 })
+V3_EVENTS = frozenset({
+    "admission_decision", "backpressure_reject", "drain_complete",
+    "request_received", "session_closed",
+})
 
 
 class TestPinnedSchemas:
@@ -34,7 +38,10 @@ class TestPinnedSchemas:
         assert frozenset(EVENT_SCHEMAS[1]) == V1_EVENTS
 
     def test_v2_adds_exactly_the_fault_events(self):
-        assert frozenset(EVENT_SCHEMA) == V1_EVENTS | V2_EVENTS
+        assert frozenset(EVENT_SCHEMAS[2]) == V1_EVENTS | V2_EVENTS
+
+    def test_v3_adds_exactly_the_service_events(self):
+        assert frozenset(EVENT_SCHEMA) == V1_EVENTS | V2_EVENTS | V3_EVENTS
 
     def test_metric_catalog_is_pinned(self):
         assert METRIC_CATALOG == frozenset({
@@ -51,6 +58,9 @@ class TestPinnedSchemas:
             "repro_parallel_shard_tasks",
             "repro_parallel_workers",
             "repro_partial_actuations_total",
+            "repro_service_decisions_total",
+            "repro_service_inflight_requests",
+            "repro_service_request_latency_seconds",
             "repro_sim_events_total",
             "repro_sim_tally_mean",
             "repro_sim_time_avg",

@@ -169,9 +169,8 @@ class TestSchemaV2:
     def _v2(self, ev, **payload):
         return {"v": 2, "seq": 0, "t": 5.0, "ev": ev, **payload}
 
-    def test_current_version_is_two(self):
-        assert SCHEMA_VERSION == 2
-        assert SUPPORTED_VERSIONS == (1, 2)
+    def test_v2_version_is_supported(self):
+        assert SUPPORTED_VERSIONS == (1, 2, 3)
 
     def test_fault_events_validate(self):
         validate_event(
@@ -252,3 +251,54 @@ class TestSchemaV2:
             writer.emit("run_end", 9.0, label="x")
         assert main(["obs", "validate", str(path)]) == 0
         assert "schema OK" in capsys.readouterr().out
+
+
+class TestSchemaV3:
+    """The live-service events added for repro.service."""
+
+    def _v3(self, ev, **payload):
+        return {"v": 3, "seq": 0, "t": 5.0, "ev": ev, **payload}
+
+    def test_current_version_is_three(self):
+        assert SCHEMA_VERSION == 3
+
+    def test_service_events_validate(self):
+        validate_event(
+            self._v3("request_received", kind="session_start", session=7)
+        )
+        validate_event(
+            self._v3("admission_decision", session=7, movie=0,
+                     kind="session_start", decision="batch", reason="planned")
+        )
+        validate_event(
+            self._v3("session_closed", session=7, movie=0, reason="completed")
+        )
+        validate_event(
+            self._v3("backpressure_reject", kind="resume", in_flight=64, limit=64)
+        )
+        validate_event(
+            self._v3("drain_complete", sessions_closed=12, in_flight=0)
+        )
+
+    def test_service_events_are_not_v2(self):
+        obj = {
+            "v": 2, "seq": 0, "t": 5.0, "ev": "drain_complete",
+            "sessions_closed": 1, "in_flight": 0,
+        }
+        with pytest.raises(TraceSchemaError, match="schema v2"):
+            validate_event(obj)
+
+    def test_v2_table_is_a_strict_subset_of_v3(self):
+        assert set(EVENT_SCHEMAS[2]) < set(EVENT_SCHEMAS[3])
+        for name, fields in EVENT_SCHEMAS[2].items():
+            assert EVENT_SCHEMAS[3][name] == fields
+
+    def test_v2_traces_still_read(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        events = [
+            {"v": 2, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"},
+            {"v": 2, "seq": 1, "t": 5.0, "ev": "degradation_exited", "level": 1},
+            {"v": 2, "seq": 2, "t": 9.0, "ev": "run_end", "label": "x"},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert validate_trace_file(path) == 3

@@ -1,0 +1,82 @@
+"""Deployment derivation shared by ``serve`` and ``loadgen``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.bootstrap import (
+    capacity_for,
+    default_catalog,
+    plan_for,
+    reserve_for,
+    workload_for,
+)
+
+
+class TestCatalog:
+    def test_popular_split(self):
+        catalog = default_catalog(movies=10, popular=3)
+        assert len(catalog.popular) == 3
+        assert len(catalog.unpopular) == 7
+
+    def test_same_seed_same_catalog(self):
+        first = default_catalog(movies=6, popular=2, seed=9)
+        second = default_catalog(movies=6, popular=2, seed=9)
+        assert [m.length for m in first] == [m.length for m in second]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            default_catalog(movies=0, popular=0)
+        with pytest.raises(ConfigurationError):
+            default_catalog(movies=3, popular=5)
+
+
+class TestPlan:
+    def test_plan_covers_exactly_the_popular_movies(self):
+        catalog = default_catalog(movies=10, popular=4)
+        plan = plan_for(catalog, wait_minutes=2.0)
+        assert sorted(plan) == sorted(m.movie_id for m in catalog.popular)
+
+    def test_configurations_satisfy_eq2(self):
+        catalog = default_catalog(movies=5, popular=2)
+        plan = plan_for(catalog, wait_minutes=2.0)
+        for movie_id, config in plan.items():
+            movie = catalog.get(movie_id)
+            # B = l - n*w, with w as the wait target.
+            assert config.buffer_minutes == pytest.approx(
+                movie.length - config.num_partitions * 2.0
+            )
+            assert config.max_wait == pytest.approx(2.0)
+
+    def test_bad_wait_rejected(self):
+        catalog = default_catalog(movies=5, popular=2)
+        with pytest.raises(ConfigurationError):
+            plan_for(catalog, wait_minutes=0.0)
+
+
+class TestSizing:
+    def test_reserve_is_ten_percent_floor_one(self):
+        catalog = default_catalog(movies=10, popular=4)
+        plan = plan_for(catalog, wait_minutes=2.0)
+        total = sum(c.num_partitions for c in plan.values())
+        assert reserve_for(plan) == max(1, total // 10)
+
+    def test_capacity_leaves_tail_headroom(self):
+        catalog = default_catalog(movies=10, popular=4)
+        plan = plan_for(catalog, wait_minutes=2.0)
+        reserve = reserve_for(plan)
+        capacity = capacity_for(catalog, plan, reserve)
+        total = sum(c.num_partitions for c in plan.values())
+        assert capacity == total + reserve + 6  # one per unpopular movie
+
+
+class TestWorkload:
+    def test_seeded_workload_replays(self):
+        catalog = default_catalog(movies=5, popular=2)
+        first = workload_for(catalog, 1.0, 30.0, seed=11)
+        second = workload_for(catalog, 1.0, 30.0, seed=11)
+        assert len(first) == len(second) > 0
+        assert [s.arrival_minutes for s in first] == [
+            s.arrival_minutes for s in second
+        ]

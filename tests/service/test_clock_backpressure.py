@@ -1,0 +1,88 @@
+"""Service clocks and the in-flight limiter."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.registry import ObsRegistry
+from repro.obs.trace import TraceWriter
+from repro.service.backpressure import InflightLimiter
+from repro.service.clock import VirtualClock, WallClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.advance_to(12.5)
+        assert clock.now() == 12.5
+
+    def test_backward_advance_rejected(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(ConfigurationError, match="backward"):
+            clock.advance_to(5.0)
+
+    def test_seconds_is_frozen_function_of_now(self):
+        clock = VirtualClock(start=2.0)
+        assert clock.seconds() == 120.0
+        assert clock.seconds() == 120.0
+
+
+class TestWallClock:
+    def test_now_is_monotonic_and_scaled(self):
+        clock = WallClock(speedup=60.0)
+        first = clock.now()
+        second = clock.now()
+        assert second >= first >= 0.0
+
+    def test_bad_speedup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WallClock(speedup=0.0)
+
+
+class TestInflightLimiter:
+    def test_fills_then_rejects_with_event(self):
+        sink = io.StringIO()
+        registry = ObsRegistry()
+        with TraceWriter(sink) as tracer:
+            limiter = InflightLimiter(2, registry=registry, tracer=tracer)
+            assert limiter.try_enter("session_start", 1.0)
+            assert limiter.try_enter("resume", 2.0)
+            assert not limiter.try_enter("pause", 3.0)
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [e["ev"] for e in events] == ["backpressure_reject"]
+        assert events[0]["in_flight"] == 2
+        assert events[0]["limit"] == 2
+        assert events[0]["kind"] == "pause"
+        assert (limiter.admitted, limiter.rejected) == (2, 1)
+
+    def test_exit_frees_a_slot(self):
+        limiter = InflightLimiter(1)
+        assert limiter.try_enter("ping", 0.0)
+        assert not limiter.try_enter("ping", 0.0)
+        limiter.exit()
+        assert limiter.try_enter("ping", 0.0)
+        assert limiter.peak_in_flight == 1
+
+    def test_exit_underflow_is_typed_error(self):
+        limiter = InflightLimiter(1)
+        with pytest.raises(ConfigurationError, match="underflow"):
+            limiter.exit()
+
+    def test_gauge_follows_in_flight(self):
+        registry = ObsRegistry()
+        limiter = InflightLimiter(4, registry=registry)
+        limiter.try_enter("ping", 0.0)
+        limiter.try_enter("ping", 0.0)
+        gauge = registry.gauge("repro_service_inflight_requests")
+        assert gauge.labels().value == 2
+        limiter.exit()
+        assert gauge.labels().value == 1
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InflightLimiter(0)

@@ -1,0 +1,125 @@
+"""Wire-protocol encode/decode: round trips and strict rejection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.service.protocol import (
+    DECISIONS,
+    REQUEST_KINDS,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+
+class TestRequestRoundTrip:
+    def test_session_start(self):
+        request = Request(request_id=7, kind="session_start", session=12, movie=3)
+        assert decode_request(encode_request(request)) == request
+
+    def test_vcr_operation_carries_duration(self):
+        request = Request(
+            request_id=1, kind="rewind", session=4, duration=2.5
+        )
+        decoded = decode_request(encode_request(request))
+        assert decoded.duration == 2.5
+        assert decoded.kind == "rewind"
+
+    def test_ping_needs_no_session(self):
+        request = Request(request_id=0, kind="ping")
+        assert decode_request(encode_request(request)).kind == "ping"
+
+    def test_every_kind_is_constructible(self):
+        for kind in REQUEST_KINDS:
+            duration = 1.0 if kind in ("pause", "rewind", "fastforward") else 0.0
+            Request(request_id=0, kind=kind, session=1, movie=0, duration=duration)
+
+    def test_wire_lines_are_sorted_key_json(self):
+        line = encode_request(Request(request_id=9, kind="session_start",
+                                      session=2, movie=1))
+        assert list(json.loads(line)) == sorted(json.loads(line))
+
+
+class TestRequestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request kind"):
+            Request(request_id=0, kind="explode", session=1)
+
+    def test_missing_session_rejected(self):
+        with pytest.raises(ProtocolError, match="session"):
+            Request(request_id=0, kind="resume")
+
+    def test_session_start_needs_movie(self):
+        with pytest.raises(ProtocolError, match="movie"):
+            Request(request_id=0, kind="session_start", session=1)
+
+    def test_vcr_needs_positive_duration(self):
+        with pytest.raises(ProtocolError, match="duration"):
+            Request(request_id=0, kind="pause", session=1, duration=0.0)
+
+
+class TestDecodeStrictness:
+    def test_invalid_json(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_request("{not json")
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_request("[1, 2]")
+
+    def test_missing_kind(self):
+        with pytest.raises(ProtocolError, match="kind"):
+            decode_request('{"id": 1}')
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request field"):
+            decode_request('{"kind": "ping", "surprise": 1}')
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ProtocolError, match="integer"):
+            decode_request('{"kind": "ping", "id": true}')
+
+    def test_non_numeric_duration(self):
+        with pytest.raises(ProtocolError, match="duration"):
+            decode_request('{"kind": "pause", "session": 1, "duration": "long"}')
+
+
+class TestResponseRoundTrip:
+    def test_batch_with_wait(self):
+        response = Response(
+            request_id=3, kind="session_start", session=9,
+            decision="batch", reason="planned", wait_minutes=1.5,
+        )
+        decoded = decode_response(encode_response(response))
+        assert decoded == response
+
+    def test_error_with_text(self):
+        response = Response(
+            request_id=3, kind="resume", session=9,
+            decision="error", reason="state", error="session 9 is not open",
+        )
+        assert decode_response(encode_response(response)).error == (
+            "session 9 is not open"
+        )
+
+    def test_unknown_decision_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown decision"):
+            Response(request_id=0, kind="ping", session=-1, decision="maybe")
+
+    def test_decode_rejects_unknown_decision(self):
+        with pytest.raises(ProtocolError, match="decision"):
+            decode_response('{"id": 0, "decision": "shrug"}')
+
+    def test_all_decisions_encodable(self):
+        for decision in sorted(DECISIONS):
+            response = Response(
+                request_id=0, kind="ping", session=-1, decision=decision
+            )
+            assert decode_response(encode_response(response)).decision == decision

@@ -52,9 +52,24 @@ WALL_CLOCK_CALLS = frozenset(
     }
 )
 
-#: Package prefixes always inside the determinism scope.
-_SCOPE_PREFIXES = ("repro.sim.", "repro.parallel.", "repro.obs.")
-_SCOPE_MODULES = ("repro.sim", "repro.parallel", "repro.obs")
+#: Package prefixes always inside the determinism scope.  The numerics and
+#: distribution kernels are included because the batched backends promise
+#: byte-identical replay of the scalar oracle — any hidden entropy or
+#: wall-clock read there would silently break the equivalence gate.
+_SCOPE_PREFIXES = (
+    "repro.sim.",
+    "repro.parallel.",
+    "repro.obs.",
+    "repro.numerics.",
+    "repro.distributions.",
+)
+_SCOPE_MODULES = (
+    "repro.sim",
+    "repro.parallel",
+    "repro.obs",
+    "repro.numerics",
+    "repro.distributions",
+)
 
 #: numpy.random attributes that are *constructors/lineage*, not the global
 #: state; calling anything else on numpy.random samples the process-global

@@ -17,13 +17,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.core.hitsets import CdfTransform, end_probability, hit_probability
+from repro.core.hitsets import (
+    CdfTransform,
+    end_probability,
+    hit_probability,
+    hit_probability_batch,
+)
 from repro.core.parameters import SystemConfiguration, VCRRates
 from repro.core.vcrop import VCROperation
 from repro.distributions.base import DurationDistribution
 from repro.distributions.truncated import truncate
 from repro.exceptions import ConfigurationError
+from repro.numerics.backend import batching_enabled
 
 __all__ = ["VCRMix", "HitBreakdown", "HitProbabilityModel"]
 
@@ -196,11 +203,45 @@ class HitProbabilityModel:
     def hit_probability_for(
         self, operation: VCROperation, config: SystemConfiguration
     ) -> float:
-        """``P(hit | operation)`` under this movie's duration statistics."""
+        """``P(hit | operation)`` under this movie's duration statistics.
+
+        With a batched backend active (the default) this is a batch of one —
+        byte-identical to the scalar path, which remains reachable (and is
+        CI-compared) under ``REPRO_BACKEND=scalar``.
+        """
         self._check_config(config)
+        if batching_enabled():
+            return self.hit_probability_for_batch(operation, [config])[0]
         return hit_probability(
             operation,
             config,
+            self._durations[operation],
+            include_end_hit=self._include_end_hit,
+            num_offset_nodes=self._num_offset_nodes,
+            transform=self._transforms[operation],
+        )
+
+    def hit_probability_for_batch(
+        self, operation: VCROperation, configs: Sequence[SystemConfiguration]
+    ) -> list[float]:
+        """``P(hit | operation)`` for many configurations in one fused call."""
+        for config in configs:
+            self._check_config(config)
+        if not batching_enabled():
+            return [
+                hit_probability(
+                    operation,
+                    config,
+                    self._durations[operation],
+                    include_end_hit=self._include_end_hit,
+                    num_offset_nodes=self._num_offset_nodes,
+                    transform=self._transforms[operation],
+                )
+                for config in configs
+            ]
+        return hit_probability_batch(
+            operation,
+            configs,
             self._durations[operation],
             include_end_hit=self._include_end_hit,
             num_offset_nodes=self._num_offset_nodes,
@@ -211,12 +252,24 @@ class HitProbabilityModel:
         """The Eq.-(22) mixed hit probability for ``config``."""
         return self.breakdown(config).p_hit
 
+    def hit_probability_batch(self, configs: Sequence[SystemConfiguration]) -> list[float]:
+        """The Eq.-(22) mixed hit probability for many configurations.
+
+        One fused evaluation per operation over the whole grid — this is the
+        entry point frontier sweeps, the sizing optimiser and the runtime
+        re-planner batch through.  Byte-identical to mapping
+        :meth:`hit_probability` over ``configs``.
+        """
+        return [b.p_hit for b in self.breakdown_batch(configs)]
+
     def breakdown(self, config: SystemConfiguration) -> HitBreakdown:
         """All per-operation components for ``config``.
 
         Operations with zero mix weight are still evaluated — the breakdown
         is frequently used to compare single-operation curves (Figure 7).
         """
+        if batching_enabled():
+            return self.breakdown_batch([config])[0]
         self._check_config(config)
         ff_op = VCROperation.FAST_FORWARD
         return HitBreakdown(
@@ -229,6 +282,25 @@ class HitProbabilityModel:
             mix=self._mix,
         )
 
+    def breakdown_batch(self, configs: Sequence[SystemConfiguration]) -> list[HitBreakdown]:
+        """Per-operation components for many configurations in one pass."""
+        ff_op = VCROperation.FAST_FORWARD
+        ff = self.hit_probability_for_batch(ff_op, configs)
+        rw = self.hit_probability_for_batch(VCROperation.REWIND, configs)
+        pause = self.hit_probability_for_batch(VCROperation.PAUSE, configs)
+        return [
+            HitBreakdown(
+                p_hit_ff=ff[i],
+                p_hit_rw=rw[i],
+                p_hit_pause=pause[i],
+                p_end_ff=end_probability(
+                    config, self._durations[ff_op], transform=self._transforms[ff_op]
+                ),
+                mix=self._mix,
+            )
+            for i, config in enumerate(configs)
+        ]
+
     def hit_curve(
         self, partition_counts, max_wait: float
     ) -> list[tuple[SystemConfiguration, float]]:
@@ -236,16 +308,18 @@ class HitProbabilityModel:
 
         This is the family of points the paper plots in Figure 7: sweep ``n``
         at a fixed maximum wait ``w``; the buffer follows from Eq. (2).
-        Partition counts for which ``n·w > l`` are skipped.
+        Partition counts for which ``n·w > l`` are skipped.  The whole curve
+        is one batched evaluation when a batched backend is active.
         """
-        points: list[tuple[SystemConfiguration, float]] = []
+        configs: list[SystemConfiguration] = []
         for n in partition_counts:
             buffer_minutes = self._movie_length - n * max_wait
             if buffer_minutes < 0.0:
                 continue
-            config = self.configuration(int(n), buffer_minutes)
-            points.append((config, self.hit_probability(config)))
-        return points
+            configs.append(self.configuration(int(n), buffer_minutes))
+        if batching_enabled():
+            return list(zip(configs, self.hit_probability_batch(configs)))
+        return [(config, self.hit_probability(config)) for config in configs]
 
     def _check_config(self, config: SystemConfiguration) -> None:
         if not math.isclose(config.movie_length, self._movie_length, rel_tol=0, abs_tol=1e-9):

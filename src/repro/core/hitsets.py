@@ -39,7 +39,7 @@ cheap.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -48,8 +48,9 @@ from repro.core.parameters import SystemConfiguration
 from repro.core.vcrop import VCROperation
 from repro.distributions.base import DurationDistribution
 from repro.exceptions import ConfigurationError
-from repro.numerics.intervals import Interval, IntervalUnion
-from repro.numerics.quadrature import _gl_nodes
+from repro.numerics.backend import active_backend
+from repro.numerics.intervals import Interval, IntervalUnion, measure_under_many
+from repro.numerics.quadrature import _gl_nodes, gauss_legendre_nodes, lerp_many
 
 __all__ = [
     "CdfTransform",
@@ -59,7 +60,9 @@ __all__ = [
     "pause_hit_intervals",
     "hit_intervals",
     "hit_probability_at",
+    "hit_probability_at_many",
     "hit_probability",
+    "hit_probability_batch",
     "end_probability",
     "DEFAULT_OFFSET_NODES",
     "DEFAULT_GRID_POINTS",
@@ -215,7 +218,16 @@ class CdfTransform:
     ``V_c``-unconditioning described in the module docstring.
     """
 
-    __slots__ = ("_duration", "_length", "_xs", "_fs", "_gs", "_g_total")
+    __slots__ = (
+        "_duration",
+        "_length",
+        "_xs",
+        "_fs",
+        "_gs",
+        "_g_total",
+        "_xs_list",
+        "_gs_list",
+    )
 
     def __init__(
         self,
@@ -235,6 +247,10 @@ class CdfTransform:
         areas = 0.5 * (self._fs[1:] + self._fs[:-1]) * widths
         self._gs = np.concatenate(([0.0], np.cumsum(areas)))
         self._g_total = float(self._gs[-1])
+        # Plain-float copies of the grid, built lazily for the stdlib batch
+        # kernels (identical values; list indexing beats ndarray scalar reads).
+        self._xs_list: list[float] | None = None
+        self._gs_list: list[float] | None = None
 
     @property
     def movie_length(self) -> float:
@@ -273,6 +289,129 @@ class CdfTransform:
     def end_mass(self) -> float:
         """``∫_0^l (1 − F(u)) du = l − G(l)`` — the Eq. (20) numerator."""
         return self._length - self._g_total
+
+    # ------------------------------------------------------------------
+    # Batched evaluation.  Each *_many method reproduces the scalar method
+    # element by element — same clamps, same interpolation arithmetic, same
+    # CDF calls (routed through the distribution's ``cdf_batch``) — so the
+    # batched hit kernels below stay byte-identical with the scalar path on
+    # every backend.
+    # ------------------------------------------------------------------
+    def _grid_lists(self) -> tuple[list[float], list[float]]:
+        if self._xs_list is None:
+            self._xs_list = [float(x) for x in self._xs]
+            self._gs_list = [float(g) for g in self._gs]
+        assert self._gs_list is not None
+        return self._xs_list, self._gs_list
+
+    def F_many(self, cs: "Sequence[float] | np.ndarray") -> "list[float] | np.ndarray":
+        """Batched :meth:`F` (exact CDF with saturation outside ``[0, l]``).
+
+        ndarray in → ndarray out (vectorised clamps, one ``cdf_batch`` over
+        the interior); sequence in → list out via the stdlib path.
+        """
+        length = self._length
+        last = float(self._fs[-1])
+        if isinstance(cs, np.ndarray):
+            out = np.where(cs >= length, last, 0.0)
+            mask = (cs > 0.0) & (cs < length)
+            if mask.any():
+                out[mask] = np.asarray(self._duration.cdf_batch(cs[mask]), dtype=float)
+            return out
+        out_list = [0.0] * len(cs)
+        interior: list[float] = []
+        positions: list[int] = []
+        for i, c in enumerate(cs):
+            if c <= 0.0:
+                continue
+            if c >= length:
+                out_list[i] = last
+                continue
+            interior.append(c)
+            positions.append(i)
+        if interior:
+            for i, value in zip(positions, self._duration.cdf_batch(interior)):
+                out_list[i] = float(value)
+        return out_list
+
+    def G_many(self, cs: "Sequence[float] | np.ndarray") -> "list[float] | np.ndarray":
+        """Batched :meth:`G` (``∫_0^c F``, clamped to ``[0, l]``)."""
+        length = self._length
+        if isinstance(cs, np.ndarray):
+            out = np.where(cs >= length, self._g_total, 0.0)
+            mask = (cs > 0.0) & (cs < length)
+            if mask.any():
+                out[mask] = np.interp(cs[mask], self._xs, self._gs)
+            return out
+        out_list = [0.0] * len(cs)
+        interior: list[float] = []
+        positions: list[int] = []
+        for i, c in enumerate(cs):
+            if c <= 0.0:
+                continue
+            if c >= length:
+                out_list[i] = self._g_total
+                continue
+            interior.append(c)
+            positions.append(i)
+        if not interior:
+            return out_list
+        if active_backend() == "numpy":
+            values = np.interp(np.asarray(interior), self._xs, self._gs).tolist()
+        else:
+            xs, gs = self._grid_lists()
+            values = lerp_many(interior, xs, gs)
+        for i, value in zip(positions, values):
+            out_list[i] = float(value)
+        return out_list
+
+    def H_many(self, cs: "Sequence[float] | np.ndarray") -> "list[float] | np.ndarray":
+        """Batched :meth:`H` — the hot call of the batched hit kernels.
+
+        The interior expression is the scalar ``G(c) + (l − c) · F(c)`` with
+        the interpolation and the multiply/add vectorised (exactly-rounded
+        ops; the CDF itself goes through the distribution's ``cdf_batch``).
+        """
+        length = self._length
+        if isinstance(cs, np.ndarray):
+            out = np.where(cs >= length, self._g_total, 0.0)
+            mask = (cs > 0.0) & (cs < length)
+            if mask.any():
+                interior_arr = cs[mask]
+                fs_arr = np.asarray(self._duration.cdf_batch(interior_arr), dtype=float)
+                out[mask] = (
+                    np.interp(interior_arr, self._xs, self._gs)
+                    + (length - interior_arr) * fs_arr
+                )
+            return out
+        out_list = [0.0] * len(cs)
+        interior: list[float] = []
+        positions: list[int] = []
+        for i, c in enumerate(cs):
+            if c <= 0.0:
+                continue
+            if c >= length:
+                out_list[i] = self._g_total
+                continue
+            interior.append(c)
+            positions.append(i)
+        if not interior:
+            return out_list
+        fs = self._duration.cdf_batch(interior)
+        if active_backend() == "numpy":
+            arr = np.asarray(interior)
+            hs = (
+                np.interp(arr, self._xs, self._gs)
+                + (length - arr) * np.asarray(fs, dtype=float)
+            ).tolist()
+            for i, value in zip(positions, hs):
+                out_list[i] = value
+        else:
+            xs, gs = self._grid_lists()
+            gvals = lerp_many(interior, xs, gs)
+            for i, c, g, f in zip(positions, interior, gvals, fs):
+                out_list[i] = g + (length - c) * f
+        return out_list
 
 
 # ----------------------------------------------------------------------
@@ -405,3 +544,313 @@ def hit_probability(
     else:  # pragma: no cover - enum is closed
         raise ConfigurationError(f"unknown VCR operation {operation!r}")
     return float(min(1.0, max(0.0, value)))
+
+
+# ----------------------------------------------------------------------
+# Batched unconditioned hit probabilities.
+#
+# One call evaluates a whole list of (n, B) configurations: every H/F
+# argument of every offset node of every configuration is gathered into a
+# single flat list, resolved with one CdfTransform batch call (one
+# distribution-CDF batch, one interpolation pass), then reduced per
+# configuration in exactly the order the scalar loops use — so the results
+# are byte-identical to hit_probability() on every backend.
+# ----------------------------------------------------------------------
+def _offset_nodes(span: float, num_nodes: int) -> tuple[list[float], tuple[float, ...] | None]:
+    """The offset-integral abscissae of ``_offset_average`` for one config.
+
+    Returns ``(ds, weights)``; ``weights is None`` reproduces the degenerate
+    ``span <= 0`` case (a single evaluation at ``d = 0``, no averaging).
+    """
+    if span <= 0.0:
+        return [0.0], None
+    nodes, weights = gauss_legendre_nodes(num_nodes)
+    half = 0.5 * span
+    return [half * (node + 1.0) for node in nodes], weights
+
+
+def _ff_args_py(
+    config: SystemConfiguration,
+    ds: list[float],
+    leads: list[float],
+    his: list[float],
+    los: list[float],
+) -> list[int]:
+    """Append FF arguments (lead + interval pairs) per node; return pair counts."""
+    alpha = ff_catchup_factor(config.rates)
+    span = config.partition_span
+    spacing = config.partition_spacing
+    length = config.movie_length
+    counts: list[int] = []
+    for d in ds:
+        leads.append(alpha * d)
+        count = 0
+        i = 1
+        while True:
+            lo = alpha * (i * spacing + d - span)
+            if lo >= length:
+                break
+            his.append(alpha * (i * spacing + d))
+            los.append(lo)
+            i += 1
+            count += 1
+        counts.append(count)
+    return counts
+
+
+def _rw_args_py(
+    config: SystemConfiguration,
+    ds: list[float],
+    his: list[float],
+    los: list[float],
+) -> list[int]:
+    """Append RW interval pairs per node; return pair counts."""
+    gamma = rw_catchup_factor(config.rates)
+    span = config.partition_span
+    spacing = config.partition_spacing
+    length = config.movie_length
+    counts: list[int] = []
+    for d in ds:
+        count = 0
+        i = 0
+        while True:
+            lo = gamma * (i * spacing - d)
+            if lo >= length:
+                break
+            his.append(gamma * (i * spacing - d + span))
+            los.append(max(0.0, lo))
+            i += 1
+            count += 1
+        counts.append(count)
+    return counts
+
+
+def _pause_args_py(
+    config: SystemConfiguration,
+    ds: list[float],
+    his: list[float],
+    los: list[float],
+) -> list[int]:
+    """Append PAU interval pairs per node; return pair counts."""
+    span = config.partition_span
+    spacing = config.partition_spacing
+    length = config.movie_length
+    counts: list[int] = []
+    for d in ds:
+        count = 0
+        i = 0
+        while True:
+            lo = i * spacing - d
+            if lo >= length:
+                break
+            his.append(lo + span)
+            los.append(max(0.0, lo))
+            i += 1
+            count += 1
+        counts.append(count)
+    return counts
+
+
+# The vectorised builders replicate the scalar loop arithmetic exactly:
+# ``i * spacing`` over an exact-integer arange, then the same sequence of
+# exactly-rounded +/-/* ops.  The loop's break condition is recovered from
+# the (monotone) ``lo`` rows — ``(lo < length).sum()`` equals the scalar
+# iteration count — with the row width doubled until it provably covers the
+# break index of every offset node.
+def _ff_args_np(
+    config: SystemConfiguration, ds: list[float]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[int]]:
+    alpha = ff_catchup_factor(config.rates)
+    span = config.partition_span
+    spacing = config.partition_spacing
+    length = config.movie_length
+    d_arr = np.asarray(ds, dtype=float)
+    leads = alpha * d_arr
+    m = max(1, math.ceil((length / alpha + span) / spacing) + 3)
+    while True:
+        u = np.arange(1.0, m + 1.0) * spacing + d_arr[:, None]
+        lo = alpha * (u - span)
+        mask = lo < length
+        if not mask[:, -1].any():
+            break
+        m *= 2
+    counts = mask.sum(axis=1)
+    hi = alpha * u
+    return leads, hi[mask], lo[mask], counts.tolist()
+
+
+def _rw_args_np(
+    config: SystemConfiguration, ds: list[float]
+) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    gamma = rw_catchup_factor(config.rates)
+    span = config.partition_span
+    spacing = config.partition_spacing
+    length = config.movie_length
+    d_arr = np.asarray(ds, dtype=float)
+    m = max(1, math.ceil((length / gamma + span) / spacing) + 3)
+    while True:
+        u = np.arange(0.0, m) * spacing - d_arr[:, None]
+        lo = gamma * u
+        mask = lo < length
+        if not mask[:, -1].any():
+            break
+        m *= 2
+    counts = mask.sum(axis=1)
+    hi = gamma * (u + span)
+    return hi[mask], np.maximum(0.0, lo[mask]), counts.tolist()
+
+
+def _pause_args_np(
+    config: SystemConfiguration, ds: list[float]
+) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    span = config.partition_span
+    spacing = config.partition_spacing
+    length = config.movie_length
+    d_arr = np.asarray(ds, dtype=float)
+    m = max(1, math.ceil((length + span) / spacing) + 3)
+    while True:
+        lo = np.arange(0.0, m) * spacing - d_arr[:, None]
+        mask = lo < length
+        if not mask[:, -1].any():
+            break
+        m *= 2
+    counts = mask.sum(axis=1)
+    hi = lo + span
+    return hi[mask], np.maximum(0.0, lo[mask]), counts.tolist()
+
+
+def hit_probability_batch(
+    operation: VCROperation,
+    configs: Sequence[SystemConfiguration],
+    duration: DurationDistribution,
+    *,
+    include_end_hit: bool = True,
+    num_offset_nodes: int = DEFAULT_OFFSET_NODES,
+    transform: CdfTransform | None = None,
+) -> list[float]:
+    """Batched :func:`hit_probability` over many configurations.
+
+    Results are bit-for-bit equal to calling :func:`hit_probability` on each
+    configuration — the scalar path remains the oracle; this entry point
+    only changes *how many* quadrature arguments are resolved per call.
+
+    Arguments are gathered into three flat streams (FF node leads, interval
+    highs, interval lows), resolved with whole-stream ``H``/``F`` batches,
+    differenced elementwise, and reduced per node with ``sum()`` — which adds
+    left to right exactly like the scalar accumulation loops.
+    """
+    if not configs:
+        return []
+    transform = transform or CdfTransform(duration, configs[0].movie_length)
+    is_ff = operation is VCROperation.FAST_FORWARD
+    is_rw = operation is VCROperation.REWIND
+    is_pause = operation is VCROperation.PAUSE
+    if not (is_ff or is_rw or is_pause):  # pragma: no cover - enum is closed
+        raise ConfigurationError(f"unknown VCR operation {operation!r}")
+    resolve = transform.F_many if is_pause else transform.H_many
+
+    plans: list[tuple[tuple[float, ...] | None, list[int]]] = []
+    lead_vals: list[float] = []
+    if active_backend() == "numpy":
+        lead_parts: list[np.ndarray] = []
+        hi_parts: list[np.ndarray] = []
+        lo_parts: list[np.ndarray] = []
+        for config in configs:
+            ds, weights = _offset_nodes(config.partition_span, num_offset_nodes)
+            if is_ff:
+                leads, his, los, counts = _ff_args_np(config, ds)
+                lead_parts.append(leads)
+            elif is_rw:
+                his, los, counts = _rw_args_np(config, ds)
+            else:
+                his, los, counts = _pause_args_np(config, ds)
+            hi_parts.append(his)
+            lo_parts.append(los)
+            plans.append((weights, counts))
+        hi_arr = np.concatenate(hi_parts)
+        lo_arr = np.concatenate(lo_parts)
+        # Empty intervals (span 0 collapses every [lo, hi] to a point) would
+        # resolve to F(x) − F(x): exactly 0.0 for the pure elementwise F/H,
+        # so skip resolving them at all — bit-identical, and a span-0 sweep
+        # (pure batching, B = 0) costs nothing per interval.
+        proper = hi_arr != lo_arr
+        diff_arr = np.zeros(hi_arr.shape[0])
+        if proper.any():
+            hi_vals = np.asarray(resolve(hi_arr[proper]), dtype=float)
+            lo_vals = np.asarray(resolve(lo_arr[proper]), dtype=float)
+            diff_arr[proper] = hi_vals - lo_vals
+        diffs = diff_arr.tolist()
+        if is_ff:
+            lead_vals = np.asarray(resolve(np.concatenate(lead_parts)), dtype=float).tolist()
+    else:
+        lead_args: list[float] = []
+        hi_args: list[float] = []
+        lo_args: list[float] = []
+        for config in configs:
+            ds, weights = _offset_nodes(config.partition_span, num_offset_nodes)
+            if is_ff:
+                counts = _ff_args_py(config, ds, lead_args, hi_args, lo_args)
+            elif is_rw:
+                counts = _rw_args_py(config, ds, hi_args, lo_args)
+            else:
+                counts = _pause_args_py(config, ds, hi_args, lo_args)
+            plans.append((weights, counts))
+        hi_list = resolve(hi_args)
+        lo_list = resolve(lo_args)
+        diffs = [a - b for a, b in zip(hi_list, lo_list)]
+        if is_ff:
+            lead_vals = list(resolve(lead_args))
+
+    out: list[float] = []
+    cursor = 0
+    lead_cursor = 0
+    for (weights, counts), config in zip(plans, configs):
+        length = config.movie_length
+        if weights is None:
+            count = counts[0]
+            if is_ff:
+                avg = sum(diffs[cursor : cursor + count], lead_vals[lead_cursor])
+                lead_cursor += 1
+            else:
+                avg = sum(diffs[cursor : cursor + count])
+            cursor += count
+        else:
+            total = 0.0
+            for weight, count in zip(weights, counts):
+                if is_ff:
+                    node = sum(diffs[cursor : cursor + count], lead_vals[lead_cursor])
+                    lead_cursor += 1
+                else:
+                    node = sum(diffs[cursor : cursor + count])
+                total += weight * node
+                cursor += count
+            avg = 0.5 * total
+        value = avg if is_pause else avg / length
+        if include_end_hit and is_ff:
+            value += transform.end_mass() / length
+        out.append(float(min(1.0, max(0.0, value))))
+    return out
+
+
+def hit_probability_at_many(
+    operation: VCROperation,
+    config: SystemConfiguration,
+    duration: DurationDistribution,
+    states: Sequence[tuple[float, float]],
+    include_end_hit: bool = True,
+) -> list[float]:
+    """Batched :func:`hit_probability_at` over many ``(V_c, d)`` states.
+
+    The hit-set geometry is built per state exactly as the scalar function
+    does; only the CDF evaluation is fused into one batch through
+    :func:`~repro.numerics.intervals.measure_under_many`.
+    """
+    unions = [hit_intervals(operation, config, v_c, offset_d) for v_c, offset_d in states]
+    masses = measure_under_many(unions, duration.cdf_batch)
+    out: list[float] = []
+    for (v_c, _), mass in zip(states, masses):
+        if include_end_hit and operation is VCROperation.FAST_FORWARD:
+            end = fastforward_end_interval(config, v_c)
+            mass += duration.probability(end.lo, end.hi)
+        out.append(min(1.0, max(0.0, mass)))
+    return out

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 import numpy as np
 
@@ -60,6 +61,18 @@ class DurationDistribution(ABC):
     # ------------------------------------------------------------------
     # Shared derived quantities.
     # ------------------------------------------------------------------
+    def cdf_batch(self, xs: "Sequence[float]") -> list[float]:
+        """``[P(X <= x) for x in xs]`` in one call — the batched-model hook.
+
+        The base implementation is the scalar CDF in a loop, so every family
+        is batchable by construction.  Families with a cheaper whole-batch
+        evaluation (exponential, gamma, truncations) override this; every
+        override is required to be *bit-for-bit* equal to the scalar ``cdf``
+        element by element — the batched hit model relies on that to stay
+        byte-identical with the scalar oracle.
+        """
+        return [self.cdf(float(x)) for x in xs]
+
     def probability(self, lo: float, hi: float) -> float:
         """``P(lo <= X <= hi)``; clamps a reversed or empty range to 0."""
         if hi <= lo:

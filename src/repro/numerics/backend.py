@@ -1,0 +1,87 @@
+"""Numerics backend selection for the batched model hot path.
+
+The hit model ships two implementations of every batched kernel:
+
+* ``"stdlib"`` (the default) — pure-Python list-of-floats kernels: binary
+  search + linear interpolation via :mod:`bisect`, distribution CDFs via the
+  same ``math``-library calls the scalar code makes.  No dependency beyond
+  the standard library is exercised on the hot path.
+* ``"numpy"`` — the same kernels expressed as NumPy array operations,
+  including a masked vectorised incomplete-gamma evaluator.  Opt in with
+  ``REPRO_BACKEND=numpy`` or the ``--backend numpy`` CLI flag.
+* ``"scalar"`` — forces the original point-by-point evaluation path.  This
+  is the oracle: both batched backends are required (and CI-enforced) to
+  produce byte-identical results to it.
+
+Backend choice is *deterministic state*, not behaviour: every backend
+computes bit-for-bit identical floating-point results, in the same order,
+for the same inputs.  The equivalence suite in
+``tests/core/test_batch_equivalence.py`` pins that contract.
+
+The active backend is process-global.  It is read once from the
+``REPRO_BACKEND`` environment variable at import (so worker processes forked
+by :mod:`repro.parallel` inherit the driver's choice) and can be changed
+explicitly with :func:`set_backend` or temporarily with :func:`use_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "batching_enabled",
+]
+
+#: Recognised backend names, in documentation order.
+BACKENDS = ("stdlib", "numpy", "scalar")
+
+#: The backend used when ``REPRO_BACKEND`` is unset.
+DEFAULT_BACKEND = "stdlib"
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown numerics backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+_active = _validate(os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND))
+
+
+def active_backend() -> str:
+    """The currently selected backend name."""
+    return _active
+
+
+def set_backend(name: str) -> str:
+    """Select a backend process-wide; returns the previous backend."""
+    global _active
+    previous = _active
+    _active = _validate(name)
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Temporarily select a backend (scoped; restores the previous one)."""
+    previous = set_backend(name)
+    try:
+        yield _active
+    finally:
+        set_backend(previous)
+
+
+def batching_enabled() -> bool:
+    """True when the active backend routes evaluation through batch kernels."""
+    return _active != "scalar"

@@ -78,8 +78,9 @@ def evaluate_frontier(task: FrontierTask) -> MovieFrontier:
         task.spec, include_end_hit=task.include_end_hit, points=task.warm_points
     )
     n_max = feasible.max_streams() if task.find_max else None
-    for num_streams in task.stream_counts:
-        feasible.point(int(num_streams))
+    if task.stream_counts:
+        # One batched evaluation for the whole requested slice.
+        feasible.points_batch(task.stream_counts)
     return MovieFrontier(
         name=task.spec.name, n_max=n_max, points=feasible.known_points()
     )

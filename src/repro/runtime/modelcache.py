@@ -35,6 +35,11 @@ from repro.sizing.feasible import FeasiblePoint, FeasibleSet, MovieSizingSpec, s
 
 __all__ = ["CacheStats", "LRUCache", "ModelEvaluationCache", "CachedFeasibleSet"]
 
+#: Module-private miss marker.  ``LRUCache.get`` must be able to cache *any*
+#: value — including ``None`` and falsy ones — so a miss is signalled by this
+#: sentinel (or a caller-supplied default), never by ``None``.
+_MISS = object()
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -69,13 +74,18 @@ class LRUCache:
         self._misses = 0
         self._evictions = 0
 
-    def get(self, key: Hashable):
-        """The cached value, or None on a miss (misses are counted)."""
+    def get(self, key: Hashable, default=None):
+        """The cached value, or ``default`` on a miss (misses are counted).
+
+        A cached value may legitimately be ``None`` (or otherwise falsy);
+        callers that need to distinguish a miss from a cached ``None`` pass
+        their own sentinel as ``default`` and compare with ``is``.
+        """
         try:
             value = self._data[key]
         except KeyError:
             self._misses += 1
-            return None
+            return default
         self._data.move_to_end(key)
         self._hits += 1
         return value
@@ -143,11 +153,11 @@ class ModelEvaluationCache:
     ) -> HitProbabilityModel:
         """The hit model of a spec, constructed at most once per signature."""
         key = (spec_signature(spec), include_end_hit)
-        model = self._models.get(key)
-        if model is None:
+        model = self._models.get(key, _MISS)
+        if model is _MISS:
             model = spec.build_model(include_end_hit=include_end_hit)
             self._models.put(key, model)
-        return model
+        return model  # type: ignore[return-value]
 
     def hit_probability(
         self,
@@ -157,20 +167,48 @@ class ModelEvaluationCache:
         include_end_hit: bool = True,
     ) -> float:
         """``P(hit)`` at one ``(n, B)`` point, memoised on the quantised key."""
-        key = (
-            spec_signature(spec),
-            include_end_hit,
-            int(num_streams),
-            self._quantise(buffer_minutes),
-        )
-        cached = self._evaluations.get(key)
-        if cached is not None:
-            return cached  # type: ignore[return-value]
-        model = self.model_for(spec, include_end_hit=include_end_hit)
-        config = model.configuration(num_streams, buffer_minutes)
-        value = model.hit_probability(config)
-        self._evaluations.put(key, value)
-        return value
+        return self.hit_probability_many(
+            spec, [(num_streams, buffer_minutes)], include_end_hit=include_end_hit
+        )[0]
+
+    def hit_probability_many(
+        self,
+        spec: MovieSizingSpec,
+        points: "list[tuple[int, float]]",
+        include_end_hit: bool = True,
+    ) -> list[float]:
+        """``P(hit)`` at many ``(n, B)`` points, with bulk cache semantics.
+
+        Every requested point performs exactly one cache lookup (so the
+        hit/miss counters advance as if the points had been requested one by
+        one), misses are deduplicated on the quantised key, evaluated in a
+        single :meth:`HitProbabilityModel.hit_probability_batch` call, and
+        stored individually (preserving LRU eviction accounting).
+        """
+        sig = spec_signature(spec)
+        keys = [
+            (sig, include_end_hit, int(n), self._quantise(b)) for n, b in points
+        ]
+        out: list = [None] * len(points)
+        missing: "OrderedDict[tuple, list[int]]" = OrderedDict()
+        for i, key in enumerate(keys):
+            cached = self._evaluations.get(key, _MISS)
+            if cached is _MISS:
+                missing.setdefault(key, []).append(i)
+            else:
+                out[i] = cached
+        if missing:
+            model = self.model_for(spec, include_end_hit=include_end_hit)
+            configs = [
+                model.configuration(int(points[idxs[0]][0]), points[idxs[0]][1])
+                for idxs in missing.values()
+            ]
+            values = model.hit_probability_batch(configs)
+            for key, idxs, value in zip(missing, missing.values(), values):
+                self._evaluations.put(key, value)
+                for i in idxs:
+                    out[i] = value
+        return out
 
     def feasible_set(
         self, spec: MovieSizingSpec, include_end_hit: bool = True, points=None
@@ -233,25 +271,17 @@ class CachedFeasibleSet(FeasibleSet):
             )
         return self._model
 
-    def point(self, num_streams: int) -> FeasiblePoint:
-        if num_streams < 1 or num_streams > self.max_possible_streams:
-            raise ConfigurationError(
-                f"{self.spec.name}: n={num_streams} outside "
-                f"[1, {self.max_possible_streams}]"
-            )
-        cached = self._cache.get(num_streams)
-        if cached is not None:
-            return cached
-        buffer_minutes = max(0.0, self.spec.length - num_streams * self.spec.max_wait)
-        point = FeasiblePoint(
-            num_streams=num_streams,
-            buffer_minutes=buffer_minutes,
-            hit_probability=self._shared.hit_probability(
-                self.spec,
-                num_streams,
-                buffer_minutes,
-                include_end_hit=self._include_end_hit,
-            ),
+    def _evaluate_missing(self, stream_counts: list[int]) -> None:
+        # Same bulk evaluation as the base class, but resolved through the
+        # shared evaluation cache — one lookup per point, one batched model
+        # call for the misses.
+        buffers = [self._buffer_for(n) for n in stream_counts]
+        values = self._shared.hit_probability_many(
+            self.spec,
+            list(zip(stream_counts, buffers)),
+            include_end_hit=self._include_end_hit,
         )
-        self._cache[num_streams] = point
-        return point
+        for n, b, value in zip(stream_counts, buffers, values):
+            self._cache[n] = FeasiblePoint(
+                num_streams=n, buffer_minutes=b, hit_probability=value
+            )

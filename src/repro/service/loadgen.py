@@ -29,6 +29,7 @@ deterministic observability stream by construction.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -87,14 +88,22 @@ class LoadReport:
         return admitted / self.elapsed_seconds
 
     def latency_percentile(self, q: float) -> float:
-        """The ``q``-quantile of request latency, in milliseconds."""
+        """The ``q``-quantile of request latency, in milliseconds.
+
+        Nearest-rank definition: the smallest observation whose cumulative
+        frequency reaches ``q`` — rank ``ceil(q * N)``, clamped into range.
+        (The previous floor-based index systematically under-reported upper
+        quantiles: p99 of 100 samples read ``ordered[99]`` only by the
+        accident of the clamp, and p50 of an even-sized sample read the
+        observation *above* the median.)
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
         if not self.latencies_ms:
             return 0.0
         ordered = sorted(self.latencies_ms)
-        index = min(len(ordered) - 1, int(q * len(ordered)))
-        return ordered[index]
+        rank = math.ceil(q * len(ordered))
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
     def to_dict(self) -> dict:
         """JSON-serialisable summary (latency list collapsed to quantiles)."""

@@ -124,6 +124,13 @@ def find_covering_window(
     # Largest multiple of `spacing` in [lo, hi].
     index = math.floor((hi + _TOL) / spacing)
     start = index * spacing
+    if start > hi and index >= 1 and (index - 1) * spacing >= lo - _TOL:
+        # The tolerance admitted a restart just *beyond* the strict
+        # containment bound (e.g. a stream starting 1 ulp in the future,
+        # whose playhead would be negative).  When the previous stream also
+        # covers, it is the one a viewer can actually join — prefer it.
+        index -= 1
+        start = index * spacing
     if start < lo - _TOL or index < 0:
         return None
     playhead = now - start

@@ -225,15 +225,43 @@ class FeasibleSet:
         cached = self._cache.get(num_streams)
         if cached is not None:
             return cached
-        buffer_minutes = max(0.0, self._spec.length - num_streams * self._spec.max_wait)
-        config = self.model.configuration(num_streams, buffer_minutes)
-        point = FeasiblePoint(
-            num_streams=num_streams,
-            buffer_minutes=buffer_minutes,
-            hit_probability=self.model.hit_probability(config),
-        )
-        self._cache[num_streams] = point
-        return point
+        self._evaluate_missing([num_streams])
+        return self._cache[num_streams]
+
+    def points_batch(self, stream_counts: Iterable[int]) -> list[FeasiblePoint]:
+        """Evaluate many stream counts with one batched model call.
+
+        Points already in the per-set cache are reused; the rest are
+        resolved in a single :meth:`HitProbabilityModel.hit_probability_batch`
+        evaluation.  Results are identical to calling :meth:`point` per
+        count (the batched path is byte-identical to the scalar oracle).
+        """
+        ns = [int(n) for n in stream_counts]
+        for n in ns:
+            if n < 1 or n > self.max_possible_streams:
+                raise ConfigurationError(
+                    f"{self._spec.name}: n={n} outside "
+                    f"[1, {self.max_possible_streams}]"
+                )
+        missing = sorted({n for n in ns if n not in self._cache})
+        if missing:
+            self._evaluate_missing(missing)
+        return [self._cache[n] for n in ns]
+
+    def _buffer_for(self, num_streams: int) -> float:
+        return max(0.0, self._spec.length - num_streams * self._spec.max_wait)
+
+    def _evaluate_missing(self, stream_counts: list[int]) -> None:
+        """Evaluate uncached counts (already validated) into the point cache."""
+        buffers = [self._buffer_for(n) for n in stream_counts]
+        configs = [
+            self.model.configuration(n, b) for n, b in zip(stream_counts, buffers)
+        ]
+        values = self.model.hit_probability_batch(configs)
+        for n, b, value in zip(stream_counts, buffers, values):
+            self._cache[n] = FeasiblePoint(
+                num_streams=n, buffer_minutes=b, hit_probability=value
+            )
 
     def configuration(self, num_streams: int) -> SystemConfiguration:
         """The full SystemConfiguration at ``num_streams`` on the Eq.-(2) line."""
@@ -257,6 +285,8 @@ class FeasibleSet:
             return self._max_streams
         p_star = self._spec.p_star
         hi = self.max_possible_streams
+        # One batched call resolves both bisection anchors up front.
+        self.points_batch([1, hi])
         if not self.point(1).meets(p_star):
             raise InfeasibleError(
                 f"{self._spec.name}: even n=1 (B={self._spec.length - self._spec.max_wait:g}) "
@@ -299,19 +329,22 @@ class FeasibleSet:
         """
         if step_minutes <= 0:
             raise ConfigurationError(f"step must be positive, got {step_minutes}")
-        points: list[FeasiblePoint] = []
+        candidates: list[int] = []
         seen: set[int] = set()
         buffer_minutes = step_minutes
         while buffer_minutes < self._spec.length:
             n = round((self._spec.length - buffer_minutes) / self._spec.max_wait)
             if 1 <= n <= self.max_possible_streams and n not in seen:
                 seen.add(n)
-                candidate = self.point(n)
-                if candidate.meets(self._spec.p_star):
-                    points.append(candidate)
+                candidates.append(n)
             buffer_minutes += step_minutes
-        return points
+        # One batched evaluation covers the whole Figure-8 grid.
+        return [
+            candidate
+            for candidate in self.points_batch(candidates)
+            if candidate.meets(self._spec.p_star)
+        ]
 
     def curve(self, stream_counts: Iterable[int]) -> list[FeasiblePoint]:
         """Evaluate an arbitrary set of stream counts (plot helper)."""
-        return [self.point(int(n)) for n in stream_counts]
+        return self.points_batch(stream_counts)

@@ -39,6 +39,24 @@ class TestWallClock:
         assert len(report.findings) == 1
         assert "datetime.datetime.now" in report.findings[0].message
 
+    def test_flags_wall_clock_in_numerics_and_distributions(self, make_tree):
+        # The batched numerics/distribution kernels are inside the
+        # determinism scope: their byte-identical-replay contract forbids
+        # hidden entropy or clock reads.
+        root = make_tree({
+            "repro/numerics/kernels.py": (
+                "import time\n\ndef stamp():\n    return time.time()\n"
+            ),
+            "repro/distributions/special2.py": (
+                "import time\n\ndef stamp():\n    return time.monotonic()\n"
+            ),
+        })
+        report = run_lint(root, rules=[WallClockRule()])
+        assert sorted(f.path for f in report.findings) == [
+            "repro/distributions/special2.py",
+            "repro/numerics/kernels.py",
+        ]
+
     def test_clean_outside_scope(self, make_tree):
         # Same wall-clock call in a module that neither matches the scope
         # prefixes nor emits trace events: allowed (process-tier timing).

@@ -1,0 +1,241 @@
+"""Scalar-vs-batched equivalence: every backend must agree bit for bit.
+
+The batched kernels (stdlib and numpy alike) are required to be
+*byte-identical* to the scalar oracle — not approximately equal.  The
+design restricts vectorisation to exactly-rounded IEEE-754 operations
+(+, -, *, /, comparisons) and routes every transcendental through the same
+``math.*`` calls the scalar code makes, so any difference at all is a bug.
+Accordingly every assertion here is ``==`` on floats, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hitmodel import HitProbabilityModel, VCRMix
+from repro.core.vcrop import VCROperation
+from repro.distributions import ExponentialDuration, GammaDuration
+from repro.numerics.backend import BACKENDS, use_backend
+from repro.numerics.quadrature import lerp_many
+from repro.sizing.feasible import FeasibleSet, MovieSizingSpec
+
+
+def _model(length, dist, mix=None, include_end_hit=True):
+    return HitProbabilityModel(length, dist, mix=mix, include_end_hit=include_end_hit)
+
+
+def _grid(model, length, count=7):
+    """A small (n, B) grid along and around the ``B = l − n·w`` line."""
+    configs = []
+    for i in range(1, count + 1):
+        n = 1 + 3 * i
+        for fraction in (0.0, 0.35, 1.0):
+            configs.append(model.configuration(n, length * fraction))
+    return configs
+
+
+def _distribution(kind, a, b):
+    if kind == "exp":
+        return ExponentialDuration(a)
+    return GammaDuration(shape=a, scale=b)
+
+
+class TestBackendsAgreeBitwise:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        length=st.floats(30.0, 300.0),
+        n=st.integers(1, 60),
+        fraction=st.floats(0.0, 1.0),
+        kind=st.sampled_from(["exp", "gamma"]),
+        a=st.floats(0.5, 40.0),
+        b=st.floats(0.5, 20.0),
+    )
+    def test_hit_probability_across_backends(self, length, n, fraction, kind, a, b):
+        dist = _distribution(kind, a, b)
+        values = {}
+        breakdowns = {}
+        for backend in BACKENDS:
+            with use_backend(backend):
+                model = _model(length, dist)
+                config = model.configuration(n, length * fraction)
+                values[backend] = model.hit_probability(config)
+                breakdowns[backend] = model.breakdown(config)
+        assert values["stdlib"] == values["scalar"]
+        assert values["numpy"] == values["scalar"]
+        assert breakdowns["stdlib"] == breakdowns["scalar"]
+        assert breakdowns["numpy"] == breakdowns["scalar"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kind,a,b", [("exp", 10.0, 0.0), ("gamma", 2.0, 5.0)])
+    def test_batch_equals_loop_of_scalars(self, backend, kind, a, b):
+        dist = _distribution(kind, a, b)
+        length = 120.0
+        with use_backend("scalar"):
+            model = _model(length, dist)
+            configs = _grid(model, length)
+            oracle = [model.hit_probability(c) for c in configs]
+        with use_backend(backend):
+            model = _model(length, dist)
+            configs = _grid(model, length)
+            batch = model.hit_probability_batch(configs)
+            singles = [model.hit_probability(c) for c in configs]
+        assert batch == oracle
+        assert singles == oracle
+
+    @pytest.mark.parametrize("backend", ["stdlib", "numpy"])
+    def test_per_operation_batch_matches_scalar(self, backend):
+        length = 120.0
+        dist = GammaDuration.paper_figure7()
+        with use_backend("scalar"):
+            model = _model(length, dist)
+            configs = _grid(model, length)
+            oracle = {
+                op: [model.hit_probability_for(op, c) for c in configs]
+                for op in VCROperation
+            }
+        with use_backend(backend):
+            model = _model(length, dist)
+            configs = _grid(model, length)
+            for op in VCROperation:
+                assert model.hit_probability_for_batch(op, configs) == oracle[op]
+
+    @pytest.mark.parametrize("backend", ["stdlib", "numpy"])
+    @pytest.mark.parametrize(
+        "n,fraction,include_end_hit",
+        [
+            (1, 0.5, True),       # single partition: spacing = l
+            (1, 1.0, True),       # n_max == 1 with a full buffer
+            (5, 0.0, True),       # B = 0: pure batching, span = 0
+            (5, 0.0, False),      # ... and without the end-hit term
+            (60, 1.0, True),      # dense partitions, maximal span
+            (3, 1e-9, True),      # vanishing buffer: near-empty hit sets
+        ],
+    )
+    def test_degenerate_configurations(self, backend, n, fraction, include_end_hit):
+        length = 120.0
+        dist = ExponentialDuration(10.0)
+        with use_backend("scalar"):
+            model = _model(length, dist, include_end_hit=include_end_hit)
+            config = model.configuration(n, length * fraction)
+            oracle = model.breakdown(config)
+        with use_backend(backend):
+            model = _model(length, dist, include_end_hit=include_end_hit)
+            config = model.configuration(n, length * fraction)
+            assert model.breakdown(config) == oracle
+            assert model.breakdown_batch([config]) == [oracle]
+
+    @pytest.mark.parametrize("backend", ["stdlib", "numpy"])
+    def test_single_operation_mixes(self, backend):
+        length = 90.0
+        dist = GammaDuration(shape=1.5, scale=8.0)
+        for op in VCROperation:
+            mix = VCRMix.only(op)
+            with use_backend("scalar"):
+                model = _model(length, dist, mix=mix)
+                configs = _grid(model, length, count=4)
+                oracle = model.hit_probability_batch(configs)
+            with use_backend(backend):
+                model = _model(length, dist, mix=mix)
+                configs = _grid(model, length, count=4)
+                assert model.hit_probability_batch(configs) == oracle
+
+
+class TestSizingLayerAgrees:
+    def _spec(self, max_wait=2.0):
+        return MovieSizingSpec(
+            name="movie",
+            length=120.0,
+            max_wait=max_wait,
+            durations=GammaDuration.paper_figure7(),
+            p_star=0.5,
+        )
+
+    @pytest.mark.parametrize("backend", ["stdlib", "numpy"])
+    def test_feasible_set_frontier(self, backend):
+        with use_backend("scalar"):
+            oracle_set = FeasibleSet(self._spec())
+            oracle_max = oracle_set.max_streams()
+            oracle = [p.hit_probability for p in oracle_set.curve(range(1, 40, 3))]
+        with use_backend(backend):
+            fs = FeasibleSet(self._spec())
+            assert fs.max_streams() == oracle_max
+            assert [p.hit_probability for p in fs.curve(range(1, 40, 3))] == oracle
+
+    @pytest.mark.parametrize("backend", ["stdlib", "numpy"])
+    def test_n_max_one_frontier(self, backend):
+        # A wait target so lax that a single stream already meets p*.
+        spec = self._spec(max_wait=100.0)
+        with use_backend("scalar"):
+            oracle = FeasibleSet(spec).max_streams()
+        with use_backend(backend):
+            assert FeasibleSet(spec).max_streams() == oracle
+
+    def test_points_batch_equals_pointwise(self):
+        ns = [1, 4, 9, 16, 25]
+        batch_set = FeasibleSet(self._spec())
+        point_set = FeasibleSet(self._spec())
+        batched = batch_set.points_batch(ns)
+        pointwise = [point_set.point(n) for n in ns]
+        assert batched == pointwise
+
+
+class TestDistributionBatchKernels:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            ExponentialDuration(10.0),
+            GammaDuration(shape=2.0, scale=5.0),
+            GammaDuration(shape=8.5, scale=1.5),
+        ],
+        ids=lambda d: d.describe(),
+    )
+    def test_cdf_batch_list_and_ndarray_match_scalar(self, dist):
+        xs = [-1.0, 0.0, 1e-12, 0.5, 3.7, 12.0, 55.0, 119.0, 200.0]
+        scalar = [dist.cdf(x) for x in xs]
+        assert dist.cdf_batch(xs) == scalar
+        out = dist.cdf_batch(np.asarray(xs, dtype=float))
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == scalar
+
+    def test_truncated_cdf_batch_paths_match(self):
+        from repro.distributions import truncate
+
+        dist = truncate(ExponentialDuration(30.0), 120.0)
+        xs = [-5.0, 0.0, 1.0, 60.0, 119.9999, 120.0, 500.0]
+        scalar = [dist.cdf(x) for x in xs]
+        assert dist.cdf_batch(xs) == scalar
+        assert dist.cdf_batch(np.asarray(xs, dtype=float)).tolist() == scalar
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        xs=st.lists(st.floats(-10.0, 400.0), min_size=1, max_size=30),
+        mean=st.floats(0.5, 60.0),
+    )
+    def test_exponential_cdf_batch_property(self, xs, mean):
+        dist = ExponentialDuration(mean)
+        scalar = [dist.cdf(x) for x in xs]
+        assert dist.cdf_batch(xs) == scalar
+        assert dist.cdf_batch(np.asarray(xs, dtype=float)).tolist() == scalar
+
+
+class TestInterpolationKernel:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        knots=st.integers(2, 40),
+        queries=st.lists(st.floats(-0.5, 1.5), min_size=1, max_size=20),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_lerp_many_matches_np_interp(self, knots, queries, seed):
+        rng = np.random.default_rng(seed)
+        xp = np.sort(rng.uniform(0.0, 1.0, size=knots))
+        xp[0], xp[-1] = 0.0, 1.0
+        fp = rng.uniform(-5.0, 5.0, size=knots)
+        xp_list = [float(x) for x in xp]
+        fp_list = [float(f) for f in fp]
+        clipped = [min(1.0, max(0.0, q)) for q in queries]
+        ours = lerp_many(clipped, xp_list, fp_list)
+        theirs = np.interp(np.asarray(clipped, dtype=float), xp, fp)
+        assert ours == theirs.tolist()

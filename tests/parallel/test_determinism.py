@@ -42,6 +42,24 @@ class TestFigure9Determinism:
         assert parallel.parallel_outcome.tasks == 6
 
 
+class TestBackendDeterminism:
+    def test_figure8_byte_identical_across_backends_and_workers(self):
+        # The scalar oracle, serially, is the reference; every batched
+        # backend at every worker count must reproduce its CSVs byte for
+        # byte.  (Workers inherit the active backend through fork.)
+        from repro.numerics.backend import use_backend
+
+        with use_backend("scalar"):
+            oracle = run_figure8(fast=True, workers=1)
+        for backend in ("stdlib", "numpy"):
+            with use_backend(backend):
+                for workers in (1, 2):
+                    result = run_figure8(fast=True, workers=workers)
+                    for a, b in zip(oracle.tables, result.tables):
+                        assert a.to_csv() == b.to_csv()
+                    assert result.render() == oracle.render()
+
+
 class TestRegistryKnob:
     def test_workers_forwarded_to_parallel_runners(self):
         result = run_experiment("figure8", fast=True, workers=2)

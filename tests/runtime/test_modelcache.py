@@ -43,6 +43,31 @@ class TestLRUCache:
         with pytest.raises(ConfigurationError):
             LRUCache(maxsize=0)
 
+    def test_cached_none_is_a_hit(self):
+        # ``None`` is a legitimate cached value: retrieving it must count as
+        # a hit, not be conflated with a miss.
+        cache = LRUCache(maxsize=4)
+        cache.put("k", None)
+        assert cache.get("k") is None
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 0
+
+    def test_get_default_distinguishes_miss_from_cached_none(self):
+        cache = LRUCache(maxsize=4)
+        sentinel = object()
+        assert cache.get("absent", sentinel) is sentinel
+        cache.put("k", None)
+        assert cache.get("k", sentinel) is None
+        stats = cache.stats
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_falsy_values_round_trip(self):
+        cache = LRUCache(maxsize=4)
+        for key, value in (("zero", 0.0), ("empty", ()), ("false", False)):
+            cache.put(key, value)
+            assert cache.get(key, "MISS") == value
+        assert cache.stats.misses == 0
+
 
 class TestSpecSignature:
     def test_equal_specs_equal_signatures(self):
@@ -96,6 +121,56 @@ class TestModelEvaluationCache:
         b = cache.hit_probability(spec, 10, 100.0 + 1e-6)  # below the grid
         assert a == b
         assert cache.evaluation_stats.hits == 1
+
+    def test_buffers_within_grid_resolution_share_a_key(self):
+        # Audit of the quantisation grid: two buffer values that differ by
+        # less than half a quantum land on the same key, while a full-quantum
+        # step lands on a new one.
+        spec = _spec()
+        quantum = 1e-4
+        cache = ModelEvaluationCache(buffer_quantum_minutes=quantum)
+        cache.hit_probability(spec, 10, 100.0)
+        cache.hit_probability(spec, 10, 100.0 + 0.4 * quantum)   # same cell
+        cache.hit_probability(spec, 10, 100.0 + quantum)         # next cell
+        stats = cache.evaluation_stats
+        assert stats.hits == 1 and stats.misses == 2
+
+    def test_warm_grid_batched_sweep_is_all_hits(self):
+        # A batched sweep over an already-evaluated (n, B) grid must be 100%
+        # cache hits — no model evaluation, one counted hit per point.
+        spec = _spec()
+        cache = ModelEvaluationCache()
+        points = [(n, 120.0 - 2.0 * n) for n in range(1, 31)]
+        cold = cache.hit_probability_many(spec, points)
+        baseline = cache.evaluation_stats
+        assert baseline.misses == len(points)
+        warm = cache.hit_probability_many(spec, points)
+        stats = cache.evaluation_stats
+        assert warm == cold
+        assert stats.misses == baseline.misses
+        assert stats.hits == baseline.hits + len(points)
+
+    def test_bulk_call_deduplicates_equal_keys(self):
+        # Duplicate (n, B) points inside one bulk call are evaluated once
+        # (one put) but still pay one counted lookup each.
+        spec = _spec()
+        cache = ModelEvaluationCache()
+        values = cache.hit_probability_many(spec, [(10, 100.0), (10, 100.0)])
+        assert values[0] == values[1]
+        stats = cache.evaluation_stats
+        assert stats.misses == 2 and stats.entries == 1
+        again = cache.hit_probability_many(spec, [(10, 100.0)])
+        assert again == [values[0]]
+        assert cache.evaluation_stats.hits == 1
+
+    def test_bulk_matches_scalar_lookup_path(self):
+        spec = _spec()
+        bulk_cache = ModelEvaluationCache()
+        scalar_cache = ModelEvaluationCache()
+        points = [(n, 120.0 - 2.0 * n) for n in (1, 5, 10, 25, 40)]
+        bulk = bulk_cache.hit_probability_many(spec, points)
+        scalar = [scalar_cache.hit_probability(spec, n, b) for n, b in points]
+        assert bulk == scalar
 
     def test_eviction_bounds_memory(self):
         spec = _spec()

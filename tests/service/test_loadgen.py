@@ -106,9 +106,34 @@ class TestLoadReport:
     def test_percentiles(self):
         report = LoadReport(mode="wall")
         report.latencies_ms = [float(v) for v in range(1, 101)]
-        assert report.latency_percentile(0.50) == 51.0
-        assert report.latency_percentile(0.99) == 100.0
+        # Nearest-rank: ceil(q*N) over 100 samples 1..100 is just q*100.
+        assert report.latency_percentile(0.50) == 50.0
+        assert report.latency_percentile(0.99) == 99.0
         assert report.latency_percentile(0.0) == 1.0
+        assert report.latency_percentile(1.0) == 100.0
+
+    def test_percentiles_nearest_rank_even_sample(self):
+        report = LoadReport(mode="wall")
+        report.latencies_ms = [10.0, 20.0, 30.0, 40.0]
+        # ceil(0.5*4)=2 -> 20, ceil(0.9*4)=4 -> 40, ceil(0.99*4)=4 -> 40.
+        assert report.latency_percentile(0.50) == 20.0
+        assert report.latency_percentile(0.90) == 40.0
+        assert report.latency_percentile(0.99) == 40.0
+
+    def test_percentiles_nearest_rank_odd_sample(self):
+        report = LoadReport(mode="wall")
+        report.latencies_ms = [50.0, 10.0, 30.0, 20.0, 40.0]  # unsorted on purpose
+        # ceil(0.5*5)=3 -> 30 (the true median), ceil(0.9*5)=5 -> 50,
+        # ceil(0.99*5)=5 -> 50.
+        assert report.latency_percentile(0.50) == 30.0
+        assert report.latency_percentile(0.90) == 50.0
+        assert report.latency_percentile(0.99) == 50.0
+
+    def test_percentile_single_sample(self):
+        report = LoadReport(mode="wall")
+        report.latencies_ms = [7.0]
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert report.latency_percentile(q) == 7.0
 
     def test_percentile_validation_and_empty(self):
         report = LoadReport(mode="wall")

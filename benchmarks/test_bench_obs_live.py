@@ -1,0 +1,125 @@
+"""Live-scrape overhead benchmark: scraping must not tax the decision path.
+
+Runs the same deterministic admission workload twice through a fully
+instrumented engine — registry, SLO monitor, decision histogram — once
+untouched and once with a ``metrics`` + ``health`` scrape interleaved every
+``SCRAPE_EVERY`` decisions, timing only the decision blocks.  The scraped
+run's decision time must stay within 10% of the quiet one (median of
+several rounds): the endpoint only renders, so if this bound regresses,
+someone made the *decision* path do extra work on behalf of scrapers
+(snapshotting per request, locking, cache thrash).  The scrape calls
+themselves are timed separately and land in the JSON artifact with the
+overhead so CI can archive both trends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.parameters import SystemConfiguration
+from repro.obs.catalog import catalog_registry
+from repro.obs.slo import SLOConfig
+from repro.service.clock import VirtualClock
+from repro.service.engine import AdmissionEngine
+from repro.service.protocol import Request
+from repro.vod.movie import Movie, MovieCatalog
+
+#: Where the overhead payload lands (CI uploads it as an artifact).
+TIMING_PATH = Path(os.environ.get("OBS_LIVE_BENCH_JSON", "obs_live_overhead.json"))
+
+ROUNDS = 5
+SESSIONS = 1500
+SCRAPE_EVERY = 50
+OVERHEAD_BOUND = 0.10
+
+
+def _build_engine() -> AdmissionEngine:
+    movies = [
+        Movie(0, "hot", 100.0, popularity=0.6),
+        Movie(1, "warm", 90.0, popularity=0.3),
+        Movie(2, "cold", 80.0, popularity=0.1),
+    ]
+    plan = {
+        0: SystemConfiguration(movie_length=100.0, num_partitions=5,
+                               buffer_minutes=50.0),
+        1: SystemConfiguration(movie_length=90.0, num_partitions=3,
+                               buffer_minutes=30.0),
+    }
+    return AdmissionEngine(
+        MovieCatalog(movies, popular_count=2), plan, 12,
+        reserve_streams=1, clock=VirtualClock(),
+        registry=catalog_registry(), slo=SLOConfig(),
+    )
+
+
+def _drive(scrape: bool) -> tuple[float, float, int]:
+    """One round: (decision seconds, scrape seconds, scrapes served).
+
+    Both runs time the decision work in identical ``SCRAPE_EVERY``-sized
+    blocks so the timing overhead cancels; only the scraped run executes
+    the (separately timed) admin requests between blocks.
+    """
+    engine = _build_engine()
+    decision_seconds = 0.0
+    scrape_seconds = 0.0
+    for block_start in range(0, SESSIONS, SCRAPE_EVERY):
+        started = time.perf_counter()
+        for session in range(block_start, block_start + SCRAPE_EVERY):
+            engine.handle(Request(
+                request_id=session, kind="session_start",
+                session=session, movie=session % 2,
+            ))
+            engine.handle(Request(
+                request_id=session, kind="session_end", session=session,
+            ))
+        decision_seconds += time.perf_counter() - started
+        if scrape:
+            started = time.perf_counter()
+            engine.handle(Request(request_id=0, kind="metrics"))
+            engine.handle(Request(request_id=0, kind="health"))
+            scrape_seconds += time.perf_counter() - started
+    return decision_seconds, scrape_seconds, engine.scrape.scrapes_served
+
+
+def _median_run(scrape: bool) -> tuple[float, float, int]:
+    rounds = [_drive(scrape) for _ in range(ROUNDS)]
+    decision_median = statistics.median(r[0] for r in rounds)
+    scrape_median = statistics.median(r[1] for r in rounds)
+    return decision_median, scrape_median, rounds[-1][2]
+
+
+def test_scrape_under_load_overhead_within_10_percent():
+    quiet_seconds, _, _ = _median_run(scrape=False)
+    scraped_seconds, scrape_seconds, scrapes = _median_run(scrape=True)
+    assert scrapes == 2 * (SESSIONS // SCRAPE_EVERY)
+
+    overhead = scraped_seconds / quiet_seconds - 1.0
+    payload = {
+        "rounds": ROUNDS,
+        "sessions": SESSIONS,
+        "scrape_every": SCRAPE_EVERY,
+        "scrapes_served": scrapes,
+        "quiet_decision_seconds": quiet_seconds,
+        "scraped_decision_seconds": scraped_seconds,
+        "scrape_seconds": scrape_seconds,
+        "seconds_per_scrape": scrape_seconds / scrapes,
+        "overhead": overhead,
+        "bound": OVERHEAD_BOUND,
+    }
+    TIMING_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nlive-scrape overhead: quiet {quiet_seconds * 1e3:.1f}ms, "
+        f"scraped {scraped_seconds * 1e3:.1f}ms ({overhead:+.1%}); "
+        f"{scrapes} scrapes cost {scrape_seconds * 1e3:.1f}ms "
+        f"({scrape_seconds / scrapes * 1e6:.0f}us each) -> {TIMING_PATH}"
+    )
+
+    assert overhead <= OVERHEAD_BOUND, (
+        f"decisions ran {overhead:+.1%} slower with a scrape every "
+        f"{SCRAPE_EVERY} decisions (median of {ROUNDS}); scraping must not "
+        f"perturb the decision path"
+    )

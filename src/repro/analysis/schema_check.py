@@ -11,7 +11,12 @@ offending path executes; these rules close the gap statically:
   it cannot be checked, so it needs an explicit ``# lint: allow`` with a
   human on the hook;
 * every literal ``repro_*`` family name at a ``.counter/.gauge/.histogram``
-  site must be declared in the catalog, and every declared name must be used.
+  site must be declared in the catalog, and every declared name must be used;
+* a *dynamic* family name is flagged when the receiver is registry-shaped
+  (an identifier ending in ``registry``) or the name is an f-string with a
+  ``repro_`` literal prefix — those are ObsRegistry registrations the
+  catalog cross-check cannot see, so they must be made literal (or allowed
+  explicitly).  Sim-internal tallies on other receivers stay out of scope.
 
 The "declared but never used" direction only fires when the scanned tree
 contains the schema module itself (``repro.obs.trace`` / ``repro.obs.catalog``)
@@ -48,6 +53,32 @@ def _first_arg_literal(call: ast.Call, constants: Dict[str, str]) -> str | None:
     if isinstance(arg, ast.Name):
         return constants.get(arg.id)
     return None
+
+
+def _receiver_identifier(func: ast.Attribute) -> str | None:
+    """The final identifier of the call's receiver (``self._registry`` ->
+    ``_registry``, ``registry`` -> ``registry``); ``None`` for expressions."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+def _repro_fstring_prefix(call: ast.Call) -> bool:
+    """Is the first argument an f-string whose literal head says ``repro_``?"""
+    if not call.args:
+        return False
+    arg = call.args[0]
+    if not isinstance(arg, ast.JoinedStr) or not arg.values:
+        return False
+    head = arg.values[0]
+    return (
+        isinstance(head, ast.Constant)
+        and isinstance(head.value, str)
+        and head.value.startswith("repro_")
+    )
 
 
 @register_rule
@@ -158,9 +189,27 @@ class MetricSchemaRule:
             ):
                 continue
             name = _first_arg_literal(node, constants)
-            if name is None or not name.startswith("repro_"):
-                # Sim-internal tallies and dynamic names are out of scope;
-                # the repro_ prefix is what marks an ObsRegistry family.
+            if name is None:
+                receiver = _receiver_identifier(node.func)
+                registry_shaped = receiver is not None and receiver.lower().endswith(
+                    "registry"
+                )
+                if registry_shaped or _repro_fstring_prefix(node):
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "dynamic metric family name at an ObsRegistry "
+                            "registration site cannot be checked against "
+                            "METRIC_CATALOG; use a literal or allow explicitly"
+                        ),
+                    )
+                continue
+            if not name.startswith("repro_"):
+                # Sim-internal tallies are out of scope; the repro_ prefix is
+                # what marks an ObsRegistry family.
                 continue
             self.used.append((name, module.relpath, node.lineno))
             if name not in self.catalog:

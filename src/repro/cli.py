@@ -249,6 +249,36 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="validate a structured trace against the event schema"
     )
     obs_validate.add_argument("trace", type=Path, help="JSONL trace file")
+    obs_trace = obs_sub.add_parser(
+        "trace", help="reconstruct one request's causal chain from a v4 trace"
+    )
+    obs_trace.add_argument("trace", type=Path, help="JSONL trace file")
+    obs_trace.add_argument(
+        "--request", required=True, metavar="TRACE_ID",
+        help="the request's trace id (e.g. req-000042)",
+    )
+    obs_scrape = obs_sub.add_parser(
+        "scrape", help="scrape a live admission service's metrics/health verbs"
+    )
+    obs_scrape.add_argument("--host", default="127.0.0.1", help="server address")
+    obs_scrape.add_argument("--port", type=int, default=7733, help="server port")
+    obs_scrape.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        dest="scrape_format", help="exposition format for the metrics verb",
+    )
+    obs_scrape.add_argument(
+        "--health", action="store_true",
+        help="scrape the health verb instead of metrics",
+    )
+    obs_scrape.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the scraped body to FILE instead of stdout",
+    )
+    obs_scrape.add_argument(
+        "--assert-monotonic", type=Path, default=None, metavar="PREV",
+        help="diff against a previous Prometheus scrape file; exit 1 if any "
+        "repro_* counter regressed or vanished",
+    )
 
     faults_cmd = sub.add_parser(
         "faults", help="deterministic fault injection and graceful degradation"
@@ -337,6 +367,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--fault-capacity-recovery", type=float, default=None, metavar="MIN",
         help="restore capacity this many service minutes after the fault",
+    )
+    serve_cmd.add_argument(
+        "--fault-latency-at", type=float, default=None, metavar="MIN",
+        help="inject extra per-decision latency from this service minute",
+    )
+    serve_cmd.add_argument(
+        "--fault-latency-seconds", type=float, default=1.0, metavar="SEC",
+        help="injected seconds of engine time for --fault-latency-at",
+    )
+    serve_cmd.add_argument(
+        "--fault-latency-recovery", type=float, default=None, metavar="MIN",
+        help="clear the latency fault this many service minutes after onset",
+    )
+    serve_cmd.add_argument(
+        "--slo-p99", type=float, default=0.5, metavar="SEC",
+        help="p99 request-latency SLO threshold in seconds",
+    )
+    serve_cmd.add_argument(
+        "--no-slo", action="store_true",
+        help="disable burn-rate SLO monitoring (and SLO-armed shedding)",
     )
     _add_obs_outputs(serve_cmd)
 
@@ -515,7 +565,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.sizing.planner import SystemSizer
     from repro.sizing.reservation import VCRLoadModel
 
-    spec_data = json.loads(args.spec.read_text())
+    if not args.spec.exists():
+        print(f"spec file not found: {args.spec}", file=sys.stderr)
+        return 2
+    try:
+        spec_data = json.loads(args.spec.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"invalid spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
     movies = spec_data.get("movies")
     if not movies:
         print("spec must contain a non-empty 'movies' list", file=sys.stderr)
@@ -599,7 +656,12 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 def _parse_plan_spec(path: Path):
     """Shared spec parsing for ``plan`` and ``simulate``."""
-    spec_data = json.loads(path.read_text())
+    if not path.exists():
+        raise ValueError(f"spec file not found: {path}")
+    try:
+        spec_data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid spec {path}: {exc}") from exc
     movies = spec_data.get("movies")
     if not movies:
         raise ValueError("spec must contain a non-empty 'movies' list")
@@ -809,9 +871,11 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Inspect observability artifacts."""
     from repro.exceptions import TraceSchemaError
-    from repro.obs.summarize import summarize_trace
+    from repro.obs.summarize import reconstruct_request, summarize_trace
     from repro.obs.trace import validate_trace_file
 
+    if args.obs_command == "scrape":
+        return _cmd_obs_scrape(args)
     if not args.trace.exists():
         print(f"trace file not found: {args.trace}", file=sys.stderr)
         return 2
@@ -820,12 +884,87 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             count = validate_trace_file(args.trace)
             print(f"{args.trace}: {count} events, schema OK")
             return 0
+        if args.obs_command == "trace":
+            chain = reconstruct_request(args.trace, args.request)
+            if not chain.events:
+                print(
+                    f"no events carry trace_id {args.request!r} in {args.trace}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(chain.render())
+            return 0 if chain.complete else 1
         summary = summarize_trace(args.trace, timeline_buckets=args.buckets)
         print(summary.render())
         return 0
     except TraceSchemaError as exc:
         print(f"invalid trace {args.trace}: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_obs_scrape(args: argparse.Namespace) -> int:
+    """Scrape a live service's metrics/health verb over the wire."""
+    import asyncio
+
+    from repro.exceptions import ObservabilityError, ProtocolError
+    from repro.obs.scrape import monotonic_regressions, parse_exposition
+    from repro.service.protocol import Request, decode_response, encode_request
+
+    async def _scrape() -> str:
+        reader, writer = await asyncio.open_connection(
+            args.host, args.port, limit=1 << 20
+        )
+        try:
+            if args.health:
+                request = Request(request_id=0, kind="health")
+            else:
+                request = Request(
+                    request_id=0, kind="metrics", format=args.scrape_format
+                )
+            writer.write((encode_request(request) + "\n").encode("utf-8"))
+            await writer.drain()
+            raw = await reader.readline()
+        finally:
+            writer.close()
+        if not raw:
+            raise ObservabilityError("server closed the connection mid-scrape")
+        response = decode_response(raw.decode("utf-8"))
+        if response.decision != "ok" or response.body is None:
+            raise ObservabilityError(
+                f"scrape refused: {response.reason} ({response.error or 'no body'})"
+            )
+        return response.body
+
+    try:
+        body = asyncio.run(_scrape())
+    except (OSError, ProtocolError, ObservabilityError) as exc:
+        print(f"scrape failed: {exc}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        args.out.write_text(body + ("" if body.endswith("\n") else "\n"))
+        print(f"wrote {args.out}")
+    else:
+        print(body)
+    if args.assert_monotonic is not None:
+        if args.health or args.scrape_format != "prometheus":
+            print(
+                "--assert-monotonic needs a prometheus metrics scrape",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            previous = parse_exposition(args.assert_monotonic.read_text())
+            current = parse_exposition(body)
+        except (OSError, ObservabilityError) as exc:
+            print(f"cannot diff scrapes: {exc}", file=sys.stderr)
+            return 2
+        regressions = monotonic_regressions(previous, current)
+        if regressions:
+            for regression in regressions:
+                print(f"monotonicity violation: {regression}", file=sys.stderr)
+            return 1
+        print(f"monotonic vs {args.assert_monotonic}: OK")
+    return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -928,6 +1067,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro.exceptions import ReproError
+    from repro.obs.catalog import catalog_registry
+    from repro.obs.slo import SLOConfig
     from repro.service import AdmissionEngine, AdmissionService, ServiceFaultConfig, WallClock
 
     try:
@@ -939,6 +1080,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             capacity_fault_at=args.fault_capacity_at,
             capacity_fraction=args.fault_capacity_fraction,
             capacity_recovery=args.fault_capacity_recovery,
+            latency_fault_at=args.fault_latency_at,
+            latency_fault_seconds=args.fault_latency_seconds,
+            latency_fault_recovery=args.fault_latency_recovery,
+        )
+        slo = (
+            None
+            if args.no_slo
+            else SLOConfig(latency_threshold_seconds=args.slo_p99)
         )
         if args.max_in_flight < 1:
             raise ReproError(f"--max-in-flight must be >= 1, got {args.max_in_flight}")
@@ -948,7 +1097,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"invalid service configuration: {exc}", file=sys.stderr)
         return 2
     tracer = _open_tracer(args)
-    registry = ObsRegistry()
+    registry = catalog_registry()
     decision_log = (
         args.decision_log.open("w") if args.decision_log is not None else None
     )
@@ -964,6 +1113,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             decision_log=decision_log,
             tick_minutes=args.tick,
             faults=faults,
+            slo=slo,
         )
         if not args.no_replan:
             engine.attach_controller(
@@ -1029,6 +1179,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.exceptions import ReproError
+    from repro.obs.catalog import catalog_registry
     from repro.service import AdmissionEngine, VirtualClock, run_virtual, run_wall
     from repro.service.bootstrap import workload_for
 
@@ -1048,7 +1199,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print("workload horizon produced no sessions", file=sys.stderr)
         return 2
     tracer = _open_tracer(args)
-    registry = ObsRegistry()
+    registry = catalog_registry()
     decision_log = (
         args.decision_log.open("w") if args.decision_log is not None else None
     )

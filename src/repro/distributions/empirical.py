@@ -78,7 +78,15 @@ class EmpiricalDuration(DurationDistribution):
     def ppf(self, q: float) -> float:
         if not 0.0 < q < 1.0:
             return super().ppf(q)
-        return float(np.interp(q, self._probs, self._knots))
+        x = float(np.interp(q, self._probs, self._knots))
+        if self.cdf(x) < q:
+            # Interpolating across a near-degenerate knot gap can underflow x
+            # to the left of where the CDF reaches q (e.g. knots a subnormal
+            # apart); fall back to the segment's right knot, which satisfies
+            # the defining inequality cdf(ppf(q)) >= q exactly.
+            idx = int(np.searchsorted(self._probs, q, side="left"))
+            x = float(self._knots[min(idx, self._knots.size - 1)])
+        return x
 
     def sample(self, rng: np.random.Generator, size: int | None = None):
         qs = rng.uniform(0.0, 1.0, size=size)

@@ -17,6 +17,12 @@ needs watched end-to-end:
   the :class:`TracingObserver` server bridge;
 * :mod:`repro.obs.summarize` — trace replay into a run report (observed vs
   predicted ``P(hit)``, stream occupancy timeline, VCR mix);
+* :mod:`repro.obs.context` — request-scoped trace contexts (deterministic
+  trace/span ids threaded engine → gate → control loop → actuator);
+* :mod:`repro.obs.scrape` — the live scrape endpoint plus the client-side
+  exposition parser and counter-monotonicity differ;
+* :mod:`repro.obs.slo` — burn-rate SLO monitoring (p99 latency, deny rate)
+  over deterministic service-clock windows;
 * :mod:`repro.obs.log` — the library-wide :mod:`logging` hierarchy the CLI
   configures via ``-v``/``-q``.
 
@@ -32,10 +38,13 @@ from repro.obs.adapters import (
     export_parallel_outcome,
     export_sim_metrics,
 )
+from repro.obs.catalog import METRIC_CATALOG, catalog_registry
+from repro.obs.context import RequestContext, mint_trace_id
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    REQUEST_LATENCY_BUCKETS,
     TIER_PROCESS,
     TIER_STABLE,
     Counter,
@@ -44,12 +53,22 @@ from repro.obs.registry import (
     MetricFamily,
     ObsRegistry,
     default_registry,
+    log_buckets,
     set_default_registry,
 )
+from repro.obs.scrape import (
+    Exposition,
+    ScrapeEndpoint,
+    monotonic_regressions,
+    parse_exposition,
+)
+from repro.obs.slo import SLOAlert, SLOConfig, SLOMonitor
 from repro.obs.spans import Span, span
 from repro.obs.summarize import (
     MovieSummary,
+    RequestChain,
     TraceSummary,
+    reconstruct_request,
     summarize_trace,
     wilson_interval,
 )
@@ -70,9 +89,13 @@ __all__ = [
     "MetricFamily",
     "ObsRegistry",
     "DEFAULT_BUCKETS",
+    "REQUEST_LATENCY_BUCKETS",
     "TIER_STABLE",
     "TIER_PROCESS",
+    "METRIC_CATALOG",
+    "catalog_registry",
     "default_registry",
+    "log_buckets",
     "set_default_registry",
     "TraceWriter",
     "NullTraceWriter",
@@ -81,6 +104,15 @@ __all__ = [
     "read_trace",
     "validate_event",
     "validate_trace_file",
+    "RequestContext",
+    "mint_trace_id",
+    "ScrapeEndpoint",
+    "Exposition",
+    "parse_exposition",
+    "monotonic_regressions",
+    "SLOAlert",
+    "SLOConfig",
+    "SLOMonitor",
     "Span",
     "span",
     "TracingObserver",
@@ -89,7 +121,9 @@ __all__ = [
     "export_controller_counters",
     "export_parallel_outcome",
     "MovieSummary",
+    "RequestChain",
     "TraceSummary",
+    "reconstruct_request",
     "summarize_trace",
     "wilson_interval",
     "get_logger",

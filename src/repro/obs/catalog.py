@@ -16,7 +16,9 @@ families below; they are deliberately *not* part of this catalog.
 
 from __future__ import annotations
 
-__all__ = ["METRIC_CATALOG"]
+from repro.obs.registry import ObsRegistry
+
+__all__ = ["METRIC_CATALOG", "catalog_registry"]
 
 #: Every declared ObsRegistry metric family name.  Keep sorted.
 METRIC_CATALOG: frozenset[str] = frozenset(
@@ -39,10 +41,16 @@ METRIC_CATALOG: frozenset[str] = frozenset(
         "repro_parallel_shard_seconds",
         "repro_parallel_shard_tasks",
         "repro_parallel_workers",
+        # Request-scoped telemetry (repro.service.engine).
+        "repro_request_latency_seconds",
         # Live admission service (repro.service).
         "repro_service_decisions_total",
         "repro_service_inflight_requests",
         "repro_service_request_latency_seconds",
+        # SLO monitor (repro.obs.slo).
+        "repro_slo_alerts_total",
+        "repro_slo_breaching",
+        "repro_slo_burn_rate",
         # Simulation exports (repro.obs.adapters).
         "repro_sim_events_total",
         "repro_sim_tally_mean",
@@ -51,3 +59,14 @@ METRIC_CATALOG: frozenset[str] = frozenset(
         "repro_span_seconds",
     }
 )
+
+
+def catalog_registry() -> ObsRegistry:
+    """An :class:`ObsRegistry` with runtime catalog enforcement armed.
+
+    Long-lived deployments construct their registry here so that any
+    ``repro_*`` family name missing from :data:`METRIC_CATALOG` raises at
+    registration time — the runtime counterpart of the static
+    ``metric-schema`` lint rule.
+    """
+    return ObsRegistry(catalog=METRIC_CATALOG)

@@ -1,0 +1,79 @@
+"""Request-scoped trace context for the live admission service.
+
+A :class:`RequestContext` is minted per protocol request by the component
+that first sees it (the engine for in-process virtual runs, the server for
+TCP requests) and handed down through the layers that act on the request —
+``AdmissionEngine`` → ``RuntimeAdmissionGate`` → ``GuardedControlLoop`` →
+actuator.  Every trace event those layers emit while holding the context
+carries its ``trace_id``, so one grep (or ``repro-vod obs trace --request``)
+reconstructs the request's full causal chain.
+
+Determinism contract: trace ids are minted from a per-engine monotone
+counter, never from wall clock or randomness, so two virtual-clock runs of
+the same workload mint identical ids.  Span ids are ``trace_id:name`` with
+deterministic layer names ("root", "gate", "tick", "actuate"); entering a
+span again appends ``#2``, ``#3``, … so repeated ticks stay distinct.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RequestContext", "mint_trace_id"]
+
+
+def mint_trace_id(sequence: int) -> str:
+    """The deterministic trace id for the ``sequence``-th request."""
+    return f"req-{sequence:06d}"
+
+
+class RequestContext:
+    """One request's trace identity and latency accounting.
+
+    ``received_seconds`` is the service-clock reading (seconds) when the
+    request line was read off the wire; ``queue_wait_seconds`` is how long
+    it sat behind the in-flight limiter before the engine saw it.  Both are
+    exactly 0.0-valued deltas on a virtual clock, keeping deterministic
+    traces byte-identical.
+    """
+
+    __slots__ = ("trace_id", "received_seconds", "queue_wait_seconds", "_spans")
+
+    def __init__(
+        self,
+        trace_id: str,
+        received_seconds: float = 0.0,
+        queue_wait_seconds: float = 0.0,
+    ) -> None:
+        self.trace_id = trace_id
+        self.received_seconds = float(received_seconds)
+        self.queue_wait_seconds = float(queue_wait_seconds)
+        self._spans: list[str] = [f"{trace_id}:root"]
+
+    @property
+    def root_span(self) -> str:
+        """The request's root span id."""
+        return self._spans[0]
+
+    @property
+    def current_span(self) -> str:
+        """The most recently entered span id (root before any ``enter``)."""
+        return self._spans[-1]
+
+    @property
+    def spans(self) -> tuple[str, ...]:
+        """Every span entered so far, in order, starting with root."""
+        return tuple(self._spans)
+
+    def enter(self, name: str) -> str:
+        """Enter a child span named for the layer doing the work.
+
+        Returns the new span id; repeated entries of the same name get a
+        ``#k`` suffix so each occurrence stays addressable.
+        """
+        span_id = f"{self.trace_id}:{name}"
+        occurrence = sum(
+            1 for s in self._spans if s == span_id or s.startswith(span_id + "#")
+        )
+        if occurrence:
+            span_id = f"{span_id}#{occurrence + 1}"
+        self._spans.append(span_id)
+        return span_id

@@ -31,6 +31,8 @@ __all__ = [
     "TIER_STABLE",
     "TIER_PROCESS",
     "DEFAULT_BUCKETS",
+    "REQUEST_LATENCY_BUCKETS",
+    "log_buckets",
     "Counter",
     "Gauge",
     "Histogram",
@@ -47,6 +49,48 @@ TIER_PROCESS = "process"
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
 )
+
+
+def log_buckets(
+    lower: float,
+    upper: float,
+    mantissas: Sequence[float] = (1.0, 2.0, 5.0),
+) -> tuple[float, ...]:
+    """Fixed log-spaced histogram bucket upper bounds.
+
+    Walks the ``mantissa * 10^k`` ladder from the first edge at or above
+    ``lower`` up to ``upper`` (always the final edge), so the buckets are a
+    pure function of the arguments — every process, run and worker count
+    builds the same ladder, keeping expositions byte-comparable.
+    """
+    if lower <= 0.0:
+        raise ObservabilityError(f"log_buckets lower must be > 0, got {lower}")
+    if upper <= lower:
+        raise ObservabilityError(
+            f"log_buckets upper must exceed lower, got [{lower}, {upper}]"
+        )
+    if not mantissas or any(not 1.0 <= m < 10.0 for m in mantissas):
+        raise ObservabilityError(
+            f"log_buckets mantissas must lie in [1, 10), got {mantissas!r}"
+        )
+    edges: list[float] = []
+    exponent = math.floor(math.log10(lower)) - 1
+    while True:
+        for mantissa in sorted(mantissas):
+            edge = mantissa * 10.0 ** exponent
+            if edge < lower:
+                continue
+            if edge >= upper:
+                edges.append(upper)
+                return tuple(edges)
+            edges.append(edge)
+        exponent += 1
+
+
+#: The request-latency ladder (seconds): 100 microseconds to one minute on
+#: the 1-2-5 decade ladder.  Shared by the live service histogram and the
+#: SLO monitor so their quantile readouts agree by construction.
+REQUEST_LATENCY_BUCKETS: tuple[float, ...] = log_buckets(1e-4, 60.0)
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -154,6 +198,29 @@ class Histogram:
             out.append((upper, running))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile readout from the bucket counts.
+
+        Returns the upper bound of the bucket holding the rank-``ceil(q*N)``
+        observation — the same nearest-rank definition as
+        :meth:`repro.service.loadgen.LoadReport.latency_percentile`, so the
+        two readouts agree exactly whenever observations land on bucket
+        edges, and the histogram otherwise overestimates by at most one
+        bucket width.  Observations beyond the top bucket read as ``+Inf``;
+        an empty histogram reads 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self._count))
+        running = 0
+        for upper, count in zip(self._buckets, self._counts):
+            running += count
+            if running >= rank:
+                return upper
+        return math.inf
+
 
 class MetricFamily:
     """One named metric with a fixed label schema and typed children.
@@ -238,10 +305,20 @@ class MetricFamily:
 
 
 class ObsRegistry:
-    """A named collection of metric families with deterministic exposition."""
+    """A named collection of metric families with deterministic exposition.
 
-    def __init__(self) -> None:
+    ``catalog`` optionally arms runtime catalog enforcement: registering any
+    ``repro_``-prefixed family whose name is not in the given frozenset
+    raises :class:`~repro.exceptions.ObservabilityError`.  Long-lived
+    deployments (``repro-vod serve``) arm it with
+    :data:`repro.obs.catalog.METRIC_CATALOG` so a typo'd or undeclared
+    metric name fails loudly at registration instead of silently forking a
+    new time series — the runtime half of the static ``metric-schema`` lint.
+    """
+
+    def __init__(self, catalog: frozenset[str] | None = None) -> None:
         self._families: Dict[str, MetricFamily] = {}
+        self._catalog = catalog
 
     def _family(
         self,
@@ -260,6 +337,16 @@ class ObsRegistry:
                     f"kind/label schema"
                 )
             return family
+        if (
+            self._catalog is not None
+            and name.startswith("repro_")
+            and name not in self._catalog
+        ):
+            raise ObservabilityError(
+                f"metric {name!r} is not declared in METRIC_CATALOG; "
+                f"add it to repro.obs.catalog (and the pinned self-check) "
+                f"before registering it at runtime"
+            )
         family = MetricFamily(name, kind, help_text, labelnames, tier, buckets)
         self._families[name] = family
         return family

@@ -1,0 +1,223 @@
+"""Live scrape endpoint: on-demand exposition from a running service.
+
+PR 3's observability was post-hoc — metrics files written after a run ends.
+This module makes the same :class:`~repro.obs.registry.ObsRegistry` text
+available *while the service runs*: :class:`ScrapeEndpoint` renders the
+registry (and a health snapshot) on demand, and the admission protocol's
+``metrics``/``health`` verbs serve it over the existing JSON-line socket —
+no sidecar listener, no second port, no new dependency.
+
+The other half is the client: :func:`parse_exposition` parses Prometheus
+text back into typed samples so the load generator can cross-check its own
+:class:`~repro.service.loadgen.LoadReport` against a live scrape, and
+:func:`monotonic_regressions` diffs two scrapes for counter monotonicity
+(the CI smoke check and ``repro-vod obs scrape --assert-monotonic``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.exceptions import ObservabilityError
+from repro.obs.registry import ObsRegistry
+
+__all__ = [
+    "ScrapeEndpoint",
+    "Exposition",
+    "parse_exposition",
+    "monotonic_regressions",
+]
+
+#: Scrape formats the endpoint can render.
+_FORMATS = ("prometheus", "json")
+
+
+class ScrapeEndpoint:
+    """Renders a live registry (and health snapshot) on demand.
+
+    ``health_source`` is an optional zero-argument callable returning a
+    JSON-serialisable dict (the engine's view of itself: clock, sessions,
+    stream occupancy, SLO state).  The endpoint merely renders; it never
+    mutates the registry, so scraping is safe mid-request.
+    """
+
+    def __init__(
+        self,
+        registry: ObsRegistry,
+        health_source: Callable[[], dict] | None = None,
+    ) -> None:
+        self._registry = registry
+        self._health_source = health_source
+        self.scrapes_served = 0
+
+    def metrics(self, format: str = "prometheus", include_process: bool = True) -> str:
+        """One exposition of the registry.
+
+        Live scrapes default to ``include_process=True`` — an operator
+        watching a running server wants wall-clock latency families too;
+        the deterministic stable-tier contract applies to *exported files*,
+        not to interactive reads.
+        """
+        if format not in _FORMATS:
+            raise ObservabilityError(
+                f"unknown scrape format {format!r} (expected one of {_FORMATS})"
+            )
+        self.scrapes_served += 1
+        if format == "json":
+            return json.dumps(
+                self._registry.to_json(include_process=include_process),
+                sort_keys=True,
+            )
+        return self._registry.render_prometheus(include_process=include_process)
+
+    def health(self) -> dict:
+        """The health snapshot (``{"status": "ok"}`` without a source)."""
+        self.scrapes_served += 1
+        if self._health_source is None:
+            return {"status": "ok"}
+        snapshot = dict(self._health_source())
+        snapshot.setdefault("status", "ok")
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# Client side: parsing and diffing expositions.
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: A parsed sample key: the label set as a sorted tuple of (name, value).
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(raw: str, line: int) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    try:
+        return float(raw)
+    except ValueError:
+        raise ObservabilityError(
+            f"exposition line {line}: unparseable sample value {raw!r}"
+        ) from None
+
+
+@dataclass
+class Exposition:
+    """A parsed Prometheus text exposition.
+
+    ``types`` maps family name -> declared kind (from ``# TYPE`` lines);
+    ``samples`` maps *sample* name (``family``, ``family_bucket``, …) ->
+    label key -> value.
+    """
+
+    types: Dict[str, str] = field(default_factory=dict)
+    samples: Dict[str, Dict[LabelKey, float]] = field(default_factory=dict)
+
+    def value(self, name: str, **labels: str) -> float | None:
+        """The sample's value, or ``None`` if that series was not scraped."""
+        key: LabelKey = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return self.samples.get(name, {}).get(key)
+
+    def family_total(self, name: str) -> float:
+        """Sum of every series of the plainly-named sample ``name``."""
+        return sum(self.samples.get(name, {}).values())
+
+    def counter_samples(self) -> Dict[str, Dict[LabelKey, float]]:
+        """Every sample that must be monotone across scrapes of one process:
+        counter series plus histogram ``_bucket``/``_count``/``_sum``."""
+        out: Dict[str, Dict[LabelKey, float]] = {}
+        for family, kind in self.types.items():
+            if kind == "counter" and family in self.samples:
+                out[family] = self.samples[family]
+            elif kind == "histogram":
+                for suffix in ("_bucket", "_count", "_sum"):
+                    sample = family + suffix
+                    if sample in self.samples:
+                        out[sample] = self.samples[sample]
+        return out
+
+
+def parse_exposition(text: str) -> Exposition:
+    """Parse Prometheus text exposition (version 0.0.4) into samples.
+
+    Strict enough to catch a truncated or interleaved scrape: every
+    non-comment line must parse as ``name[{labels}] value`` and duplicate
+    series are an error.
+    """
+    exposition = Exposition()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                exposition.types[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ObservabilityError(
+                f"exposition line {line_number}: unparseable sample {line!r}"
+            )
+        labels_raw = match.group("labels")
+        key: LabelKey = ()
+        if labels_raw:
+            key = tuple(
+                sorted(
+                    (name, _unescape_label(value))
+                    for name, value in _LABEL_PAIR_RE.findall(labels_raw)
+                )
+            )
+        series = exposition.samples.setdefault(match.group("name"), {})
+        if key in series:
+            raise ObservabilityError(
+                f"exposition line {line_number}: duplicate series "
+                f"{match.group('name')}{dict(key)}"
+            )
+        series[key] = _parse_value(match.group("value"), line_number)
+    return exposition
+
+
+def monotonic_regressions(
+    previous: Exposition, current: Exposition, prefix: str = "repro_"
+) -> list[str]:
+    """Counter samples that went backwards (or vanished) between scrapes.
+
+    Two scrapes of one live process must never show a ``prefix``-named
+    counter (or histogram bucket/count/sum) decreasing; a regression means
+    the server restarted mid-test or the exposition is lying.  Returns
+    human-readable descriptions, empty when the diff is clean.
+    """
+    regressions: list[str] = []
+    current_counters = current.counter_samples()
+    for sample, series in sorted(previous.counter_samples().items()):
+        if not sample.startswith(prefix):
+            continue
+        for key, before in sorted(series.items()):
+            after = current_counters.get(sample, {}).get(key)
+            label_text = "{%s}" % ",".join(f'{k}="{v}"' for k, v in key)
+            if after is None:
+                regressions.append(f"{sample}{label_text} vanished")
+            elif after < before:
+                regressions.append(
+                    f"{sample}{label_text} regressed {before} -> {after}"
+                )
+    return regressions

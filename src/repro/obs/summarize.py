@@ -11,7 +11,17 @@ the recorded event stream alone:
 * **stream occupancy timeline** — pool-wide occupancy integrated over
   equal time buckets from ``stream_acquire``/``stream_release`` events;
 * batching and control-plane activity — restarts (and starved restarts),
-  re-plan decisions and actuations, frontier sweeps.
+  re-plan decisions and actuations, frontier sweeps;
+* **service activity** (schema v3+) — request kinds, admission decisions,
+  session close reasons, backpressure rejects and drains;
+* **decision latency** (schema v4) — queue-wait/engine-time quantiles per
+  decision from the ``admission_decision`` latency fields, and any
+  ``slo_alert`` burn-rate transitions the run recorded.
+
+:func:`reconstruct_request` inverts the other axis: given a v4 trace and a
+``trace_id`` it collects that request's causal chain (arrival, any re-plan
+it triggered, the decision, SLO alerts it tipped) as a
+:class:`RequestChain` — the engine behind ``repro-vod obs trace --request``.
 """
 
 from __future__ import annotations
@@ -24,7 +34,14 @@ from typing import Iterable, Mapping
 from repro.numerics.stats import normal_quantile
 from repro.obs.trace import read_trace
 
-__all__ = ["MovieSummary", "TraceSummary", "summarize_trace", "wilson_interval"]
+__all__ = [
+    "MovieSummary",
+    "RequestChain",
+    "TraceSummary",
+    "reconstruct_request",
+    "summarize_trace",
+    "wilson_interval",
+]
 
 
 def wilson_interval(
@@ -110,6 +127,19 @@ class TraceSummary:
     actuations_rejected: int = 0
     #: frontier sweep: name -> (points, feasible points, best feasible n)
     frontiers: dict[str, tuple[int, int, int | None]] = field(default_factory=dict)
+    #: service activity (schema v3+): request kind -> count.
+    requests: dict[str, int] = field(default_factory=dict)
+    #: admission decisions: decision -> count.
+    decisions: dict[str, int] = field(default_factory=dict)
+    #: session close reason -> count (completed / drained / dropped / ...).
+    close_reasons: dict[str, int] = field(default_factory=dict)
+    backpressure_rejects: int = 0
+    drained_sessions: int | None = None
+    #: decision -> sorted-later list of (queue_wait + engine_time) minutes
+    #: from v4 ``admission_decision`` events.
+    decision_latencies: dict[str, list[float]] = field(default_factory=dict)
+    #: (objective, severity) -> count of ``slo_alert`` transitions.
+    slo_alerts: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def movie(self, movie_id: int) -> MovieSummary:
         """Get-or-create one movie's summary bucket."""
@@ -154,6 +184,47 @@ class TraceSummary:
             lines.append(
                 f"frontier {name:<12}: {points} points, {feasible} feasible, {best_text}"
             )
+        lines.extend(self._service_lines())
+        return lines
+
+    def _service_lines(self) -> list[str]:
+        """The live-service block (schema v3+ events), empty for sim traces."""
+        lines: list[str] = []
+        if self.requests:
+            kinds = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(self.requests.items())
+            )
+            lines.append(f"service requests     : {kinds}")
+        if self.decisions:
+            decisions = ", ".join(
+                f"{decision}={count}"
+                for decision, count in sorted(self.decisions.items())
+            )
+            lines.append(f"service decisions    : {decisions}")
+        if self.close_reasons:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.close_reasons.items())
+            )
+            lines.append(f"sessions closed      : {reasons}")
+        if self.backpressure_rejects:
+            lines.append(f"backpressure rejects : {self.backpressure_rejects}")
+        if self.drained_sessions is not None:
+            lines.append(f"drain                : {self.drained_sessions} sessions")
+        for decision in sorted(self.decision_latencies):
+            latencies = self.decision_latencies[decision]
+            p50 = _nearest_rank(latencies, 0.50) * 60e3
+            p99 = _nearest_rank(latencies, 0.99) * 60e3
+            lines.append(
+                f"decision latency     : {decision}: p50 {p50:.3f} ms, "
+                f"p99 {p99:.3f} ms over {len(latencies)} decisions"
+            )
+        if self.slo_alerts:
+            alerts = ", ".join(
+                f"{objective}/{severity}={count}"
+                for (objective, severity), count in sorted(self.slo_alerts.items())
+            )
+            lines.append(f"SLO alerts           : {alerts}")
         return lines
 
     def _movie_lines(self, movie: MovieSummary) -> list[str]:
@@ -201,6 +272,20 @@ class TraceSummary:
     def render(self) -> str:
         """The full report as one string."""
         return "\n".join(self.summary_lines())
+
+
+def _nearest_rank(values: list[float], q: float) -> float:
+    """Nearest-rank quantile (rank ``ceil(q*N)``) over raw observations.
+
+    The same definition :meth:`LoadReport.latency_percentile` and
+    :meth:`Histogram.quantile` use, so every latency readout in the repo
+    agrees on what a p99 is.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
 
 class _OccupancyIntegrator:
@@ -324,6 +409,28 @@ def summarize_trace(
             frontier_raw.setdefault(str(event["name"]), []).append(
                 (int(event["streams"]), bool(event["feasible"]))
             )
+        elif kind == "request_received":
+            request_kind = str(event["kind"])
+            summary.requests[request_kind] = summary.requests.get(request_kind, 0) + 1
+        elif kind == "admission_decision":
+            decision = str(event["decision"])
+            summary.decisions[decision] = summary.decisions.get(decision, 0) + 1
+            queue_wait = event.get("queue_wait")
+            engine_time = event.get("engine_time")
+            if queue_wait is not None and engine_time is not None:
+                summary.decision_latencies.setdefault(decision, []).append(
+                    float(queue_wait) + float(engine_time)
+                )
+        elif kind == "session_closed":
+            reason = str(event["reason"])
+            summary.close_reasons[reason] = summary.close_reasons.get(reason, 0) + 1
+        elif kind == "backpressure_reject":
+            summary.backpressure_rejects += 1
+        elif kind == "drain_complete":
+            summary.drained_sessions = int(event["sessions_closed"])
+        elif kind == "slo_alert":
+            key = (str(event["objective"]), str(event["severity"]))
+            summary.slo_alerts[key] = summary.slo_alerts.get(key, 0) + 1
     summary.start_minutes = first_t or 0.0
     summary.end_minutes = last_t
     summary.occupancy_timeline = occupancy.timeline(
@@ -337,3 +444,116 @@ def summarize_trace(
             max(feasible) if feasible else None,
         )
     return summary
+
+
+# ----------------------------------------------------------------------
+# Per-request causal-chain reconstruction (schema v4).
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RequestChain:
+    """One request's causal chain, rebuilt from its ``trace_id``."""
+
+    trace_id: str
+    #: The chain's events in trace order (envelope fields included).
+    events: list[Mapping] = field(default_factory=list)
+
+    def _first(self, kind: str) -> Mapping | None:
+        for event in self.events:
+            if event["ev"] == kind:
+                return event
+        return None
+
+    @property
+    def request_kind(self) -> str | None:
+        """The wire kind of the request (from ``request_received``)."""
+        received = self._first("request_received")
+        return None if received is None else str(received["kind"])
+
+    @property
+    def decision(self) -> str | None:
+        """The verdict (from ``admission_decision``)."""
+        decided = self._first("admission_decision")
+        return None if decided is None else str(decided["decision"])
+
+    @property
+    def complete(self) -> bool:
+        """True when both the arrival and the decision were traced."""
+        return (
+            self._first("request_received") is not None
+            and self._first("admission_decision") is not None
+        )
+
+    @property
+    def actuated(self) -> bool:
+        """Did this request's arrival trigger a plan actuation?"""
+        return self._first("plan_actuation") is not None
+
+    def summary_lines(self) -> list[str]:
+        """The timeline block ``repro-vod obs trace --request`` prints."""
+        decided = self._first("admission_decision")
+        head = f"request {self.trace_id}"
+        if decided is not None:
+            head += (
+                f": kind={decided['kind']} session={decided['session']}"
+                f" decision={decided['decision']}"
+            )
+        if not self.complete:
+            head += "  [INCOMPLETE CHAIN]"
+        lines = [head]
+        for event in self.events:
+            extras = []
+            if event["ev"] == "admission_decision":
+                extras.append(f"decision={event['decision']}")
+                extras.append(f"span={event.get('parent_span')}")
+                queue_wait = event.get("queue_wait")
+                engine_time = event.get("engine_time")
+                if queue_wait is not None and engine_time is not None:
+                    extras.append(
+                        f"queue={float(queue_wait) * 60e3:.3f}ms"
+                        f" engine={float(engine_time) * 60e3:.3f}ms"
+                    )
+                extras.append(f"reason={event['reason']!r}")
+            elif event["ev"] == "request_received":
+                extras.append(f"kind={event['kind']}")
+                extras.append(f"session={event['session']}")
+            elif event["ev"] == "plan_actuation":
+                extras.append(f"span={event.get('parent_span')}")
+                extras.append(
+                    f"applied={event['applied']} rejected={event['rejected']}"
+                )
+            elif event["ev"] == "slo_alert":
+                extras.append(
+                    f"{event['objective']}/{event['severity']}"
+                    f" breaching={event['breaching']}"
+                )
+            lines.append(
+                f"  t={float(event['t']):<10g} {event['ev']:<20}" + " ".join(extras)
+            )
+        return lines
+
+    def render(self) -> str:
+        """The timeline as one string."""
+        return "\n".join(self.summary_lines())
+
+
+def reconstruct_request(
+    source: str | Path | Iterable[Mapping], trace_id: str
+) -> RequestChain:
+    """Collect every event carrying ``trace_id`` into a :class:`RequestChain`.
+
+    Works on a trace path or an iterable of decoded events; events without a
+    ``trace_id`` field (sim events, other versions) are skipped.  The chain
+    may be empty when the id never appears — callers decide whether that is
+    an error.
+    """
+    if isinstance(source, (str, Path)):
+        events: Iterable[Mapping] = read_trace(source)
+    else:
+        events = source
+    chain = RequestChain(trace_id=trace_id)
+    for event in events:
+        if event.get("trace_id") == trace_id:
+            chain.events.append(event)
+    return chain

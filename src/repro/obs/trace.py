@@ -41,10 +41,11 @@ __all__ = [
     "read_trace",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _NUM = (int, float)
 _OPT_NUM = (int, float, type(None))
+_OPT_STR = (str, type(None))
 
 #: Event type -> {field: allowed JSON types}.  Every field is required;
 #: unknown payload fields are rejected at validation time.
@@ -85,8 +86,16 @@ EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
     "stream_acquire": {"purpose": (str,), "in_use": (int,)},
     "stream_release": {"purpose": (str,), "in_use": (int,), "held_minutes": _NUM},
     # Control plane: one per controller tick, and one per actuated delta.
+    # ``trace_id``/``parent_span`` (schema v4) link an actuation back to the
+    # service request whose tick triggered it; null outside a request scope
+    # (simulator replays, offline control runs).
     "replan_decision": {"outcome": (str,), "tick": (int,)},
-    "plan_actuation": {"applied": (int,), "rejected": (int,)},
+    "plan_actuation": {
+        "applied": (int,),
+        "rejected": (int,),
+        "trace_id": _OPT_STR,
+        "parent_span": _OPT_STR,
+    },
     # Analytic sweeps: one feasibility-frontier point (Figure-8 style).
     "frontier": {
         "name": (str,),
@@ -112,15 +121,26 @@ EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
     # Live admission service (schema v3).  ``t`` is the *service* clock in
     # minutes: the virtual clock in deterministic runs, scaled wall time in
     # live deployments.  ``kind`` is the request type from the wire protocol.
-    "request_received": {"kind": (str,), "session": (int,)},
+    # ``trace_id`` (schema v4) is the deterministic per-request id minted at
+    # receipt; every event of one request's causal chain carries it.
+    "request_received": {"kind": (str,), "session": (int,), "trace_id": (str,)},
     # One per routed request: the control plane's verdict.  ``decision`` is
     # "admit"/"batch"/"reject"/"deny"/"hit"/"miss"/"pong"/"closed"/"error".
+    # Schema v4 adds the causal link (``trace_id``, ``parent_span`` naming
+    # the span that produced the verdict) and the request's latency split:
+    # ``queue_wait``/``engine_time`` are service-clock minutes spent queued
+    # behind the in-flight limiter and inside the decision core (exactly 0.0
+    # on a virtual clock, so deterministic traces stay byte-identical).
     "admission_decision": {
         "session": (int,),
         "movie": (int,),
         "kind": (str,),
         "decision": (str,),
         "reason": (str,),
+        "trace_id": (str,),
+        "parent_span": (str,),
+        "queue_wait": _NUM,
+        "engine_time": _NUM,
     },
     # A session left the registry.  ``reason`` is "completed" (client ended
     # it), "drained" (server shutdown), "dropped" (connection lost/stalled)
@@ -131,6 +151,23 @@ EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
     # Graceful drain finished: every in-flight request answered and every
     # open session closed.
     "drain_complete": {"sessions_closed": (int,), "in_flight": (int,)},
+    # SLO monitor (schema v4): a burn-rate alert changed state for one
+    # objective ("p99_latency", "deny_rate").  ``breaching`` marks the
+    # entering (true) or clearing (false) edge; ``burn_fast``/``burn_slow``
+    # are the error-budget burn rates over the fast and slow windows at the
+    # evaluation that flipped the edge; ``value`` is the objective's observed
+    # reading (p99 seconds, deny fraction).  ``trace_id`` links the alert to
+    # the request whose handling triggered the evaluation (null when the
+    # monitor is evaluated outside a request scope).
+    "slo_alert": {
+        "objective": (str,),
+        "severity": (str,),
+        "breaching": (bool,),
+        "burn_fast": _NUM,
+        "burn_slow": _NUM,
+        "value": _NUM,
+        "trace_id": _OPT_STR,
+    },
 }
 
 #: Event types introduced by each schema version after 1.
@@ -147,23 +184,50 @@ _EVENTS_ADDED: dict[int, frozenset[str]] = {
             "drain_complete",
         }
     ),
+    4: frozenset({"slo_alert"}),
 }
 
+#: Payload fields added to *pre-existing* event types by later schema
+#: versions: version -> event type -> field names.  Older versions validate
+#: those events without the new fields, so v3 traces keep loading.
+_FIELDS_ADDED: dict[int, dict[str, frozenset[str]]] = {
+    4: {
+        "request_received": frozenset({"trace_id"}),
+        "admission_decision": frozenset(
+            {"trace_id", "parent_span", "queue_wait", "engine_time"}
+        ),
+        "plan_actuation": frozenset({"trace_id", "parent_span"}),
+    },
+}
+
+
+def _schema_for(version: int) -> dict[str, dict[str, tuple]]:
+    """The event-type table as it stood at ``version``."""
+    future_events: set[str] = set()
+    for added_in, names in _EVENTS_ADDED.items():
+        if added_in > version:
+            future_events |= names
+    table: dict[str, dict[str, tuple]] = {}
+    for name, fields in EVENT_SCHEMA.items():
+        if name in future_events:
+            continue
+        future_fields: set[str] = set()
+        for added_in, per_event in _FIELDS_ADDED.items():
+            if added_in > version:
+                future_fields |= per_event.get(name, frozenset())
+        table[name] = {
+            field: types
+            for field, types in fields.items()
+            if field not in future_fields
+        }
+    return table
+
+
 #: Schema version -> its event-type table.  Version ``N`` speaks every event
-#: introduced at or before ``N``; readers accept any supported version but a
-#: single file must be uniformly one version.
+#: (and field) introduced at or before ``N``; readers accept any supported
+#: version but a single file must be uniformly one version.
 EVENT_SCHEMAS: dict[int, dict[str, dict[str, tuple]]] = {
-    1: {
-        name: fields
-        for name, fields in EVENT_SCHEMA.items()
-        if name not in _EVENTS_ADDED[2] | _EVENTS_ADDED[3]
-    },
-    2: {
-        name: fields
-        for name, fields in EVENT_SCHEMA.items()
-        if name not in _EVENTS_ADDED[3]
-    },
-    3: EVENT_SCHEMA,
+    version: _schema_for(version) for version in range(1, SCHEMA_VERSION + 1)
 }
 
 SUPPORTED_VERSIONS: tuple[int, ...] = tuple(sorted(EVENT_SCHEMAS))

@@ -73,8 +73,13 @@ class PlanActuator:
         self.changes_applied = 0
         self.changes_rejected = 0
 
-    def apply(self, delta: AllocationDelta) -> ActuationReport:
-        """Apply one delta, shrink-first; never raises on a failed grow."""
+    def apply(self, delta: AllocationDelta, context=None) -> ActuationReport:
+        """Apply one delta, shrink-first; never raises on a failed grow.
+
+        ``context`` is the optional request-scoped trace context whose tick
+        triggered this actuation; its ids link the ``plan_actuation`` event
+        into the request's causal chain (null outside a request scope).
+        """
         # Buffer shrinks first: ascending buffer delta puts the movies that
         # release space ahead of the movies that need it.
         ordered = sorted(
@@ -98,12 +103,16 @@ class PlanActuator:
         self.changes_rejected += len(rejected)
         if rejected and self._partial_counter is not None:
             self._partial_counter.inc()
+        if context is not None:
+            context.enter("actuate")
         if self._tracer is not None:
             self._tracer.emit(
                 "plan_actuation",
                 delta.at_minutes,
                 applied=len(applied),
                 rejected=len(rejected),
+                trace_id=context.trace_id if context is not None else None,
+                parent_span=context.current_span if context is not None else None,
             )
             for change in applied:
                 config = delta.configurations[change.movie_id]

@@ -73,8 +73,18 @@ class RuntimeAdmissionGate:
     # ------------------------------------------------------------------
     # Screening (the server calls this before routing an arrival).
     # ------------------------------------------------------------------
-    def screen(self, movie: Movie, streams: StreamPool, now: float) -> GateDecision:
-        """Admit or veto one arrival against the current commitments."""
+    def screen(
+        self, movie: Movie, streams: StreamPool, now: float, context=None
+    ) -> GateDecision:
+        """Admit or veto one arrival against the current commitments.
+
+        ``context`` is an optional request-scoped
+        :class:`~repro.obs.context.RequestContext`; screening enters a
+        ``gate`` span on it so the admission decision's ``parent_span``
+        names this layer in the causal chain.
+        """
+        if context is not None:
+            context.enter("gate")
         if movie.movie_id in self._planned_ids:
             self.allowed_popular += 1
             return GateDecision(allowed=True, reason="planned movie: covered by plan")

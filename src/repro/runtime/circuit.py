@@ -188,12 +188,17 @@ class GuardedControlLoop:
     # ------------------------------------------------------------------
     # One guarded cycle.
     # ------------------------------------------------------------------
-    def run_tick(self, now: float) -> AllocationDelta | None:
+    def run_tick(self, now: float, context=None) -> AllocationDelta | None:
         """One cycle: breaker gate, tick, actuate, feedback.
 
         Returns the delta that actuated, or ``None`` when the loop coasted
         (breaker open) or the controller held the plan steady.  Never raises
         on a tick failure — the breaker absorbs it.
+
+        ``context`` is the request-scoped trace context of the request whose
+        arrival triggered this tick (the live service path); the loop enters
+        a ``tick`` span on it and hands it to the actuator so any
+        ``plan_actuation`` event links into the request's causal chain.
         """
         if not self._breaker.allow(now):
             self.ticks_coasted += 1
@@ -201,10 +206,15 @@ class GuardedControlLoop:
                 self._tracer.emit("replan_decision", now, outcome="coasting", tick=-1)
             return None
         self.ticks_run += 1
+        if context is not None:
+            context.enter("tick")
         try:
             delta = self._controller.tick(now)
             if delta is not None:
-                report = self._actuator.apply(delta)
+                if context is not None:
+                    report = self._actuator.apply(delta, context=context)
+                else:
+                    report = self._actuator.apply(delta)
                 self._controller.notify_actuation(report, delta)
                 if report.fully_applied:
                     self._last_good = delta

@@ -32,8 +32,10 @@ from repro.service.loadgen import (
     run_wall,
 )
 from repro.service.protocol import (
+    ADMIN_KINDS,
     DECISIONS,
     REQUEST_KINDS,
+    SCRAPE_FORMATS,
     VCR_KINDS,
     Request,
     Response,
@@ -51,9 +53,11 @@ from repro.service.state import (
 )
 
 __all__ = [
+    "ADMIN_KINDS",
     "AdmissionEngine",
     "AdmissionService",
     "DECISIONS",
+    "SCRAPE_FORMATS",
     "EngineStats",
     "InflightLimiter",
     "LiveSession",

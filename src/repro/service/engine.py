@@ -42,14 +42,18 @@ from typing import IO
 
 from repro.core.vcrop import VCROperation
 from repro.exceptions import ConfigurationError, ServiceError, SessionStateError
+from repro.obs.context import RequestContext, mint_trace_id
 from repro.obs.log import get_logger
+from repro.obs.registry import REQUEST_LATENCY_BUCKETS
+from repro.obs.scrape import ScrapeEndpoint
+from repro.obs.slo import SLOConfig, SLOMonitor
 from repro.runtime.admission import RuntimeAdmissionGate
 from repro.runtime.circuit import GuardedControlLoop
 from repro.runtime.controller import AllocationDelta, CapacityController
 from repro.runtime.telemetry import TelemetryHub
 from repro.service.clock import VirtualClock
 from repro.service.faults import ServiceFaultConfig
-from repro.service.protocol import VCR_KINDS, Request, Response
+from repro.service.protocol import ADMIN_KINDS, VCR_KINDS, Request, Response
 from repro.service.state import SessionPhase, SessionRegistry, StreamAccount
 from repro.vod.degradation import DegradationManager
 from repro.vod.movie import MovieCatalog
@@ -102,8 +106,13 @@ class ServiceActuator:
         self.applied = 0
         self.failed = 0
 
-    def apply(self, delta: AllocationDelta) -> _ActuationReport:
-        """Actuate one delta; raises :class:`ServiceError` while faulted."""
+    def apply(self, delta: AllocationDelta, context=None) -> _ActuationReport:
+        """Actuate one delta; raises :class:`ServiceError` while faulted.
+
+        ``context`` is the trace context of the request whose tick triggered
+        the actuation; the emitted ``plan_actuation`` event carries its ids
+        so the re-plan links into that request's causal chain.
+        """
         if self._failures_remaining > 0:
             self._failures_remaining -= 1
             self.failed += 1
@@ -112,6 +121,18 @@ class ServiceActuator:
             )
         self._engine.adopt(delta)
         self.applied += 1
+        if context is not None:
+            context.enter("actuate")
+        tracer = self._engine.tracer
+        if tracer is not None:
+            tracer.emit(
+                "plan_actuation",
+                delta.at_minutes,
+                applied=len(delta.changes),
+                rejected=0,
+                trace_id=context.trace_id if context is not None else None,
+                parent_span=context.current_span if context is not None else None,
+            )
         return _ActuationReport(fully_applied=True)
 
 
@@ -148,6 +169,8 @@ class AdmissionEngine:
         controller: CapacityController | None = None,
         tick_minutes: float = 30.0,
         faults: ServiceFaultConfig | None = None,
+        slo: SLOConfig | None = None,
+        slo_shedding: bool = True,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -181,12 +204,28 @@ class AdmissionEngine:
         self.stats = EngineStats()
         self.draining = False
         self._decisions_metric = None
+        self._request_latency = None
         if registry is not None:
             self._decisions_metric = registry.counter(
                 "repro_service_decisions_total",
                 "admission decisions by outcome",
                 labelnames=("decision",),
             )
+            self._request_latency = registry.histogram(
+                "repro_request_latency_seconds",
+                "request latency (queue wait + engine time) by decision",
+                labelnames=("decision",),
+                buckets=REQUEST_LATENCY_BUCKETS,
+            )
+        #: Live scrape endpoint serving the metrics/health admin verbs.
+        self.scrape: ScrapeEndpoint | None = None
+        if registry is not None:
+            self.scrape = ScrapeEndpoint(registry, health_source=self.health_snapshot)
+        self._slo: SLOMonitor | None = None
+        if slo is not None:
+            self._slo = SLOMonitor(slo, registry=registry, tracer=self._tracer)
+        self._slo_shedding = slo_shedding
+        self._trace_seq = 0
         self.degradation = DegradationManager(
             _ClockEnv(self._clock),
             self.account,
@@ -206,6 +245,8 @@ class AdmissionEngine:
         self._nominal_capacity = capacity
         self._capacity_faulted = False
         self._recovery_at: float | None = None
+        self._latency_faulted = False
+        self._latency_recovery_at: float | None = None
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -224,6 +265,57 @@ class AdmissionEngine:
     def actuator(self) -> ServiceActuator:
         """The plan actuator (exposed for diagnostics and tests)."""
         return self._actuator
+
+    @property
+    def tracer(self):
+        """The trace writer, or ``None`` when tracing is disabled."""
+        return self._tracer
+
+    @property
+    def slo(self) -> SLOMonitor | None:
+        """The SLO monitor, when objectives are configured."""
+        return self._slo
+
+    def mint_context(
+        self,
+        received_seconds: float | None = None,
+        queue_wait_seconds: float = 0.0,
+    ) -> RequestContext:
+        """Mint the next request's trace context (deterministic counter)."""
+        context = RequestContext(
+            mint_trace_id(self._trace_seq),
+            received_seconds=(
+                self._clock.seconds()
+                if received_seconds is None
+                else received_seconds
+            ),
+            queue_wait_seconds=queue_wait_seconds,
+        )
+        self._trace_seq += 1
+        return context
+
+    def health_snapshot(self) -> dict:
+        """The live health view the ``health`` admin verb serves."""
+        snapshot: dict = {
+            "status": "draining" if self.draining else "ok",
+            "now_minutes": round(self._clock.now(), 6),
+            "open_sessions": len(self.registry),
+            "streams": {
+                "in_use": self.account.in_use,
+                "capacity": self.account.capacity,
+            },
+            "requests": self.stats.requests,
+            "degradation_policies": list(self.degradation.engaged_policies),
+        }
+        if self._guarded is not None:
+            snapshot["control_loop"] = {
+                "degraded": self._guarded.degraded,
+                "ticks_run": self._guarded.ticks_run,
+                "ticks_coasted": self._guarded.ticks_coasted,
+            }
+        if self._slo is not None:
+            snapshot["slo"] = self._slo.snapshot()
+        return snapshot
 
     def restart_wait(self, movie_id: int) -> float:
         """The restart interval ``w = (l - B) / n`` of a planned movie."""
@@ -250,19 +342,38 @@ class AdmissionEngine:
     # ------------------------------------------------------------------
     # The request path.
     # ------------------------------------------------------------------
-    def handle(self, request: Request) -> Response:
-        """Decide one request on the current service clock."""
+    def handle(self, request: Request, context: RequestContext | None = None) -> Response:
+        """Decide one request on the current service clock.
+
+        ``context`` is the request's trace context; the TCP front-end mints
+        it at read time (carrying the real queue wait), the in-process path
+        mints one here.  The admin verbs (``metrics``/``health``) are served
+        *outside* the decision pipeline — no trace events, no decision log,
+        no stats — so scraping a live server can never perturb the
+        deterministic trace it is being scraped about.
+        """
         t = self._clock.now()
+        if request.kind in ADMIN_KINDS:
+            return self._admin(request, t)
+        if context is None:
+            context = self.mint_context()
         self._poll_faults(t)
         self._expire_holds(t)
-        self._maybe_tick(t)
         self.stats.requests += 1
         if self._tracer is not None:
             self._tracer.emit(
-                "request_received", t, kind=request.kind, session=request.session
+                "request_received",
+                t,
+                kind=request.kind,
+                session=request.session,
+                trace_id=context.trace_id,
             )
+        # The tick runs after request_received so the causal chain reads
+        # arrival -> (any triggered re-plan) -> decision in trace order.
+        self._maybe_tick(t, context)
+        engine_started = self._clock.seconds()
         try:
-            response = self._dispatch(request, t)
+            response = self._dispatch(request, t, context)
         except SessionStateError as exc:
             self.stats.errors += 1
             response = Response(
@@ -273,14 +384,19 @@ class AdmissionEngine:
                 reason="session state",
                 error=str(exc),
             )
-        self._record_decision(request, response, t)
+        engine_seconds = self._clock.seconds() - engine_started
+        if self._latency_faulted:
+            engine_seconds += self._faults.latency_fault_seconds
+        self._record_decision(request, response, t, context, engine_seconds)
         return response
 
-    def _dispatch(self, request: Request, t: float) -> Response:
+    def _dispatch(
+        self, request: Request, t: float, context: RequestContext
+    ) -> Response:
         if request.kind == "ping":
             return self._respond(request, "pong", "alive")
         if request.kind == "session_start":
-            return self._start_session(request, t)
+            return self._start_session(request, t, context)
         if request.kind in VCR_KINDS:
             return self._vcr_operation(request, t)
         if request.kind == "resume":
@@ -288,6 +404,32 @@ class AdmissionEngine:
         if request.kind == "session_end":
             return self._end_session(request, t)
         raise SessionStateError(f"unroutable request kind {request.kind!r}")
+
+    def _admin(self, request: Request, t: float) -> Response:
+        """Serve a ``metrics``/``health`` scrape from the live registry."""
+        if self.scrape is None:
+            return Response(
+                request_id=request.request_id,
+                kind=request.kind,
+                session=request.session,
+                decision="error",
+                reason="telemetry disabled",
+                error="no metrics registry attached to this engine",
+            )
+        if request.kind == "health":
+            body = json.dumps(self.scrape.health(), sort_keys=True)
+            reason = "health snapshot"
+        else:
+            body = self.scrape.metrics(format=request.format or "prometheus")
+            reason = f"exposition ({request.format or 'prometheus'})"
+        return Response(
+            request_id=request.request_id,
+            kind=request.kind,
+            session=request.session,
+            decision="ok",
+            reason=reason,
+            body=body,
+        )
 
     def _respond(
         self,
@@ -305,7 +447,9 @@ class AdmissionEngine:
             wait_minutes=wait_minutes,
         )
 
-    def _start_session(self, request: Request, t: float) -> Response:
+    def _start_session(
+        self, request: Request, t: float, context: RequestContext
+    ) -> Response:
         if self.draining:
             self.stats.rejected += 1
             return self._respond(request, "reject", "server is draining")
@@ -313,7 +457,7 @@ class AdmissionEngine:
         if movie is None:
             raise SessionStateError(f"unknown movie {request.movie}")
         planned = request.movie in self._configs
-        verdict = self.gate.screen(movie, self.account, t)
+        verdict = self.gate.screen(movie, self.account, t, context=context)
         if planned:
             session = self.registry.open(request.session, request.movie, True, t)
             self.hub.on_session_start(request.movie, movie.length, t)
@@ -519,10 +663,47 @@ class AdmissionEngine:
                     recovered=True,
                 )
             self.degradation.on_recovery()
+        if (
+            faults.latency_fault_at is not None
+            and not self._latency_faulted
+            and self._latency_recovery_at is None
+            and t >= faults.latency_fault_at
+        ):
+            self._latency_faulted = True
+            if faults.latency_fault_recovery is not None:
+                self._latency_recovery_at = (
+                    faults.latency_fault_at + faults.latency_fault_recovery
+                )
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "fault_injected",
+                    t,
+                    kind="decision_latency",
+                    magnitude=faults.latency_fault_seconds,
+                    recovered=False,
+                )
+        if (
+            self._latency_faulted
+            and self._latency_recovery_at is not None
+            and t >= self._latency_recovery_at
+        ):
+            self._latency_faulted = False
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "fault_injected",
+                    t,
+                    kind="decision_latency",
+                    magnitude=0.0,
+                    recovered=True,
+                )
 
     def _shed_pressure(self) -> None:
         """Run the shedding ladder, then degrade the sessions that lost holds."""
         self.degradation.on_pressure()
+        self._degrade_shed_sessions()
+
+    def _degrade_shed_sessions(self) -> None:
+        """Degrade any session whose stream hold the ladder just revoked."""
         surviving_vcr = self.account.holders(StreamPurpose.VCR)
         surviving_hold = self.account.holders(StreamPurpose.MISS_HOLD)
         for session_id in self.registry.open_ids():
@@ -557,18 +738,27 @@ class AdmissionEngine:
     # ------------------------------------------------------------------
     # The control tick.
     # ------------------------------------------------------------------
-    def _maybe_tick(self, t: float) -> None:
+    def _maybe_tick(self, t: float, context: RequestContext | None = None) -> None:
         if self._guarded is None:
             return
         if self._last_tick is not None and t - self._last_tick < self._tick_minutes:
             return
         self._last_tick = t
-        self._guarded.run_tick(t)
+        self._guarded.run_tick(t, context=context)
 
     # ------------------------------------------------------------------
     # The decision log.
     # ------------------------------------------------------------------
-    def _record_decision(self, request: Request, response: Response, t: float) -> None:
+    def _record_decision(
+        self,
+        request: Request,
+        response: Response,
+        t: float,
+        context: RequestContext,
+        engine_seconds: float,
+    ) -> None:
+        queue_wait_minutes = context.queue_wait_seconds / 60.0
+        engine_minutes = engine_seconds / 60.0
         if self._tracer is not None:
             self._tracer.emit(
                 "admission_decision",
@@ -578,9 +768,16 @@ class AdmissionEngine:
                 kind=request.kind,
                 decision=response.decision,
                 reason=response.reason,
+                trace_id=context.trace_id,
+                parent_span=context.current_span,
+                queue_wait=queue_wait_minutes,
+                engine_time=engine_minutes,
             )
         if self._decisions_metric is not None:
             self._decisions_metric.labels(response.decision).inc()
+        latency_seconds = context.queue_wait_seconds + engine_seconds
+        if self._request_latency is not None:
+            self._request_latency.labels(response.decision).observe(latency_seconds)
         if self._decision_log is not None:
             record = {
                 "seq": self._decision_seq,
@@ -589,6 +786,39 @@ class AdmissionEngine:
                 "kind": request.kind,
                 "decision": response.decision,
                 "reason": response.reason,
+                "trace_id": context.trace_id,
             }
             self._decision_log.write(json.dumps(record, sort_keys=True) + "\n")
             self._decision_seq += 1
+        if self._slo is not None:
+            alerts = self._slo.record_decision(
+                t,
+                kind=request.kind,
+                decision=response.decision,
+                latency_seconds=latency_seconds,
+                trace_id=context.trace_id,
+            )
+            for alert in alerts:
+                if (
+                    alert.breaching
+                    and alert.severity == "page"
+                    and self._slo_shedding
+                ):
+                    self._arm_slo_shedding()
+
+    def _arm_slo_shedding(self) -> None:
+        """A burn-rate page fired: shed interaction streams to recover.
+
+        Revokes half (at least one) of the currently held VCR/miss-hold
+        streams via the degradation ladder; the owning sessions degrade
+        back into their batch instead of dropping.
+        """
+        held = len(self.account.holders(StreamPurpose.VCR)) + len(
+            self.account.holders(StreamPurpose.MISS_HOLD)
+        )
+        if held == 0:
+            return
+        shed = self.degradation.shed_load(max(1, held // 2))
+        if shed:
+            self._degrade_shed_sessions()
+            _log.warning("SLO page: shed %d interaction stream(s)", shed)

@@ -28,6 +28,11 @@ knob                   effect
                        manager sheds in policy order; ``capacity_recovery``
                        minutes later the capacity (and the shed levels)
                        restore
+``latency_fault_at``   at this service minute every decision starts reporting
+                       an extra ``latency_fault_seconds`` of engine time (a
+                       simulated slow disk/overloaded core) until
+                       ``latency_fault_recovery`` minutes later; drives the
+                       SLO monitor's p99 burn-rate objective deterministically
 =====================  ======================================================
 """
 
@@ -52,6 +57,9 @@ class ServiceFaultConfig:
     capacity_fault_at: float | None = None
     capacity_fraction: float = 0.5
     capacity_recovery: float | None = None
+    latency_fault_at: float | None = None
+    latency_fault_seconds: float = 1.0
+    latency_fault_recovery: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("drop_every", "stall_every"):
@@ -76,6 +84,21 @@ class ServiceFaultConfig:
             if self.capacity_recovery is not None and self.capacity_recovery <= 0.0:
                 raise ConfigurationError(
                     f"capacity_recovery must be positive, got {self.capacity_recovery}"
+                )
+        if self.latency_fault_at is not None:
+            if self.latency_fault_at < 0.0:
+                raise ConfigurationError(
+                    f"latency_fault_at must be >= 0, got {self.latency_fault_at}"
+                )
+            if self.latency_fault_seconds <= 0.0:
+                raise ConfigurationError(
+                    f"latency_fault_seconds must be positive, "
+                    f"got {self.latency_fault_seconds}"
+                )
+            if self.latency_fault_recovery is not None and self.latency_fault_recovery <= 0.0:
+                raise ConfigurationError(
+                    f"latency_fault_recovery must be positive, "
+                    f"got {self.latency_fault_recovery}"
                 )
 
     @property

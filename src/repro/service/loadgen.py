@@ -34,7 +34,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.vcrop import VCROperation
-from repro.exceptions import ConfigurationError, ServiceError
+from repro.exceptions import ConfigurationError, ProtocolError, ServiceError
+from repro.obs.scrape import parse_exposition
 from repro.service.engine import AdmissionEngine
 from repro.service.protocol import (
     Request,
@@ -51,6 +52,11 @@ _OP_TO_KIND = {
     VCROperation.REWIND: "rewind",
     VCROperation.FAST_FORWARD: "fastforward",
 }
+
+#: Stream read limit for loadgen sockets.  A metrics scrape body is one
+#: JSON line carrying the whole exposition — far past asyncio's 64 KiB
+#: default.
+_READ_LIMIT = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -74,6 +80,11 @@ class LoadReport:
     decisions: dict = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     latencies_ms: list = field(default_factory=list)
+    #: Result of the post-run live-scrape cross-check: ``skipped`` (no
+    #: scrape requested or no registry server-side), ``ok``, or ``mismatch``.
+    scrape_check: str = "skipped"
+    #: Human-readable discrepancies when ``scrape_check == "mismatch"``.
+    scrape_mismatches: list = field(default_factory=list)
 
     def note(self, decision: str) -> None:
         """Count one decision."""
@@ -122,6 +133,8 @@ class LoadReport:
                 "p90": round(self.latency_percentile(0.90), 4),
                 "p99": round(self.latency_percentile(0.99), 4),
             },
+            "scrape_check": self.scrape_check,
+            "scrape_mismatches": list(self.scrape_mismatches),
         }
 
 
@@ -205,12 +218,20 @@ async def run_wall(
     trace: Trace,
     connections: int = 8,
     phased: bool = True,
+    verify_scrape: bool = True,
 ) -> LoadReport:
     """Drive a running server over TCP, closed-loop, and measure latency.
 
     ``phased=True`` sends every ``session_start`` before any ``session_end``
     so peak concurrency equals the session count; ``phased=False`` replays
     the timeline in workload order instead (concurrency follows the trace).
+
+    With ``verify_scrape=True`` the generator scrapes the server's live
+    ``metrics`` verb after the run and cross-checks
+    ``repro_service_decisions_total`` against its own decision counts — the
+    client-side and server-side books must agree.  The result lands in
+    :attr:`LoadReport.scrape_check` (``skipped`` when the server has no
+    metrics registry attached).
     """
     if connections < 1:
         raise ConfigurationError(f"connections must be >= 1, got {connections}")
@@ -238,7 +259,9 @@ async def run_wall(
         if not lane:
             return
         try:
-            reader, writer = await asyncio.open_connection(host, port)
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=_READ_LIMIT
+            )
         except OSError as exc:
             raise ServiceError(f"loadgen could not connect to {host}:{port}: {exc}")
         open_sessions = open_by_lane[lane_index]
@@ -299,4 +322,62 @@ async def run_wall(
             f"{len(failures)}/{connections} loadgen connections failed: "
             f"{failures[0]}"
         )
+    if verify_scrape:
+        await _cross_check_scrape(host, port, report)
     return report
+
+
+async def _cross_check_scrape(host: str, port: int, report: LoadReport) -> None:
+    """Scrape the live ``metrics`` verb and reconcile it with the report.
+
+    The server's ``repro_service_decisions_total{decision=...}`` series must
+    be at least the client-side count for every engine decision the run
+    observed (at least, not equal: other clients, severed connections whose
+    responses were never read, and earlier runs all add to the server's
+    books).  ``backpressure`` and ``error`` responses are excluded — they
+    can be produced by the socket layer before a request reaches the engine.
+    """
+    try:
+        reader, writer = await asyncio.open_connection(host, port, limit=_READ_LIMIT)
+    except OSError as exc:
+        report.scrape_check = "mismatch"
+        report.scrape_mismatches.append(f"scrape connection failed: {exc}")
+        return
+    try:
+        request = Request(request_id=0, kind="metrics", format="prometheus")
+        writer.write((encode_request(request) + "\n").encode("utf-8"))
+        await writer.drain()
+        raw = await reader.readline()
+    except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError) as exc:
+        report.scrape_check = "mismatch"
+        report.scrape_mismatches.append(f"scrape read failed: {exc}")
+        return
+    finally:
+        writer.close()
+    if not raw:
+        report.scrape_check = "mismatch"
+        report.scrape_mismatches.append("scrape connection closed without a response")
+        return
+    try:
+        response = decode_response(raw.decode("utf-8"))
+    except ProtocolError as exc:
+        report.scrape_check = "mismatch"
+        report.scrape_mismatches.append(f"scrape response malformed: {exc}")
+        return
+    if response.decision != "ok" or not response.body:
+        # The engine has no metrics registry attached: nothing to verify.
+        report.scrape_check = "skipped"
+        return
+    exposition = parse_exposition(response.body)
+    mismatches: list[str] = []
+    for decision, count in sorted(report.decisions.items()):
+        if decision in ("backpressure", "error"):
+            continue
+        served = exposition.value("repro_service_decisions_total", decision=decision)
+        if served is None or served < count:
+            mismatches.append(
+                f"repro_service_decisions_total{{decision={decision!r}}}: "
+                f"scraped {served}, client observed {count}"
+            )
+    report.scrape_mismatches.extend(mismatches)
+    report.scrape_check = "mismatch" if mismatches else "ok"

@@ -21,15 +21,24 @@ kind              payload
 ``resume``        resume after the last VCR operation (phase-2 hit/miss)
 ``session_end``   the viewer finished; release the session's resources
 ``ping``          liveness probe (answered ``pong``; no session required)
+``metrics``       admin scrape: ``format`` ("prometheus" default, "json")
+``health``        admin probe: engine/SLO snapshot as a JSON ``body``
 ================  ===========================================================
 
 Responses always carry ``decision`` — ``admit``, ``batch`` (with
 ``wait_minutes``), ``reject``, ``deny``, ``hit``, ``miss``, ``closed``,
-``pong``, ``backpressure`` or ``error`` (with ``error`` text) — plus a
-human-readable ``reason``.  Decoding is strict: unknown kinds, missing
-fields and non-object lines raise :class:`~repro.exceptions.ProtocolError`,
-which the server maps to an ``error`` response instead of dropping the
-connection.
+``pong``, ``ok`` (admin verbs, with a ``body`` payload), ``backpressure``
+or ``error`` (with ``error`` text) — plus a human-readable ``reason``.
+Decoding is strict: unknown kinds, missing fields and non-object lines
+raise :class:`~repro.exceptions.ProtocolError`, which the server maps to an
+``error`` response instead of dropping the connection.
+
+The admin verbs (``metrics``/``health``) are sessionless like ``ping`` and
+answered in-process from the engine's live registry — the scrape endpoint
+rides the existing socket, so there is no second listener to deploy or
+secure.  Their responses carry a ``body`` string (Prometheus text or JSON)
+that can far exceed a request line; scraping clients must read with a
+raised buffer limit.
 """
 
 from __future__ import annotations
@@ -43,7 +52,9 @@ from repro.exceptions import ProtocolError
 __all__ = [
     "REQUEST_KINDS",
     "VCR_KINDS",
+    "ADMIN_KINDS",
     "DECISIONS",
+    "SCRAPE_FORMATS",
     "Request",
     "Response",
     "decode_request",
@@ -61,10 +72,18 @@ REQUEST_KINDS: tuple[str, ...] = (
     "resume",
     "session_end",
     "ping",
+    "metrics",
+    "health",
 )
 
 #: The phase-1 VCR operations (carry a ``duration``).
 VCR_KINDS: frozenset[str] = frozenset({"pause", "rewind", "fastforward"})
+
+#: The live-telemetry admin verbs (answered ``ok`` with a ``body``).
+ADMIN_KINDS: frozenset[str] = frozenset({"metrics", "health"})
+
+#: Exposition formats the ``metrics`` verb accepts.
+SCRAPE_FORMATS: tuple[str, ...] = ("prometheus", "json")
 
 #: Every decision a response may carry.
 DECISIONS: frozenset[str] = frozenset(
@@ -77,13 +96,14 @@ DECISIONS: frozenset[str] = frozenset(
         "miss",
         "closed",
         "pong",
+        "ok",
         "backpressure",
         "error",
     }
 )
 
 #: Kinds that do not reference a session.
-_SESSIONLESS = frozenset({"ping"})
+_SESSIONLESS = frozenset({"ping"}) | ADMIN_KINDS
 
 
 @dataclass(frozen=True)
@@ -95,6 +115,7 @@ class Request:
     session: int = -1
     movie: int = -1
     duration: float = 0.0
+    format: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -107,6 +128,13 @@ class Request:
             raise ProtocolError("session_start: 'movie' must be a non-negative int")
         if self.kind in VCR_KINDS and self.duration <= 0.0:
             raise ProtocolError(f"{self.kind}: 'duration' must be positive minutes")
+        if self.format and self.kind != "metrics":
+            raise ProtocolError(f"{self.kind}: 'format' only applies to metrics")
+        if self.kind == "metrics" and self.format and self.format not in SCRAPE_FORMATS:
+            raise ProtocolError(
+                f"metrics: unknown format {self.format!r} "
+                f"(expected one of {SCRAPE_FORMATS})"
+            )
 
 
 @dataclass(frozen=True)
@@ -120,6 +148,7 @@ class Response:
     reason: str = ""
     wait_minutes: float | None = None
     error: str | None = None
+    body: str | None = None
 
     def __post_init__(self) -> None:
         if self.decision not in DECISIONS:
@@ -144,18 +173,22 @@ def decode_request(line: str) -> Request:
     kind = obj.get("kind")
     if not isinstance(kind, str):
         raise ProtocolError("missing or non-string 'kind'")
-    unknown = set(obj) - {"id", "kind", "session", "movie", "duration"}
+    unknown = set(obj) - {"id", "kind", "session", "movie", "duration", "format"}
     if unknown:
         raise ProtocolError(f"unknown request field(s) {sorted(unknown)}")
     duration = obj.get("duration", 0.0)
     if not isinstance(duration, (int, float)) or isinstance(duration, bool):
         raise ProtocolError(f"field 'duration' must be a number, got {duration!r}")
+    format_ = obj.get("format", "")
+    if not isinstance(format_, str):
+        raise ProtocolError(f"field 'format' must be a string, got {format_!r}")
     return Request(
         request_id=_require_int(obj, "id", default=0),
         kind=kind,
         session=_require_int(obj, "session", default=-1),
         movie=_require_int(obj, "movie", default=-1),
         duration=float(duration),
+        format=format_,
     )
 
 
@@ -168,6 +201,8 @@ def encode_request(request: Request) -> str:
         obj["movie"] = request.movie
     if request.duration > 0.0:
         obj["duration"] = request.duration
+    if request.format:
+        obj["format"] = request.format
     return json.dumps(obj, sort_keys=True)
 
 
@@ -184,6 +219,8 @@ def encode_response(response: Response) -> str:
         obj["wait_minutes"] = response.wait_minutes
     if response.error is not None:
         obj["error"] = response.error
+    if response.body is not None:
+        obj["body"] = response.body
     return json.dumps(obj, sort_keys=True)
 
 
@@ -204,6 +241,9 @@ def decode_response(line: str) -> Response:
     error = obj.get("error")
     if error is not None and not isinstance(error, str):
         raise ProtocolError(f"'error' must be a string, got {error!r}")
+    body = obj.get("body")
+    if body is not None and not isinstance(body, str):
+        raise ProtocolError(f"'body' must be a string, got {body!r}")
     return Response(
         request_id=_require_int(obj, "id", default=0),
         kind=str(obj.get("kind", "")),
@@ -212,4 +252,5 @@ def decode_response(line: str) -> Response:
         reason=str(obj.get("reason", "")),
         wait_minutes=None if wait is None else float(wait),
         error=error,
+        body=body,
     )

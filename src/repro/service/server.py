@@ -32,7 +32,12 @@ from repro.exceptions import ProtocolError
 from repro.obs.log import get_logger
 from repro.service.backpressure import InflightLimiter
 from repro.service.engine import AdmissionEngine
-from repro.service.protocol import Response, decode_request, encode_response
+from repro.service.protocol import (
+    ADMIN_KINDS,
+    Response,
+    decode_request,
+    encode_response,
+)
 
 __all__ = ["AdmissionService"]
 
@@ -213,6 +218,10 @@ class AdmissionService:
             )
             await self._write(writer, response)
             return
+        # Anything the limiter (or the event loop) made the request wait for
+        # between read and dispatch is queue time, charged to the request's
+        # trace context rather than folded into engine time.
+        queue_wait = self._clock.seconds() - started
         try:
             try:
                 request = decode_request(text)
@@ -226,7 +235,16 @@ class AdmissionService:
                     error=str(exc),
                 )
             else:
-                response = self._engine.handle(request)
+                context = None
+                if request.kind not in ADMIN_KINDS:
+                    # Admin verbs (metrics/health) bypass the decision
+                    # pipeline entirely; minting would burn trace ids and
+                    # shift every later request's id relative to a
+                    # scrape-free run.
+                    context = self._engine.mint_context(
+                        received_seconds=started, queue_wait_seconds=queue_wait
+                    )
+                response = self._engine.handle(request, context=context)
                 self.requests_served += 1
                 if request.kind == "session_start" and response.decision in (
                     "admit",

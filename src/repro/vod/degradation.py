@@ -123,6 +123,25 @@ class DegradationManager:
         """Buffer pressure: collapse the ``count`` coldest partitions."""
         return self._collapse_coldest(count)
 
+    def shed_load(self, count: int) -> int:
+        """SLO-armed shedding: revoke up to ``count`` VCR/miss-hold streams.
+
+        Unlike :meth:`on_pressure` this does not require the books to be
+        overcommitted — a burn-rate page means the service is too slow or
+        too deny-happy *within* capacity, and freeing interaction streams is
+        the gentlest lever (the victims degrade back into their batch
+        rather than dropping).  Returns the number of streams actually
+        revoked; engages the ``shed_vcr`` level when any were.
+        """
+        if count <= 0:
+            return 0
+        victims = self._streams.revoke(
+            count, order=(StreamPurpose.VCR, StreamPurpose.MISS_HOLD)
+        )
+        if victims:
+            self._engage("shed_vcr")
+        return len(victims)
+
     def on_recovery(self) -> None:
         """Every transient fault recovered: restore and unwind the levels."""
         for movie_id, config in sorted(self._baseline.items()):
@@ -156,11 +175,7 @@ class DegradationManager:
             )
 
     def _shed_vcr(self, count: int) -> None:
-        victims = self._streams.revoke(
-            count, order=(StreamPurpose.VCR, StreamPurpose.MISS_HOLD)
-        )
-        if victims:
-            self._engage("shed_vcr")
+        self.shed_load(count)
 
     def _widen_restart(self) -> None:
         widened = False

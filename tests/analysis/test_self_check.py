@@ -31,6 +31,7 @@ V3_EVENTS = frozenset({
     "admission_decision", "backpressure_reject", "drain_complete",
     "request_received", "session_closed",
 })
+V4_EVENTS = frozenset({"slo_alert"})
 
 
 class TestPinnedSchemas:
@@ -41,7 +42,21 @@ class TestPinnedSchemas:
         assert frozenset(EVENT_SCHEMAS[2]) == V1_EVENTS | V2_EVENTS
 
     def test_v3_adds_exactly_the_service_events(self):
-        assert frozenset(EVENT_SCHEMA) == V1_EVENTS | V2_EVENTS | V3_EVENTS
+        assert frozenset(EVENT_SCHEMAS[3]) == V1_EVENTS | V2_EVENTS | V3_EVENTS
+
+    def test_v4_adds_exactly_the_slo_events(self):
+        assert frozenset(EVENT_SCHEMA) == (
+            V1_EVENTS | V2_EVENTS | V3_EVENTS | V4_EVENTS
+        )
+
+    def test_v3_schema_excludes_v4_tracing_fields(self):
+        """v4 added fields to pre-existing events; v3 must not require them."""
+        v3 = EVENT_SCHEMAS[3]["admission_decision"]
+        assert "trace_id" not in v3
+        assert "queue_wait" not in v3
+        assert "trace_id" in EVENT_SCHEMA["admission_decision"]
+        assert "trace_id" not in EVENT_SCHEMAS[3]["request_received"]
+        assert "parent_span" not in EVENT_SCHEMAS[3]["plan_actuation"]
 
     def test_metric_catalog_is_pinned(self):
         assert METRIC_CATALOG == frozenset({
@@ -58,12 +73,16 @@ class TestPinnedSchemas:
             "repro_parallel_shard_tasks",
             "repro_parallel_workers",
             "repro_partial_actuations_total",
+            "repro_request_latency_seconds",
             "repro_service_decisions_total",
             "repro_service_inflight_requests",
             "repro_service_request_latency_seconds",
             "repro_sim_events_total",
             "repro_sim_tally_mean",
             "repro_sim_time_avg",
+            "repro_slo_alerts_total",
+            "repro_slo_breaching",
+            "repro_slo_burn_rate",
             "repro_span_seconds",
         })
 

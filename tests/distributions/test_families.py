@@ -198,6 +198,14 @@ class TestEmpirical:
         # tiny inputs).
         assert float(np.mean(samples)) == pytest.approx(dist.mean, rel=0.05)
 
+    def test_ppf_survives_subnormal_knot_gap(self):
+        # interp across a gap of one subnormal underflows to the left knot,
+        # where the CDF is still 0; ppf must fall back to the right knot so
+        # cdf(ppf(q)) >= q holds even here.
+        dist = EmpiricalDuration([0.0, 5e-324])
+        for q in (0.01, 0.5, 0.99):
+            assert dist.cdf(dist.ppf(q)) >= q - 1e-6
+
     def test_rejects_degenerate_input(self):
         with pytest.raises(DistributionError):
             EmpiricalDuration([1.0])

@@ -1,0 +1,223 @@
+"""Integration: the live telemetry plane end to end.
+
+The acceptance criteria for the telemetry PR live here: ``obs trace
+--request`` must reconstruct a complete causal chain for an admitted AND a
+denied session, and an injected latency fault must drive a burn-rate page
+that is visible — as ``slo_alert`` trace events and nonzero ``repro_slo_*``
+families — in a scrape taken from the live server mid-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+from repro.cli import main
+from repro.core.parameters import SystemConfiguration
+from repro.obs.catalog import catalog_registry
+from repro.obs.scrape import monotonic_regressions, parse_exposition
+from repro.obs.slo import SLOConfig
+from repro.obs.summarize import reconstruct_request
+from repro.obs.trace import TraceWriter
+from repro.service.bootstrap import (
+    capacity_for,
+    default_catalog,
+    plan_for,
+    reserve_for,
+    workload_for,
+)
+from repro.service.clock import VirtualClock
+from repro.service.engine import AdmissionEngine
+from repro.service.faults import ServiceFaultConfig
+from repro.service.loadgen import run_wall
+from repro.service.protocol import Request
+from repro.service.server import AdmissionService
+from repro.vod.movie import Movie, MovieCatalog
+
+
+def make_engine(capacity, reserve=1, **kwargs) -> AdmissionEngine:
+    movies = [
+        Movie(0, "hot", 100.0, popularity=0.6),
+        Movie(1, "warm", 90.0, popularity=0.3),
+        Movie(2, "cold", 80.0, popularity=0.07),
+        Movie(3, "frozen", 70.0, popularity=0.03),
+    ]
+    plan = {
+        0: SystemConfiguration(movie_length=100.0, num_partitions=5,
+                               buffer_minutes=50.0),
+        1: SystemConfiguration(movie_length=90.0, num_partitions=3,
+                               buffer_minutes=30.0),
+    }
+    return AdmissionEngine(
+        MovieCatalog(movies, popular_count=2), plan, capacity,
+        reserve_streams=reserve, clock=VirtualClock(), **kwargs,
+    )
+
+
+class TestCausalChains:
+    """Acceptance: full chains for one admitted and one denied session."""
+
+    def _trace_with_admit_and_deny(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as tracer:
+            # plan 8 + reserve 1 on capacity 10: headroom for ONE tail
+            # stream — the first unplanned start admits, the second denies.
+            engine = make_engine(capacity=10, tracer=tracer)
+            admitted = engine.handle(Request(
+                request_id=1, kind="session_start", session=1, movie=2))
+            denied = engine.handle(Request(
+                request_id=2, kind="session_start", session=2, movie=3))
+        assert admitted.decision == "admit"
+        assert denied.decision == "reject"
+        return path
+
+    def test_reconstructs_the_admitted_chain(self, tmp_path):
+        path = self._trace_with_admit_and_deny(tmp_path)
+        chain = reconstruct_request(path, "req-000000")
+        assert chain.complete
+        assert chain.request_kind == "session_start"
+        assert chain.decision == "admit"
+        assert [e["ev"] for e in chain.events] == [
+            "request_received", "admission_decision"
+        ]
+
+    def test_reconstructs_the_denied_chain(self, tmp_path):
+        path = self._trace_with_admit_and_deny(tmp_path)
+        chain = reconstruct_request(path, "req-000001")
+        assert chain.complete
+        assert chain.decision == "reject"
+        assert all(e["trace_id"] == "req-000001" for e in chain.events)
+
+    def test_cli_renders_both_chains_with_exit_zero(self, tmp_path, capsys):
+        path = self._trace_with_admit_and_deny(tmp_path)
+        for trace_id, decision in (
+            ("req-000000", "admit"), ("req-000001", "reject")
+        ):
+            assert main(["obs", "trace", str(path), "--request", trace_id]) == 0
+            out = capsys.readouterr().out
+            assert trace_id in out
+            assert decision in out
+            assert "INCOMPLETE" not in out
+
+    def test_cli_exits_two_for_unknown_trace_id(self, tmp_path, capsys):
+        path = self._trace_with_admit_and_deny(tmp_path)
+        assert main(["obs", "trace", str(path), "--request", "req-999999"]) == 2
+        assert "no events" in capsys.readouterr().err
+
+
+class TestLiveScrapeUnderFault:
+    """Acceptance: a latency fault pages the SLO monitor and the page is
+    visible in a live mid-run scrape of the very server being hurt."""
+
+    def test_burn_rate_page_shows_in_live_scrape(self):
+        sink = io.StringIO()
+
+        async def scenario():
+            with TraceWriter(sink) as tracer:
+                engine = make_engine(
+                    capacity=20,
+                    registry=catalog_registry(),
+                    tracer=tracer,
+                    faults=ServiceFaultConfig(
+                        latency_fault_at=0.0, latency_fault_seconds=5.0,
+                    ),
+                    slo=SLOConfig(
+                        latency_threshold_seconds=0.5, min_samples=10,
+                    ),
+                )
+                service = AdmissionService(
+                    engine, host="127.0.0.1", port=0, tracer=tracer)
+                await service.start()
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", service.port, limit=1 << 20)
+                    responses = []
+                    lines = [
+                        json.dumps({
+                            "id": n, "kind": "session_start",
+                            "session": n, "movie": 0,
+                        })
+                        for n in range(1, 13)
+                    ] + [
+                        json.dumps({"id": 98, "kind": "metrics"}),
+                        json.dumps({"id": 99, "kind": "metrics"}),
+                    ]
+                    for line in lines:
+                        writer.write((line + "\n").encode())
+                        await writer.drain()
+                        raw = await asyncio.wait_for(
+                            reader.readline(), timeout=5.0)
+                        responses.append(json.loads(raw))
+                    writer.close()
+                    return responses
+                finally:
+                    await service.shutdown()
+
+        responses = asyncio.run(scenario())
+        assert all(r["decision"] == "batch" for r in responses[:12])
+
+        first = parse_exposition(responses[12]["body"])
+        second = parse_exposition(responses[13]["body"])
+        assert first.value(
+            "repro_service_decisions_total", decision="batch") == 12.0
+        assert first.value(
+            "repro_slo_alerts_total", objective="p99_latency", severity="page"
+        ) == 1.0
+        assert first.value("repro_slo_breaching", objective="p99_latency") == 1.0
+        assert first.value(
+            "repro_slo_burn_rate", objective="p99_latency", window="fast"
+        ) >= 2.0
+        # Two scrapes of one live process: counters must be monotone.
+        assert monotonic_regressions(first, second) == []
+
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        alerts = [e for e in events if e["ev"] == "slo_alert"]
+        assert [(a["objective"], a["severity"]) for a in alerts] == [
+            ("p99_latency", "page")
+        ]
+        # Admin scrapes never enter the decision pipeline: twelve decisions,
+        # twelve sequentially-minted trace ids, nothing minted for scrapes.
+        decisions = [e for e in events if e["ev"] == "admission_decision"]
+        assert [d["trace_id"] for d in decisions] == [
+            f"req-{n:06d}" for n in range(12)
+        ]
+
+
+class TestLoadgenCrossCheck:
+    def _deployment(self):
+        catalog = default_catalog(movies=8, popular=3, seed=7)
+        plan = plan_for(catalog, wait_minutes=2.0)
+        reserve = reserve_for(plan)
+        capacity = capacity_for(catalog, plan, reserve)
+        trace = workload_for(
+            catalog, arrival_rate=1.0, horizon_minutes=30.0, seed=1234)
+        return catalog, plan, capacity, reserve, trace
+
+    def _run(self, registry):
+        catalog, plan, capacity, reserve, trace = self._deployment()
+
+        async def scenario():
+            engine = AdmissionEngine(
+                catalog, plan, capacity, reserve_streams=reserve,
+                clock=VirtualClock(), registry=registry,
+            )
+            service = AdmissionService(engine, host="127.0.0.1", port=0)
+            await service.start()
+            try:
+                return await run_wall(
+                    "127.0.0.1", service.port, trace, connections=3)
+            finally:
+                await service.shutdown()
+
+        return asyncio.run(scenario())
+
+    def test_client_books_agree_with_live_scrape(self):
+        report = self._run(registry=catalog_registry())
+        assert report.scrape_check == "ok"
+        assert report.scrape_mismatches == []
+        assert report.to_dict()["scrape_check"] == "ok"
+
+    def test_cross_check_skips_when_telemetry_is_disabled(self):
+        report = self._run(registry=None)
+        assert report.scrape_check == "skipped"

@@ -1,0 +1,72 @@
+"""Request-scoped trace contexts: deterministic ids and span lineage."""
+
+from __future__ import annotations
+
+from repro.obs.context import RequestContext, mint_trace_id
+
+
+class TestMintTraceId:
+    def test_zero_padded_sequence(self):
+        assert mint_trace_id(0) == "req-000000"
+        assert mint_trace_id(7) == "req-000007"
+        assert mint_trace_id(123456) == "req-123456"
+
+    def test_sequence_past_padding_width_keeps_growing(self):
+        assert mint_trace_id(1_234_567) == "req-1234567"
+
+    def test_same_sequence_same_id(self):
+        # The determinism contract: ids are pure functions of the counter.
+        assert mint_trace_id(42) == mint_trace_id(42)
+
+
+class TestRequestContext:
+    def test_root_span_exists_before_any_enter(self):
+        context = RequestContext("req-000003")
+        assert context.root_span == "req-000003:root"
+        assert context.current_span == context.root_span
+        assert context.spans == ("req-000003:root",)
+
+    def test_enter_returns_named_child_span(self):
+        context = RequestContext("req-000000")
+        span = context.enter("gate")
+        assert span == "req-000000:gate"
+        assert context.current_span == span
+        assert context.root_span == "req-000000:root"
+
+    def test_repeated_layer_names_get_occurrence_suffixes(self):
+        context = RequestContext("req-000001")
+        assert context.enter("tick") == "req-000001:tick"
+        assert context.enter("tick") == "req-000001:tick#2"
+        assert context.enter("tick") == "req-000001:tick#3"
+        assert context.spans == (
+            "req-000001:root",
+            "req-000001:tick",
+            "req-000001:tick#2",
+            "req-000001:tick#3",
+        )
+
+    def test_distinct_names_do_not_collide(self):
+        context = RequestContext("req-000002")
+        context.enter("gate")
+        context.enter("tick")
+        context.enter("actuate")
+        assert context.spans == (
+            "req-000002:root",
+            "req-000002:gate",
+            "req-000002:tick",
+            "req-000002:actuate",
+        )
+
+    def test_latency_fields_default_to_zero(self):
+        context = RequestContext("req-000000")
+        assert context.received_seconds == 0.0
+        assert context.queue_wait_seconds == 0.0
+
+    def test_latency_fields_coerce_to_float(self):
+        context = RequestContext(
+            "req-000000", received_seconds=3, queue_wait_seconds=1
+        )
+        assert context.received_seconds == 3.0
+        assert isinstance(context.received_seconds, float)
+        assert context.queue_wait_seconds == 1.0
+        assert isinstance(context.queue_wait_seconds, float)

@@ -1,0 +1,150 @@
+"""Latency bucket ladder and quantile parity across the two readouts.
+
+The live service reads request latency two ways: exactly, from the load
+generator's raw sample list (:meth:`LoadReport.latency_percentile`), and
+compressed, from the fixed-bucket histogram the scrape endpoint exposes
+(:meth:`Histogram.quantile`).  Both use the nearest-rank definition, so
+whenever observations land on bucket edges the readouts must agree to the
+digit — these tests pin that contract and the ladder itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs.registry import REQUEST_LATENCY_BUCKETS, Histogram, log_buckets
+from repro.service.loadgen import LoadReport
+
+
+class TestLogBuckets:
+    def test_one_two_five_ladder(self):
+        assert log_buckets(1.0, 100.0) == (
+            1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0
+        )
+
+    def test_upper_is_always_the_final_edge(self):
+        edges = log_buckets(1.0, 60.0)
+        assert edges[-1] == 60.0
+        assert edges == (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 60.0)
+
+    def test_lower_inside_a_decade_starts_at_next_edge(self):
+        assert log_buckets(3.0, 100.0)[0] == 5.0
+
+    def test_request_latency_ladder_is_pinned(self):
+        assert REQUEST_LATENCY_BUCKETS == log_buckets(1e-4, 60.0)
+        assert REQUEST_LATENCY_BUCKETS[0] == pytest.approx(1e-4)
+        assert REQUEST_LATENCY_BUCKETS[-1] == 60.0
+        assert len(REQUEST_LATENCY_BUCKETS) == 19
+        assert list(REQUEST_LATENCY_BUCKETS) == sorted(REQUEST_LATENCY_BUCKETS)
+
+    def test_custom_mantissas(self):
+        assert log_buckets(1.0, 10.0, mantissas=(1.0, 3.0)) == (1.0, 3.0, 10.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lower": 0.0, "upper": 1.0},
+        {"lower": -1.0, "upper": 1.0},
+        {"lower": 2.0, "upper": 2.0},
+        {"lower": 2.0, "upper": 1.0},
+        {"lower": 1.0, "upper": 2.0, "mantissas": ()},
+        {"lower": 1.0, "upper": 2.0, "mantissas": (0.5,)},
+        {"lower": 1.0, "upper": 2.0, "mantissas": (10.0,)},
+    ])
+    def test_invalid_arguments_raise(self, kwargs):
+        with pytest.raises(ObservabilityError):
+            log_buckets(**kwargs)
+
+
+class TestBucketBoundarySemantics:
+    def test_observation_on_the_edge_falls_in_that_bucket(self):
+        histogram = Histogram((1.0, 2.0, 5.0))
+        histogram.observe(2.0)  # le="2" includes 2.0
+        assert histogram.cumulative() == [(1.0, 0), (2.0, 1), (5.0, 1)]
+
+    def test_observation_just_past_the_edge_spills_over(self):
+        histogram = Histogram((1.0, 2.0, 5.0))
+        histogram.observe(2.0000001)
+        assert histogram.cumulative() == [(1.0, 0), (2.0, 0), (5.0, 1)]
+
+    def test_observation_beyond_the_top_bucket_only_counts_totals(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(99.0)
+        assert histogram.count == 1
+        assert histogram.sum == 99.0
+        assert histogram.cumulative() == [(1.0, 0), (2.0, 0)]
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_reads_zero(self):
+        assert Histogram((1.0, 2.0)).quantile(0.99) == 0.0
+
+    def test_quantile_argument_is_validated(self):
+        histogram = Histogram((1.0,))
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.5)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(-0.1)
+
+    def test_readout_is_the_bucket_upper_bound(self):
+        histogram = Histogram((1.0, 2.0, 5.0))
+        for value in (0.5, 0.7, 1.5, 4.0):
+            histogram.observe(value)
+        # ranks: q=0.5 -> rank 2 -> second observation, inside le=1.0.
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.75) == 2.0
+        assert histogram.quantile(1.0) == 5.0
+
+    def test_q_zero_reads_the_first_observation_bucket(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(1.5)
+        assert histogram.quantile(0.0) == 2.0  # rank clamps up to 1
+
+    def test_beyond_the_top_bucket_reads_infinite(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(50.0)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == math.inf
+
+
+class TestQuantileParity:
+    """Histogram vs LoadReport: identical readouts on bucket-edge samples."""
+
+    def _report(self, latencies_ms: list[float]) -> LoadReport:
+        report = LoadReport(mode="virtual")
+        report.latencies_ms.extend(latencies_ms)
+        return report
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95, 0.99, 1.0])
+    def test_edge_aligned_samples_agree_exactly(self, q):
+        # Every sample sits exactly on a ladder edge (seconds); the report
+        # keeps milliseconds, so feed it the same values scaled by 1e3.
+        samples = [0.001, 0.002, 0.005, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2]
+        histogram = Histogram(REQUEST_LATENCY_BUCKETS)
+        for value in samples:
+            histogram.observe(value)
+        report = self._report([s * 1e3 for s in samples])
+        assert histogram.quantile(q) * 1e3 == pytest.approx(
+            report.latency_percentile(q)
+        )
+
+    def test_off_edge_samples_overestimate_by_at_most_one_bucket(self):
+        samples = [0.0013, 0.0034, 0.0071]  # between edges
+        histogram = Histogram(REQUEST_LATENCY_BUCKETS)
+        for value in samples:
+            histogram.observe(value)
+        report = self._report([s * 1e3 for s in samples])
+        for q in (0.5, 0.99):
+            exact_seconds = report.latency_percentile(q) / 1e3
+            bucketed = histogram.quantile(q)
+            assert bucketed >= exact_seconds
+            # The readout is the upper edge of the bucket holding the exact
+            # answer — never a later bucket.
+            edges = [e for e in REQUEST_LATENCY_BUCKETS if e >= exact_seconds]
+            assert bucketed == edges[0]
+
+    def test_empty_inputs_agree_on_zero(self):
+        assert Histogram(REQUEST_LATENCY_BUCKETS).quantile(0.99) == 0.0
+        assert self._report([]).latency_percentile(0.99) == 0.0

@@ -1,0 +1,187 @@
+"""Live scrape endpoint and the exposition parser/differ it feeds."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs.registry import ObsRegistry
+from repro.obs.scrape import (
+    Exposition,
+    ScrapeEndpoint,
+    monotonic_regressions,
+    parse_exposition,
+)
+
+
+def _registry_with_traffic() -> ObsRegistry:
+    registry = ObsRegistry()
+    decisions = registry.counter(
+        "repro_service_decisions_total", "Decisions.", labelnames=("decision",)
+    )
+    decisions.labels("batch").inc(3)
+    decisions.labels("reject").inc()
+    registry.gauge("repro_service_inflight_requests", "In flight.").set(2)
+    return registry
+
+
+class TestScrapeEndpoint:
+    def test_prometheus_metrics_round_trip(self):
+        endpoint = ScrapeEndpoint(_registry_with_traffic())
+        exposition = parse_exposition(endpoint.metrics())
+        assert exposition.types["repro_service_decisions_total"] == "counter"
+        assert exposition.value(
+            "repro_service_decisions_total", decision="batch"
+        ) == 3.0
+        assert exposition.value("repro_service_inflight_requests") == 2.0
+
+    def test_json_format_is_sorted_json(self):
+        endpoint = ScrapeEndpoint(_registry_with_traffic())
+        payload = json.loads(endpoint.metrics(format="json"))
+        assert "repro_service_decisions_total" in json.dumps(payload)
+
+    def test_unknown_format_raises(self):
+        endpoint = ScrapeEndpoint(ObsRegistry())
+        with pytest.raises(ObservabilityError):
+            endpoint.metrics(format="yaml")
+
+    def test_scrapes_served_counts_metrics_and_health(self):
+        endpoint = ScrapeEndpoint(ObsRegistry())
+        endpoint.metrics()
+        endpoint.metrics(format="json")
+        endpoint.health()
+        assert endpoint.scrapes_served == 3
+
+    def test_health_without_source_is_plain_ok(self):
+        assert ScrapeEndpoint(ObsRegistry()).health() == {"status": "ok"}
+
+    def test_health_merges_source_snapshot(self):
+        endpoint = ScrapeEndpoint(
+            ObsRegistry(), health_source=lambda: {"open_sessions": 4}
+        )
+        assert endpoint.health() == {"status": "ok", "open_sessions": 4}
+
+    def test_health_source_status_wins(self):
+        endpoint = ScrapeEndpoint(
+            ObsRegistry(), health_source=lambda: {"status": "draining"}
+        )
+        assert endpoint.health()["status"] == "draining"
+
+    def test_scrape_does_not_mutate_the_registry(self):
+        registry = _registry_with_traffic()
+        endpoint = ScrapeEndpoint(registry)
+        first = endpoint.metrics()
+        second = endpoint.metrics()
+        assert first == second
+
+
+class TestParseExposition:
+    def test_parses_special_float_values(self):
+        exposition = parse_exposition(
+            'repro_h_bucket{le="+Inf"} 5\nrepro_down -Inf\nrepro_odd NaN\n'
+        )
+        assert exposition.value("repro_h_bucket", le="+Inf") == 5.0
+        assert exposition.value("repro_down") == -math.inf
+        assert math.isnan(exposition.value("repro_odd"))
+
+    def test_unparseable_sample_line_raises_with_line_number(self):
+        with pytest.raises(ObservabilityError, match="line 2"):
+            parse_exposition("repro_ok 1\nthis is not a sample !!\n")
+
+    def test_unparseable_value_raises(self):
+        with pytest.raises(ObservabilityError, match="unparseable sample value"):
+            parse_exposition("repro_x abc\n")
+
+    def test_duplicate_series_raises(self):
+        text = 'repro_x{a="1"} 1\nrepro_x{a="1"} 2\n'
+        with pytest.raises(ObservabilityError, match="duplicate series"):
+            parse_exposition(text)
+
+    def test_label_order_does_not_distinguish_series(self):
+        text = 'repro_x{a="1",b="2"} 1\nrepro_x{b="2",a="1"} 2\n'
+        with pytest.raises(ObservabilityError, match="duplicate series"):
+            parse_exposition(text)
+
+    def test_escaped_label_values_round_trip(self):
+        exposition = parse_exposition('repro_x{path="a\\"b\\nc"} 1\n')
+        assert exposition.value("repro_x", path='a"b\nc') == 1.0
+
+    def test_value_returns_none_for_missing_series(self):
+        exposition = parse_exposition("repro_x 1\n")
+        assert exposition.value("repro_y") is None
+        assert exposition.value("repro_x", decision="batch") is None
+
+    def test_family_total_sums_all_series(self):
+        exposition = parse_exposition(
+            'repro_x{d="a"} 2\nrepro_x{d="b"} 3\n'
+        )
+        assert exposition.family_total("repro_x") == 5.0
+        assert exposition.family_total("repro_missing") == 0.0
+
+    def test_counter_samples_cover_histogram_suffixes(self):
+        text = (
+            "# TYPE repro_c counter\n"
+            "# TYPE repro_h histogram\n"
+            "# TYPE repro_g gauge\n"
+            "repro_c 1\n"
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_count 2\n"
+            "repro_h_sum 0.5\n"
+            "repro_g 9\n"
+        )
+        monotone = parse_exposition(text).counter_samples()
+        assert set(monotone) == {
+            "repro_c", "repro_h_bucket", "repro_h_count", "repro_h_sum"
+        }
+
+    def test_comments_and_blank_lines_are_skipped(self):
+        exposition = parse_exposition("\n# HELP repro_x Stuff.\nrepro_x 1\n\n")
+        assert exposition.value("repro_x") == 1.0
+
+
+class TestMonotonicRegressions:
+    def _exposition(self, count: float) -> Exposition:
+        return parse_exposition(
+            "# TYPE repro_c counter\n"
+            f'repro_c{{d="batch"}} {count}\n'
+        )
+
+    def test_clean_diff_is_empty(self):
+        assert monotonic_regressions(self._exposition(3), self._exposition(5)) == []
+
+    def test_equal_counts_are_clean(self):
+        assert monotonic_regressions(self._exposition(3), self._exposition(3)) == []
+
+    def test_regression_is_reported(self):
+        regressions = monotonic_regressions(self._exposition(5), self._exposition(3))
+        assert len(regressions) == 1
+        assert "regressed 5.0 -> 3.0" in regressions[0]
+        assert 'repro_c{d="batch"}' in regressions[0]
+
+    def test_vanished_series_is_reported(self):
+        previous = self._exposition(5)
+        current = parse_exposition("# TYPE repro_c counter\n")
+        regressions = monotonic_regressions(previous, current)
+        assert regressions == ['repro_c{d="batch"} vanished']
+
+    def test_prefix_filter_ignores_foreign_counters(self):
+        previous = parse_exposition("# TYPE other_c counter\nother_c 9\n")
+        current = parse_exposition("# TYPE other_c counter\nother_c 1\n")
+        assert monotonic_regressions(previous, current) == []
+
+    def test_histogram_bucket_regression_is_caught(self):
+        previous = parse_exposition(
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 4\nrepro_h_count 4\nrepro_h_sum 2.0\n'
+        )
+        current = parse_exposition(
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 2\nrepro_h_count 2\nrepro_h_sum 1.0\n'
+        )
+        regressions = monotonic_regressions(previous, current)
+        assert any("repro_h_bucket" in r for r in regressions)
+        assert any("repro_h_count" in r for r in regressions)
+        assert any("repro_h_sum" in r for r in regressions)

@@ -40,7 +40,8 @@ def _hand_built_trace() -> list[dict]:
         _event("session_end", 15.0, movie=0),
         _event("replan_decision", 16.0, outcome="stationary", tick=1),
         _event("replan_decision", 17.0, outcome="accepted", tick=2),
-        _event("plan_actuation", 17.0, applied=2, rejected=1),
+        _event("plan_actuation", 17.0, applied=2, rejected=1,
+               trace_id=None, parent_span=None),
         _event("frontier", 18.0, name="m1", streams=4, buffer_minutes=2.0,
                p_hit=0.4, feasible=True),
         _event("frontier", 18.0, name="m1", streams=5, buffer_minutes=2.0,

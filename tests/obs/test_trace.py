@@ -170,7 +170,7 @@ class TestSchemaV2:
         return {"v": 2, "seq": 0, "t": 5.0, "ev": ev, **payload}
 
     def test_v2_version_is_supported(self):
-        assert SUPPORTED_VERSIONS == (1, 2, 3)
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4)
 
     def test_fault_events_validate(self):
         validate_event(
@@ -259,8 +259,8 @@ class TestSchemaV3:
     def _v3(self, ev, **payload):
         return {"v": 3, "seq": 0, "t": 5.0, "ev": ev, **payload}
 
-    def test_current_version_is_three(self):
-        assert SCHEMA_VERSION == 3
+    def test_v3_is_a_declared_version(self):
+        assert 3 in EVENT_SCHEMAS
 
     def test_service_events_validate(self):
         validate_event(
@@ -302,3 +302,88 @@ class TestSchemaV3:
         ]
         path.write_text("".join(json.dumps(e) + "\n" for e in events))
         assert validate_trace_file(path) == 3
+
+
+class TestSchemaV4:
+    """Request-scoped tracing and SLO alerts."""
+
+    def _v4(self, ev, **payload):
+        return {"v": 4, "seq": 0, "t": 5.0, "ev": ev, **payload}
+
+    def test_current_version_is_four(self):
+        assert SCHEMA_VERSION == 4
+
+    def test_traced_decision_validates(self):
+        validate_event(
+            self._v4(
+                "admission_decision", session=7, movie=0, kind="session_start",
+                decision="batch", reason="planned", trace_id="req-000007",
+                parent_span="req-000007:gate", queue_wait=0.0, engine_time=0.001,
+            )
+        )
+        validate_event(
+            self._v4(
+                "request_received", kind="session_start", session=7,
+                trace_id="req-000007",
+            )
+        )
+        validate_event(
+            self._v4(
+                "plan_actuation", applied=2, rejected=0,
+                trace_id="req-000007", parent_span="req-000007:actuate",
+            )
+        )
+
+    def test_actuation_trace_link_is_nullable(self):
+        """Ticks outside a request scope carry null trace links."""
+        validate_event(
+            self._v4(
+                "plan_actuation", applied=1, rejected=0,
+                trace_id=None, parent_span=None,
+            )
+        )
+
+    def test_slo_alert_validates(self):
+        validate_event(
+            self._v4(
+                "slo_alert", objective="p99_latency", severity="page",
+                breaching=True, burn_fast=3.5, burn_slow=2.1, value=1.2,
+                trace_id="req-000123",
+            )
+        )
+
+    def test_v4_decision_missing_trace_fields_rejected(self):
+        with pytest.raises(TraceSchemaError, match="missing field"):
+            validate_event(
+                self._v4(
+                    "admission_decision", session=7, movie=0,
+                    kind="session_start", decision="batch", reason="planned",
+                )
+            )
+
+    def test_slo_alert_is_not_v3(self):
+        obj = {
+            "v": 3, "seq": 0, "t": 5.0, "ev": "slo_alert",
+            "objective": "deny_rate", "severity": "warn", "breaching": True,
+            "burn_fast": 1.5, "burn_slow": 1.1, "value": 0.2, "trace_id": None,
+        }
+        with pytest.raises(TraceSchemaError, match="schema v3"):
+            validate_event(obj)
+
+    def test_v3_table_is_a_subset_of_v4_event_names(self):
+        assert set(EVENT_SCHEMAS[3]) < set(EVENT_SCHEMAS[4])
+
+    def test_v3_traces_still_read(self, tmp_path):
+        """Pre-tracing service traces load without the v4 fields."""
+        path = tmp_path / "v3.jsonl"
+        events = [
+            {"v": 3, "seq": 0, "t": 0.0, "ev": "run_start", "label": "x"},
+            {"v": 3, "seq": 1, "t": 1.0, "ev": "request_received",
+             "kind": "ping", "session": -1},
+            {"v": 3, "seq": 2, "t": 1.0, "ev": "admission_decision",
+             "session": -1, "movie": -1, "kind": "ping", "decision": "pong",
+             "reason": "alive"},
+            {"v": 3, "seq": 3, "t": 9.0, "ev": "run_end", "label": "x"},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert validate_trace_file(path) == 4

@@ -19,7 +19,12 @@ the AST, before any simulation runs:
   must re-raise with context;
 * :mod:`repro.analysis.units` — names that encode paper units (``*_minutes``,
   ``w``, ``l``, ``B``, ``n``, …) may not be mixed across unit families
-  without an explicit conversion.
+  without an explicit conversion;
+* :mod:`repro.analysis.concurrency` — a whole-project call graph with an
+  async-reachability closure: blocking calls reachable from the event loop,
+  shared-state read-modify-write spanning an ``await``, dropped coroutines
+  and task handles, and the engine's session lifecycle diffed against the
+  transition table declared in :mod:`repro.service.protocol`.
 
 Rules are pluggable (:class:`~repro.analysis.base.Rule` +
 :func:`~repro.analysis.base.register_rule`, mirroring
@@ -43,6 +48,7 @@ from repro.analysis.baseline import Baseline
 from repro.analysis.engine import LintReport, collect_modules, run_lint
 
 # Importing the rule modules registers every built-in rule.
+from repro.analysis import concurrency as _concurrency  # noqa: F401
 from repro.analysis import determinism as _determinism  # noqa: F401
 from repro.analysis import hygiene as _hygiene  # noqa: F401
 from repro.analysis import schema_check as _schema_check  # noqa: F401

@@ -1,0 +1,256 @@
+"""``async-await-span``: shared-state read-modify-write spanning an await.
+
+An ``await`` is a scheduling point: every other task on the loop may run
+between the read and the write.  A read-modify-write of shared service
+state (the session registry, the stream account, the engine's books) that
+spans one is therefore a lost-update race even in single-threaded asyncio —
+the exact class of bug runtime tests only catch when the interleaving
+happens to land.
+
+The rule works per ``async def`` body, in source order:
+
+* a **shared chain** is a dotted attribute path (``self.account.capacity``,
+  ``engine.registry``) any of whose segments names shared service state
+  (:data:`SHARED_STATE_ATTRS`; injectable for tests);
+* a finding fires when a shared chain is *read* at one line, *written* at a
+  later (or the same) line, and an ``await`` expression sits between the
+  two — including ``shared.x += await f()``, where the await is embedded in
+  the read-modify-write itself;
+* statements inside an ``async with``/``with`` block whose context
+  expression names a lock (any segment containing ``lock``) are exempt —
+  the lock serialises the span;
+* a site with a single-writer argument carries
+  ``# lint: allow(async-await-span)`` and a human on the hook.
+
+Purely syntactic, deliberately: no alias tracking (a chain copied into a
+local and written back later is invisible), and chains are compared by
+spelling, not object identity.  Both limitations are documented in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.base import Finding, LintContext, ModuleInfo, register_rule
+
+__all__ = ["AwaitSpanMutationRule", "SHARED_STATE_ATTRS"]
+
+#: Attribute segments that mark a dotted chain as shared service state.
+SHARED_STATE_ATTRS = frozenset(
+    {
+        "registry",
+        "account",
+        "gate",
+        "hub",
+        "stats",
+        "limiter",
+        "draining",
+        "in_flight",
+        "capacity",
+        "_sessions",
+        "_held",
+        "_holders",
+        "holds",
+        "phase",
+        "displacement",
+    }
+)
+
+
+@dataclass
+class _Event:
+    """One ordered observation inside an async body."""
+
+    line: int
+    kind: str  # "read" | "write" | "await"
+    chain: Optional[str] = None
+    locked: bool = False
+    node: Optional[ast.AST] = None
+
+
+def _chain_of(node: ast.expr) -> Optional[str]:
+    """The dotted spelling of an attribute chain, or ``None``."""
+    if isinstance(node, ast.Attribute):
+        return dotted_name(node)
+    return None
+
+
+def _mentions_lock(expr: ast.expr) -> bool:
+    """Does a with-context expression name a lock?"""
+    name = dotted_name(expr)
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+    if name is None:
+        return False
+    return any("lock" in part.lower() for part in name.split("."))
+
+
+class _SpanScanner(ast.NodeVisitor):
+    """Flatten one async body into ordered read/write/await events."""
+
+    def __init__(self, shared_attrs: frozenset[str]) -> None:
+        self.shared_attrs = shared_attrs
+        self.events: List[_Event] = []
+        self._lock_depth = 0
+
+    def _is_shared(self, chain: str) -> bool:
+        return any(part in self.shared_attrs for part in chain.split("."))
+
+    # -- nested definitions own their own spans --------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    # -- the interesting nodes -------------------------------------------
+    def visit_Await(self, node: ast.Await) -> None:
+        self.events.append(_Event(line=node.lineno, kind="await"))
+        self.generic_visit(node)
+
+    def _with(self, node) -> None:
+        locked = any(_mentions_lock(item.context_expr) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+        if locked:
+            self._lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if locked:
+            self._lock_depth -= 1
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = _chain_of(node)
+        if chain is not None and self._is_shared(chain):
+            kind = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+            self.events.append(
+                _Event(
+                    line=node.lineno,
+                    kind=kind,
+                    chain=chain,
+                    locked=self._lock_depth > 0,
+                    node=node,
+                )
+            )
+            return  # the inner chain would double-count
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Evaluation order is value first, then the stores; ast lists the
+        # targets first, so visit explicitly to keep events in run order.
+        self.visit(node.value)
+        for target in node.targets:
+            self.visit(target)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        self.visit(node.target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # x += v reads then writes x in one statement; order the synthetic
+        # read before any await inside v, and the write after.
+        chain = _chain_of(node.target)
+        shared = chain is not None and self._is_shared(chain)
+        if shared:
+            self.events.append(
+                _Event(
+                    line=node.lineno,
+                    kind="read",
+                    chain=chain,
+                    locked=self._lock_depth > 0,
+                    node=node,
+                )
+            )
+        self.visit(node.value)
+        if shared:
+            self.events.append(
+                _Event(
+                    line=node.lineno,
+                    kind="write",
+                    chain=chain,
+                    locked=self._lock_depth > 0,
+                    node=node,
+                )
+            )
+
+
+@register_rule
+class AwaitSpanMutationRule:
+    """Flag read-modify-write of shared state spanning an ``await``."""
+
+    rule_id = "async-await-span"
+    description = (
+        "no read-modify-write of shared service state (registry/account/"
+        "engine books) across an await without a lock or single-writer pragma"
+    )
+
+    def __init__(self, shared_attrs: frozenset[str] | None = None) -> None:
+        self.shared_attrs = (
+            SHARED_STATE_ATTRS if shared_attrs is None else shared_attrs
+        )
+
+    def check(self, module: ModuleInfo, context: LintContext) -> Iterable[Finding]:
+        """Scan every ``async def`` body of ``module`` for spanning RMWs."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            scanner = _SpanScanner(self.shared_attrs)
+            for stmt in node.body:
+                scanner.visit(stmt)
+            yield from self._findings(module, node.name, scanner.events)
+
+    def _findings(
+        self, module: ModuleInfo, func_name: str, events: List[_Event]
+    ) -> Iterable[Finding]:
+        # For each chain: the line of the most recent unlocked read, and
+        # whether an await occurred since.  An unlocked write while
+        # (read seen) and (await since read) -> finding.
+        last_read: dict[str, Tuple[int, int]] = {}  # chain -> (line, index)
+        await_indices: List[int] = []
+        reported: set[Tuple[str, int]] = set()
+        for index, event in enumerate(events):
+            if event.kind == "await":
+                await_indices.append(index)
+            elif event.kind == "read" and not event.locked:
+                if event.chain not in last_read:
+                    last_read[event.chain] = (event.line, index)
+            elif event.kind == "write" and not event.locked:
+                seen = last_read.pop(event.chain, None)
+                if seen is None:
+                    continue
+                read_line, read_index = seen
+                spanned = any(i > read_index for i in await_indices)
+                key = (event.chain, event.line)
+                if spanned and key not in reported:
+                    reported.add(key)
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=event.line,
+                        col=event.node.col_offset if event.node is not None else 0,
+                        message=(
+                            f"{event.chain} is read at line {read_line} and "
+                            f"written here in async {func_name} with an await "
+                            f"between them; another task can interleave — hold "
+                            f"a lock across the span or mark the single writer "
+                            f"with a pragma"
+                        ),
+                    )
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        """No whole-tree findings for this rule."""
+        return ()

@@ -1,0 +1,132 @@
+"""``async-blocking``: blocking calls reachable from the event loop.
+
+One ``time.sleep`` (or synchronous socket/subprocess/file call) anywhere
+below an ``async def`` stalls *every* connection the admission service is
+multiplexing — the exact failure mode a single-threaded event loop cannot
+absorb.  The rule flags a known-blocking call at any async-reachable site
+(:mod:`~repro.analysis.concurrency.callgraph`), and the finding message
+carries the call chain from the async entry point so the report reads like
+a stack trace instead of a scavenger hunt.
+
+The sanctioned fixes are exactly the ones the analysis already understands:
+``await asyncio.sleep(...)`` for delays, ``loop.run_in_executor(...)`` /
+``asyncio.to_thread(...)`` for genuinely blocking work (their argument
+lists do not propagate reachability), or a ``# lint: allow(async-blocking)``
+pragma when a human certifies the call is bounded (e.g. a sub-millisecond
+local file append behind a flag).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.astutil import ImportMap, resolve_call_name
+from repro.analysis.base import Finding, LintContext, ModuleInfo, register_rule
+from repro.analysis.concurrency.callgraph import graph_for
+
+__all__ = ["BlockingInAsyncRule", "BLOCKING_CALLS", "BLOCKING_METHOD_NAMES"]
+
+#: Qualified call target -> why it must not run on the event loop.
+BLOCKING_CALLS: Dict[str, str] = {
+    "time.sleep": "sleeps the whole event loop; await asyncio.sleep(...)",
+    "socket.create_connection": "synchronous connect blocks the loop",
+    "socket.getaddrinfo": "synchronous DNS resolution blocks the loop",
+    "socket.gethostbyname": "synchronous DNS resolution blocks the loop",
+    "subprocess.run": "waits for a child process on the loop thread",
+    "subprocess.call": "waits for a child process on the loop thread",
+    "subprocess.check_call": "waits for a child process on the loop thread",
+    "subprocess.check_output": "waits for a child process on the loop thread",
+    "subprocess.Popen": "spawns a child with blocking pipe semantics",
+    "os.system": "waits for a shell on the loop thread",
+    "os.popen": "opens a blocking pipe to a shell",
+    "os.waitpid": "waits for a child process on the loop thread",
+    "urllib.request.urlopen": "synchronous HTTP request blocks the loop",
+    "requests.get": "synchronous HTTP request blocks the loop",
+    "requests.post": "synchronous HTTP request blocks the loop",
+    "requests.request": "synchronous HTTP request blocks the loop",
+    "open": "blocking file open/IO on the loop thread",
+}
+
+#: Method names (receiver unresolvable) that are blocking file I/O unless
+#: they resolve to a project-defined method.
+BLOCKING_METHOD_NAMES = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def _render_chain(chain: List[str]) -> str:
+    """``a -> b -> c`` with the common package prefix kept readable."""
+    return " -> ".join(chain)
+
+
+@register_rule
+class BlockingInAsyncRule:
+    """Flag known-blocking calls at async-reachable sites."""
+
+    rule_id = "async-blocking"
+    description = (
+        "no time.sleep/socket/subprocess/file blocking calls reachable from "
+        "async def without an executor hop (run_in_executor/to_thread)"
+    )
+
+    def check(self, module: ModuleInfo, context: LintContext) -> Iterable[Finding]:
+        """Flag blocking calls inside async-reachable functions of ``module``."""
+        graph = graph_for(context)
+        imports = ImportMap(module.tree)
+        project_methods = graph._methods_by_name
+        for info in graph.functions_in(module.module):
+            if not graph.is_async_reachable(info.qname):
+                continue
+            chain = graph.chain_to(info.qname)
+            for call, target, reason in self._blocking_calls(
+                info.node, imports, project_methods
+            ):
+                suffix = (
+                    ""
+                    if len(chain) == 1
+                    else f" (reachable via {_render_chain(chain)})"
+                )
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"{target}() in async-reachable {info.qname}: {reason}; "
+                        f"hop it off the loop with run_in_executor/to_thread"
+                        f"{suffix}"
+                    ),
+                )
+
+    def _blocking_calls(
+        self,
+        func_node: ast.AST,
+        imports: ImportMap,
+        project_methods: Dict[str, List[str]],
+    ) -> Iterable[Tuple[ast.Call, str, str]]:
+        """(call, qualified target, reason) for blocking calls in one body."""
+        from repro.analysis.concurrency.callgraph import _CallCollector
+
+        collector = _CallCollector()
+        for stmt in func_node.body:  # type: ignore[attr-defined]
+            collector.visit(stmt)
+        for call in collector.calls:
+            target = resolve_call_name(call, imports)
+            if target is None:
+                continue
+            reason = BLOCKING_CALLS.get(target)
+            if reason is not None:
+                yield call, target, reason
+                continue
+            method = target.rsplit(".", 1)[-1]
+            if (
+                "." in target
+                and method in BLOCKING_METHOD_NAMES
+                and method not in project_methods
+            ):
+                yield call, target, "blocking file I/O on the loop thread"
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        """No whole-tree findings beyond the per-module pass."""
+        return ()

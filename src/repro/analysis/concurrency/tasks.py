@@ -1,0 +1,147 @@
+"""``async-task-leak``: dropped coroutines and unanchored tasks.
+
+Two silent asyncio failure modes share a shape — a produced awaitable whose
+handle nobody keeps:
+
+* **Unawaited coroutine** — calling an ``async def`` (or a coroutine
+  factory like ``asyncio.sleep``) as a bare expression statement builds the
+  coroutine object and throws it away; the body never runs.  Python warns
+  at garbage-collection time, in production, on some other line.
+* **Task leak** — ``asyncio.create_task``/``ensure_future`` as a bare
+  expression statement starts real work but drops the only handle: the
+  task cannot be awaited, cancelled on drain, or have its exception
+  retrieved (asyncio may even garbage-collect it mid-flight).
+
+Project coroutines are resolved through the shared call graph (bare names,
+``self.meth``, imports, unique-name CHA), so ``self._flush()`` where
+``_flush`` is an ``async def`` two modules away is still caught.  A stored
+handle is accepted as anchored — whether it later reaches the drain path is
+beyond a name-based analysis and documented as such.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.astutil import ImportMap, resolve_call_name
+from repro.analysis.base import Finding, LintContext, ModuleInfo, register_rule
+from repro.analysis.concurrency.callgraph import graph_for
+
+__all__ = ["TaskLeakRule", "ASYNCIO_COROUTINE_CALLS", "TASK_SPAWNERS"]
+
+#: stdlib calls that return an awaitable which must not be dropped.
+ASYNCIO_COROUTINE_CALLS = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.shield",
+        "asyncio.open_connection",
+        "asyncio.start_server",
+        "asyncio.to_thread",
+    }
+)
+
+#: Task-spawning calls whose returned handle must be stored or awaited.
+TASK_SPAWNERS = frozenset({"asyncio.create_task", "asyncio.ensure_future"})
+
+
+@register_rule
+class TaskLeakRule:
+    """Flag dropped coroutine objects and unanchored task handles."""
+
+    rule_id = "async-task-leak"
+    description = (
+        "coroutine calls must be awaited (or their task handle stored); "
+        "bare create_task/ensure_future drops the only handle"
+    )
+
+    def check(self, module: ModuleInfo, context: LintContext) -> Iterable[Finding]:
+        """Flag bare expression statements that drop an awaitable."""
+        graph = graph_for(context)
+        imports = ImportMap(module.tree)
+
+        def scan(body, scope, cls_name) -> Iterable[Finding]:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from scan(node.body, scope + [node.name], None)
+                    continue
+                if isinstance(node, ast.ClassDef):
+                    yield from scan(node.body, scope + [node.name], node.name)
+                    continue
+                if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                    yield from self._check_dropped(
+                        node.value, module, imports, graph, scope, cls_name
+                    )
+                # Recurse into compound statements without losing scope.
+                for field in ("body", "orelse", "finalbody"):
+                    inner = getattr(node, field, None)
+                    if inner and not isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        yield from scan(inner, scope, cls_name)
+                handlers = getattr(node, "handlers", None)
+                if handlers:
+                    for handler in handlers:
+                        yield from scan(handler.body, scope, cls_name)
+
+        yield from scan(module.tree.body, [], None)
+
+    def _check_dropped(
+        self,
+        call: ast.Call,
+        module: ModuleInfo,
+        imports: ImportMap,
+        graph,
+        scope,
+        cls_name,
+    ) -> Iterable[Finding]:
+        target = resolve_call_name(call, imports)
+        if target is not None:
+            if target in TASK_SPAWNERS or target.endswith(
+                (".create_task", ".ensure_future")
+            ):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"{target}() result is dropped: the task cannot be "
+                        f"awaited, cancelled on drain, or observed for "
+                        f"exceptions — store the handle"
+                    ),
+                )
+                return
+            if target in ASYNCIO_COROUTINE_CALLS:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"{target}() builds a coroutine that is never "
+                        f"awaited; its body will not run"
+                    ),
+                )
+                return
+        callee = graph._resolve_call(call, module, imports, scope, cls_name)
+        if callee is not None:
+            info = graph.functions.get(callee)
+            if info is not None and info.is_async:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"call to async def {callee} is never awaited; the "
+                        f"coroutine is built and discarded"
+                    ),
+                )
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        """No whole-tree findings for this rule."""
+        return ()

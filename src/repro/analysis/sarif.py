@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 rendering of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is the shape code hosts
+ingest for inline annotation — one ``run`` with a tool descriptor listing
+every rule that executed, and one ``result`` per finding.  The emitted
+subset is deliberately minimal but valid: ``ruleId``, a text ``message``, a
+single physical location with 1-based line/column, and the repository's own
+line-independent fingerprint under ``fingerprints`` so external trackers
+dedupe findings exactly the way the local baseline does.
+
+Suppressed findings (pragma or baseline) are *not* emitted: the SARIF
+artifact mirrors what the exit code judges, nothing more.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import RULE_FACTORIES, Finding
+from repro.analysis.engine import LintReport
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA", "TOOL_NAME"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-vod-lint"
+
+#: Key under ``result.fingerprints`` carrying the baseline fingerprint.
+FINGERPRINT_KEY = "reproVodLint/v1"
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    """The ``reportingDescriptor`` for one rule id."""
+    descriptor: dict = {"id": rule_id}
+    factory = RULE_FACTORIES.get(rule_id)
+    if factory is not None:
+        descriptor["shortDescription"] = {"text": factory().description}
+    return descriptor
+
+
+def _result(finding: Finding) -> dict:
+    """One SARIF ``result`` object for a finding."""
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        # SARIF columns are 1-based; ast columns are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "fingerprints": {FINGERPRINT_KEY: finding.fingerprint},
+    }
+
+
+def render_sarif(report: LintReport) -> dict:
+    """The SARIF 2.1.0 log object for ``report`` (serialise with ``json``)."""
+    rule_ids = report.rules_run or sorted(
+        {finding.rule for finding in report.findings}
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": [
+                            _rule_descriptor(rule_id)
+                            for rule_id in sorted(rule_ids)
+                        ],
+                    }
+                },
+                "results": [_result(finding) for finding in report.findings],
+            }
+        ],
+    }

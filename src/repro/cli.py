@@ -436,8 +436,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="source tree to scan (default: src)",
     )
     lint_cmd.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="output_format",
-        help="report format (json is the CI artifact shape)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="output_format",
+        help="report format (json is the CI artifact shape; sarif is the "
+        "SARIF 2.1.0 log code hosts ingest for inline annotations)",
     )
     lint_cmd.add_argument(
         "--baseline", type=Path, default=None, metavar="FILE",
@@ -1269,8 +1271,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if candidate.exists():
             baseline_path = candidate
     rule_ids = None
-    if args.rules:
+    if args.rules is not None:
         rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+        if not rule_ids:
+            # An effectively-empty selection (e.g. --rules ",") used to run
+            # zero rules and exit 0 — a silent green that checked nothing.
+            print(
+                f"lint: --rules {args.rules!r} selects no rules; "
+                f"see --list-rules",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.analysis.base import RULE_FACTORIES
+
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in RULE_FACTORIES]
+        if unknown:
+            print(
+                f"lint: unknown rule id(s): {', '.join(unknown)}; "
+                f"see --list-rules",
+                file=sys.stderr,
+            )
+            return 2
 
     try:
         baseline = (
@@ -1294,6 +1315,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     if args.output_format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.output_format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(json.dumps(render_sarif(report), indent=2, sort_keys=True))
     else:
         print(report.render_text())
     return report.exit_code

@@ -60,14 +60,15 @@ class GammaDuration(DurationDistribution):
     def pdf(self, x: float) -> float:
         if x < 0.0:
             return 0.0
-        if x == 0.0:
-            # Density at the origin: finite only for shape >= 1.
+        z = x / self._scale
+        if z == 0.0:
+            # The origin, including subnormal x whose ratio against the
+            # scale underflows to 0: finite density only for shape >= 1.
             if self._shape > 1.0:
                 return 0.0
             if self._shape == 1.0:
                 return 1.0 / self._scale
             return math.inf
-        z = x / self._scale
         log_pdf = (
             (self._shape - 1.0) * math.log(z) - z - log_gamma(self._shape)
         ) - math.log(self._scale)

@@ -63,7 +63,13 @@ class LognormalDuration(DurationDistribution):
         if x <= 0.0:
             return 0.0
         z = (math.log(x) - self._mu) / self._sigma
-        return math.exp(-0.5 * z * z) / (x * self._sigma * math.sqrt(2.0 * math.pi))
+        denominator = x * self._sigma * math.sqrt(2.0 * math.pi)
+        if denominator == 0.0:
+            # Subnormal x underflows the denominator, but the Gaussian
+            # numerator underflows to 0 long before (|log x| >= 744 puts
+            # z**2 far past exp's range for any paper-scale sigma).
+            return 0.0
+        return math.exp(-0.5 * z * z) / denominator
 
     def cdf(self, x: float) -> float:
         if x <= 0.0:

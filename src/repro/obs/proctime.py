@@ -1,0 +1,29 @@
+"""The one sanctioned wall-clock read in the observability package.
+
+``repro.obs`` sits inside the determinism lint scope because it hosts the
+trace plane, whose exposition must be byte-identical across worker counts.
+Profiling spans, however, *measure real elapsed time by design* — they feed
+the ``TIER_PROCESS`` metrics tier, which the deterministic exposition
+already excludes.  Rather than sprinkle per-call-site suppressions, the
+whole package funnels through this helper: one audited ``perf_counter``
+read, one inline pragma, and the lint baseline stays empty.
+
+Anything in ``repro.obs`` that needs wall-clock time must call
+:func:`process_clock`; a direct ``time.perf_counter()`` anywhere else in the
+package is a lint finding by construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["process_clock"]
+
+
+def process_clock() -> float:
+    """Monotonic process-tier seconds (the span plane's wall clock).
+
+    Wraps :func:`time.perf_counter` so the determinism lint has exactly one
+    audited wall-clock site in ``repro.obs`` instead of a baseline entry.
+    """
+    return time.perf_counter()  # lint: allow(determinism-wallclock) process tier by design

@@ -18,10 +18,10 @@ and the ablations previously carried.
 from __future__ import annotations
 
 import threading
-import time
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.proctime import process_clock
 from repro.obs.registry import ObsRegistry, default_registry
 
 __all__ = ["Span", "span", "SPAN_METRIC", "SPAN_BUCKETS"]
@@ -69,11 +69,11 @@ def span(name: str, registry: ObsRegistry | None = None) -> Iterator[Span]:
     stack.append(name)
     path = ".".join(stack)
     out = Span(name, path)
-    started = time.perf_counter()
+    started = process_clock()
     try:
         yield out
     finally:
-        out.elapsed = time.perf_counter() - started
+        out.elapsed = process_clock() - started
         stack.pop()
         target = registry if registry is not None else default_registry()
         target.histogram(

@@ -1,0 +1,160 @@
+"""Unit tests for the project call graph and its async-reachability closure."""
+
+from __future__ import annotations
+
+from repro.analysis.concurrency.callgraph import ProjectCallGraph
+from repro.analysis.engine import collect_modules
+
+
+def graph_of(make_tree, files):
+    context = collect_modules(make_tree(files))
+    return ProjectCallGraph.build(context)
+
+
+class TestResolution:
+    def test_module_level_call(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": "def f():\n    g()\n\ndef g():\n    pass\n",
+        })
+        assert graph.callees("pkg.a.f") == ["pkg.a.g"]
+
+    def test_import_alias_call(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": "def work():\n    pass\n",
+            "pkg/b.py": (
+                "from pkg.a import work as run\n\n"
+                "def caller():\n    run()\n"
+            ),
+        })
+        assert graph.callees("pkg.b.caller") == ["pkg.a.work"]
+
+    def test_self_dispatch_and_inherited_method(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/base.py": (
+                "class Base:\n"
+                "    def shared(self):\n        pass\n"
+            ),
+            "pkg/a.py": (
+                "from pkg.base import Base\n\n"
+                "class Child(Base):\n"
+                "    def own(self):\n        self.helper()\n"
+                "    def helper(self):\n        self.shared()\n"
+            ),
+        })
+        assert graph.callees("pkg.a.Child.own") == ["pkg.a.Child.helper"]
+        assert graph.callees("pkg.a.Child.helper") == ["pkg.base.Base.shared"]
+
+    def test_constructor_resolves_to_init(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": (
+                "class Thing:\n"
+                "    def __init__(self):\n        pass\n\n"
+                "def make():\n    return Thing()\n"
+            ),
+        })
+        assert graph.callees("pkg.a.make") == ["pkg.a.Thing.__init__"]
+
+    def test_unique_name_cha_resolves(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": (
+                "class Engine:\n"
+                "    def handle(self):\n        pass\n"
+            ),
+            "pkg/b.py": "def dispatch(engine):\n    engine.handle()\n",
+        })
+        assert graph.callees("pkg.b.dispatch") == ["pkg.a.Engine.handle"]
+
+    def test_ambiguous_method_name_produces_no_edge(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": "class A:\n    def emit(self):\n        pass\n",
+            "pkg/b.py": "class B:\n    def emit(self):\n        pass\n",
+            "pkg/c.py": "def caller(x):\n    x.emit()\n",
+        })
+        assert graph.callees("pkg.c.caller") == []
+
+    def test_nested_function_resolves_lexically(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": (
+                "def outer():\n"
+                "    def inner():\n        pass\n"
+                "    inner()\n"
+            ),
+        })
+        assert graph.callees("pkg.a.outer") == ["pkg.a.outer.inner"]
+
+    def test_decorated_function_still_collected(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": (
+                "import functools\n\n"
+                "@functools.lru_cache\n"
+                "def cached():\n    pass\n\n"
+                "def caller():\n    cached()\n"
+            ),
+        })
+        assert "pkg.a.cached" in graph.functions
+        assert graph.callees("pkg.a.caller") == ["pkg.a.cached"]
+
+
+class TestAsyncReachability:
+    def test_transitive_reachability_and_chain(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": (
+                "async def entry():\n    middle()\n\n"
+                "def middle():\n    leaf()\n\n"
+                "def leaf():\n    pass\n\n"
+                "def unrelated():\n    pass\n"
+            ),
+        })
+        assert graph.is_async_reachable("pkg.a.leaf")
+        assert not graph.is_async_reachable("pkg.a.unrelated")
+        assert graph.chain_to("pkg.a.leaf") == [
+            "pkg.a.entry", "pkg.a.middle", "pkg.a.leaf",
+        ]
+
+    def test_cycle_terminates_and_stays_reachable(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": (
+                "async def entry():\n    ping()\n\n"
+                "def ping():\n    pong()\n\n"
+                "def pong():\n    ping()\n"
+            ),
+        })
+        assert graph.is_async_reachable("pkg.a.ping")
+        assert graph.is_async_reachable("pkg.a.pong")
+
+    def test_executor_hop_arguments_do_not_propagate(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def entry(loop):\n"
+                "    await asyncio.to_thread(blocking_work())\n"
+                "    await loop.run_in_executor(None, other_work())\n\n"
+                "def blocking_work():\n    pass\n\n"
+                "def other_work():\n    pass\n"
+            ),
+        })
+        assert not graph.is_async_reachable("pkg.a.blocking_work")
+        assert not graph.is_async_reachable("pkg.a.other_work")
+
+    def test_function_reference_is_not_a_call(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def entry():\n"
+                "    await asyncio.to_thread(worker)\n\n"
+                "def worker():\n    pass\n"
+            ),
+        })
+        assert not graph.is_async_reachable("pkg.a.worker")
+
+    def test_async_method_reaches_through_classes(self, make_tree):
+        graph = graph_of(make_tree, {
+            "pkg/a.py": (
+                "class Service:\n"
+                "    async def serve(self):\n        self._engine_step()\n"
+                "    def _engine_step(self):\n        helper()\n\n"
+                "def helper():\n    pass\n"
+            ),
+        })
+        assert graph.is_async_reachable("pkg.a.helper")
+        assert graph.chain_to("pkg.a.helper")[0] == "pkg.a.Service.serve"

@@ -52,10 +52,25 @@ class TestExitCodes:
         root = make_tree({"repro/sim/engine.py": DIRTY_SIM})
         assert main(["lint", str(root), "--no-baseline", "--rules", "unit-mix"]) == 0
 
-    def test_unknown_rule_exits_two(self, make_tree, capsys):
+    def test_unknown_rule_exits_two_and_names_it(self, make_tree, capsys):
         root = make_tree({"repro/sim/engine.py": CLEAN_SIM})
         assert main(["lint", str(root), "--no-baseline", "--rules", "bogus"]) == 2
-        assert "unknown rule" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown rule" in err and "bogus" in err
+
+    def test_unknown_rule_named_even_among_valid_ids(self, make_tree, capsys):
+        root = make_tree({"repro/sim/engine.py": CLEAN_SIM})
+        assert main(["lint", str(root), "--no-baseline",
+                     "--rules", "unit-mix,typo-rule"]) == 2
+        err = capsys.readouterr().err
+        assert "typo-rule" in err and "unit-mix" not in err
+
+    def test_effectively_empty_selection_exits_two(self, make_tree, capsys):
+        # `--rules ","` used to select zero rules and exit 0 — a silent
+        # green that checked nothing.
+        root = make_tree({"repro/sim/engine.py": DIRTY_SIM})
+        assert main(["lint", str(root), "--no-baseline", "--rules", ","]) == 2
+        assert "selects no rules" in capsys.readouterr().err
 
 
 class TestJsonOutput:

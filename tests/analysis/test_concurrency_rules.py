@@ -1,0 +1,236 @@
+"""Good/bad fixture pairs for each concurrency rule."""
+
+from __future__ import annotations
+
+from repro.analysis import run_lint
+from repro.analysis.concurrency.awaitspan import AwaitSpanMutationRule
+from repro.analysis.concurrency.blocking import BlockingInAsyncRule
+from repro.analysis.concurrency.tasks import TaskLeakRule
+
+
+def lint(make_tree, files, rule):
+    return run_lint(make_tree(files), rules=[rule])
+
+
+class TestBlockingInAsync:
+    def test_direct_blocking_call_fires(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import time\n\n"
+                "async def entry():\n    time.sleep(1)\n"
+            ),
+        }, BlockingInAsyncRule())
+        (finding,) = report.findings
+        assert finding.rule == "async-blocking"
+        assert "time.sleep" in finding.message
+        assert finding.line == 4
+
+    def test_transitive_blocking_call_carries_chain(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import time\n\n"
+                "async def entry():\n    helper()\n\n"
+                "def helper():\n    time.sleep(1)\n"
+            ),
+        }, BlockingInAsyncRule())
+        (finding,) = report.findings
+        assert "pkg.a.entry -> pkg.a.helper" in finding.message
+
+    def test_sync_only_code_is_exempt(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import time\n\n"
+                "def batch_job():\n    time.sleep(1)\n"
+            ),
+        }, BlockingInAsyncRule())
+        assert report.findings == []
+
+    def test_executor_hop_is_sanctioned(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def entry():\n"
+                "    await asyncio.to_thread(blocking)\n\n"
+                "def blocking():\n    import time\n    time.sleep(1)\n"
+            ),
+        }, BlockingInAsyncRule())
+        assert report.findings == []
+
+    def test_asyncio_sleep_is_fine(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def entry():\n    await asyncio.sleep(1)\n"
+            ),
+        }, BlockingInAsyncRule())
+        assert report.findings == []
+
+    def test_pathlib_methods_flagged_unless_project_defined(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "async def entry(path):\n    path.read_text()\n"
+            ),
+        }, BlockingInAsyncRule())
+        (finding,) = report.findings
+        assert "blocking file I/O" in finding.message
+        # The same spelling resolving to a project method is not file I/O.
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "class Store:\n"
+                "    def read_text(self):\n        return ''\n\n"
+                "async def entry(store):\n    store.read_text()\n"
+            ),
+        }, BlockingInAsyncRule())
+        assert report.findings == []
+
+    def test_pragma_suppresses(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import time\n\n"
+                "async def entry():\n"
+                "    time.sleep(0)  # lint: allow(async-blocking)\n"
+            ),
+        }, BlockingInAsyncRule())
+        assert report.findings == []
+        assert len(report.suppressed_pragma) == 1
+
+
+class TestAwaitSpanMutation:
+    def test_read_await_write_fires(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def racy(self):\n"
+                "    count = self.registry.in_flight\n"
+                "    await asyncio.sleep(0)\n"
+                "    self.registry.in_flight = count + 1\n"
+            ),
+        }, AwaitSpanMutationRule())
+        (finding,) = report.findings
+        assert finding.rule == "async-await-span"
+        assert "read at line 4" in finding.message
+        assert finding.line == 6
+
+    def test_augassign_with_await_in_value_fires(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "async def racy(self):\n"
+                "    self.account.capacity += await self.fetch()\n"
+            ),
+        }, AwaitSpanMutationRule())
+        (finding,) = report.findings
+        assert finding.line == 2
+
+    def test_no_await_between_is_fine(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def fine(self):\n"
+                "    self.registry.in_flight += 1\n"
+                "    await asyncio.sleep(0)\n"
+            ),
+        }, AwaitSpanMutationRule())
+        assert report.findings == []
+
+    def test_lock_exempts_the_span(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def guarded(self):\n"
+                "    async with self._lock:\n"
+                "        count = self.registry.in_flight\n"
+                "        await asyncio.sleep(0)\n"
+                "        self.registry.in_flight = count + 1\n"
+            ),
+        }, AwaitSpanMutationRule())
+        assert report.findings == []
+
+    def test_unshared_attributes_are_ignored(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def fine(self):\n"
+                "    value = self.scratch\n"
+                "    await asyncio.sleep(0)\n"
+                "    self.scratch = value + 1\n"
+            ),
+        }, AwaitSpanMutationRule())
+        assert report.findings == []
+
+    def test_sync_functions_are_out_of_scope(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "def sync_rmw(self):\n"
+                "    count = self.registry.in_flight\n"
+                "    self.registry.in_flight = count + 1\n"
+            ),
+        }, AwaitSpanMutationRule())
+        assert report.findings == []
+
+    def test_injectable_shared_attrs(self, make_tree):
+        rule = AwaitSpanMutationRule(shared_attrs=frozenset({"ledger"}))
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def racy(self):\n"
+                "    v = self.ledger.total\n"
+                "    await asyncio.sleep(0)\n"
+                "    self.ledger.total = v + 1\n"
+            ),
+        }, rule)
+        assert len(report.findings) == 1
+
+
+class TestTaskLeak:
+    def test_bare_asyncio_coroutine_fires(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def entry():\n    asyncio.sleep(1)\n"
+            ),
+        }, TaskLeakRule())
+        (finding,) = report.findings
+        assert "never awaited" in finding.message
+
+    def test_bare_create_task_fires(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def work():\n    pass\n\n"
+                "async def entry():\n    asyncio.create_task(work())\n"
+            ),
+        }, TaskLeakRule())
+        assert any("create_task" in f.message for f in report.findings)
+
+    def test_bare_project_coroutine_fires_via_graph(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": "async def flush():\n    pass\n",
+            "pkg/b.py": (
+                "from pkg.a import flush\n\n"
+                "def caller():\n    flush()\n"
+            ),
+        }, TaskLeakRule())
+        (finding,) = report.findings
+        assert "pkg.a.flush" in finding.message
+
+    def test_awaited_and_stored_forms_are_fine(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "import asyncio\n\n"
+                "async def work():\n    pass\n\n"
+                "async def entry():\n"
+                "    await asyncio.sleep(1)\n"
+                "    task = asyncio.create_task(work())\n"
+                "    await task\n"
+            ),
+        }, TaskLeakRule())
+        assert report.findings == []
+
+    def test_bare_sync_call_is_fine(self, make_tree):
+        report = lint(make_tree, {
+            "pkg/a.py": (
+                "def log(msg):\n    pass\n\n"
+                "def caller():\n    log('hi')\n"
+            ),
+        }, TaskLeakRule())
+        assert report.findings == []

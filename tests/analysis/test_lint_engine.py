@@ -132,12 +132,16 @@ class TestBaseline:
 
 class TestRegistry:
     EXPECTED = {
+        "async-await-span",
+        "async-blocking",
+        "async-task-leak",
         "broad-except",
         "determinism-set-order",
         "determinism-unseeded-rng",
         "determinism-wallclock",
         "exception-hygiene",
         "metric-schema",
+        "protocol-state",
         "trace-schema",
         "unit-mix",
     }

@@ -1,0 +1,230 @@
+"""The protocol-state cross-check: guard narrowing, both diff directions."""
+
+from __future__ import annotations
+
+from repro.analysis import run_lint
+from repro.analysis.concurrency.protocol_state import (
+    ProtocolStateRule,
+    observed_transitions,
+)
+from repro.analysis.engine import collect_modules
+
+PHASES = ("playing", "in_vcr", "miss_hold")
+TRANSITIONS = frozenset({
+    ("playing", "in_vcr"),
+    ("in_vcr", "playing"),
+})
+
+ENUM = (
+    "class SessionPhase:\n"
+    "    PLAYING = 'playing'\n"
+    "    IN_VCR = 'in_vcr'\n"
+    "    MISS_HOLD = 'miss_hold'\n"
+)
+
+# A protocol module must be present for the completeness direction to anchor.
+PROTOCOL_STUB = "PHASE_TRANSITIONS = None\n"
+
+
+def rule(transitions=TRANSITIONS):
+    return ProtocolStateRule(
+        transitions=transitions, phases=PHASES, initial="playing"
+    )
+
+
+def lint_sites(make_tree, engine_source, transitions=TRANSITIONS, extra=None):
+    """Site-level diff only: no protocol module, so completeness is off."""
+    files = {
+        "repro/service/state.py": ENUM,
+        "repro/service/engine.py": ENUM + engine_source,
+    }
+    files.update(extra or {})
+    return run_lint(make_tree(files), rules=[rule(transitions)])
+
+
+def lint_full(make_tree, engine_source, transitions=TRANSITIONS):
+    """Both directions: protocol + engine modules present."""
+    return run_lint(
+        make_tree({
+            "repro/service/protocol.py": PROTOCOL_STUB,
+            "repro/service/state.py": ENUM,
+            "repro/service/engine.py": ENUM + engine_source,
+        }),
+        rules=[rule(transitions)],
+    )
+
+
+class TestGuardNarrowing:
+    def test_is_guard_narrows_to_member(self, make_tree):
+        report = lint_sites(make_tree, (
+            "def pause(session):\n"
+            "    if session.phase is SessionPhase.PLAYING:\n"
+            "        session.phase = SessionPhase.IN_VCR\n"
+        ))
+        assert report.findings == []
+
+    def test_is_not_early_return_narrows_fall_through(self, make_tree):
+        report = lint_sites(make_tree, (
+            "def resume(session):\n"
+            "    if session.phase is not SessionPhase.IN_VCR:\n"
+            "        return\n"
+            "    session.phase = SessionPhase.PLAYING\n"
+        ))
+        assert report.findings == []
+
+    def test_undeclared_pair_fires_at_site(self, make_tree):
+        # miss_hold IS a declared target (via in_vcr), so the finding names
+        # the specific undeclared pair.
+        transitions = TRANSITIONS | {("in_vcr", "miss_hold")}
+        report = lint_sites(make_tree, (
+            "def shed(session):\n"
+            "    if session.phase is SessionPhase.PLAYING:\n"
+            "        session.phase = SessionPhase.MISS_HOLD\n"
+        ), transitions=transitions)
+        assert any(
+            f.rule == "protocol-state"
+            and "'playing' -> 'miss_hold'" in f.message
+            and f.path == "repro/service/engine.py"
+            for f in report.findings
+        )
+
+    def test_unnarrowed_site_matches_any_declared_target(self, make_tree):
+        # Without a guard, the walker cannot know the source phase; the
+        # target just has to appear in some declared entry.
+        report = lint_sites(make_tree, (
+            "def sweep(session):\n"
+            "    session.phase = SessionPhase.PLAYING\n"
+        ))
+        assert report.findings == []
+
+    def test_undeclared_target_fires_even_unnarrowed(self, make_tree):
+        report = lint_sites(make_tree, (
+            "def sweep(session):\n"
+            "    session.phase = SessionPhase.MISS_HOLD\n"
+        ))
+        assert any(
+            "no declared transition targets" in f.message
+            for f in report.findings
+        )
+
+    def test_loop_resets_narrowing(self, make_tree):
+        # Inside a loop the phase may differ per iteration: the site is
+        # unknown-from, so a declared-target assignment passes.
+        report = lint_sites(make_tree, (
+            "def drain(sessions):\n"
+            "    for session in sessions:\n"
+            "        session.phase = SessionPhase.PLAYING\n"
+        ))
+        assert report.findings == []
+
+    def test_assignment_repoints_the_phase_set(self, make_tree):
+        # After `phase = IN_VCR` the tracked set is {in_vcr}; a later write
+        # to miss_hold is the undeclared (in_vcr -> miss_hold).
+        transitions = TRANSITIONS | {("playing", "miss_hold")}
+        report = lint_sites(make_tree, (
+            "def vcr_then_hold(session):\n"
+            "    if session.phase is SessionPhase.PLAYING:\n"
+            "        session.phase = SessionPhase.IN_VCR\n"
+            "        session.phase = SessionPhase.MISS_HOLD\n"
+        ), transitions=transitions)
+        assert any(
+            "'in_vcr' -> 'miss_hold'" in f.message for f in report.findings
+        )
+
+    def test_reassertion_of_current_phase_is_not_a_transition(self, make_tree):
+        report = lint_sites(make_tree, (
+            "def touch(session):\n"
+            "    if session.phase is SessionPhase.PLAYING:\n"
+            "        session.phase = SessionPhase.PLAYING\n"
+        ))
+        assert report.findings == []
+
+
+class TestCompleteness:
+    def test_unwitnessed_declared_transition_fires_at_protocol(self, make_tree):
+        report = lint_full(make_tree, (
+            "def pause(session):\n"
+            "    if session.phase is SessionPhase.PLAYING:\n"
+            "        session.phase = SessionPhase.IN_VCR\n"
+            # declared (in_vcr -> playing) is never performed
+        ))
+        assert any(
+            f.path == "repro/service/protocol.py"
+            and "'in_vcr' -> 'playing'" in f.message
+            for f in report.findings
+        )
+
+    def test_fully_witnessed_table_is_clean(self, make_tree):
+        report = lint_full(make_tree, (
+            "def pause(session):\n"
+            "    if session.phase is SessionPhase.PLAYING:\n"
+            "        session.phase = SessionPhase.IN_VCR\n\n"
+            "def resume(session):\n"
+            "    if session.phase is SessionPhase.IN_VCR:\n"
+            "        session.phase = SessionPhase.PLAYING\n"
+        ))
+        assert report.findings == []
+
+    def test_unknown_from_witness_satisfies_matching_target(self, make_tree):
+        # An unnarrowed assignment to `playing` counts as performing any
+        # declared entry targeting `playing`.
+        report = lint_full(make_tree, (
+            "def pause(session):\n"
+            "    if session.phase is SessionPhase.PLAYING:\n"
+            "        session.phase = SessionPhase.IN_VCR\n\n"
+            "def sweep(session):\n"
+            "    session.phase = SessionPhase.PLAYING\n"
+        ))
+        assert report.findings == []
+
+    def test_completeness_needs_the_engine_module(self, make_tree):
+        # Scanning a subtree without the engine must not claim transitions
+        # are unwitnessed — the witnesses simply were not in view.
+        report = run_lint(
+            make_tree({
+                "repro/service/protocol.py": PROTOCOL_STUB,
+                "repro/service/state.py": ENUM,
+            }),
+            rules=[rule()],
+        )
+        assert report.findings == []
+
+
+class TestInitialPhase:
+    def test_matching_default_is_clean(self, make_tree):
+        report = lint_sites(make_tree, "", extra={
+            "repro/service/session.py": (
+                ENUM
+                + "class LiveSession:\n"
+                + "    phase: SessionPhase = SessionPhase.PLAYING\n"
+            ),
+        })
+        assert not any("INITIAL_PHASE" in f.message for f in report.findings)
+
+    def test_mismatched_default_fires(self, make_tree):
+        report = lint_sites(make_tree, "", extra={
+            "repro/service/session.py": (
+                ENUM
+                + "class LiveSession:\n"
+                + "    phase: SessionPhase = SessionPhase.MISS_HOLD\n"
+            ),
+        })
+        assert any("INITIAL_PHASE" in f.message for f in report.findings)
+
+
+class TestObservedTransitions:
+    def test_witness_stream_is_deterministic_and_mapped(self, make_tree):
+        context = collect_modules(make_tree({
+            "repro/service/engine.py": ENUM + (
+                "def pause(session):\n"
+                "    if session.phase is SessionPhase.PLAYING:\n"
+                "        session.phase = SessionPhase.IN_VCR\n\n"
+                "def sweep(session):\n"
+                "    session.phase = SessionPhase.PLAYING\n"
+            ),
+        }))
+        witnesses = observed_transitions(context, phases=PHASES)
+        assert [(w.from_phases, w.to_phase) for w in witnesses] == [
+            (("playing",), "in_vcr"),
+            (None, "playing"),
+        ]

@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 rendering: structure, fingerprints, CLI round trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import run_lint
+from repro.analysis.sarif import FINGERPRINT_KEY, render_sarif
+from repro.cli import main
+
+DIRTY = (
+    "import time\n\n"
+    "async def entry():\n    time.sleep(1)\n"
+)
+
+
+def check_minimal_sarif_schema(log: dict) -> list[str]:
+    """Validate the subset of SARIF 2.1.0 the linter promises to emit.
+
+    Hand-rolled on purpose: the container has no jsonschema package, and the
+    subset is small enough that explicit checks read better than a schema
+    document anyway.  Returns a list of violations (empty = valid).
+    """
+    errors: list[str] = []
+    if log.get("version") != "2.1.0":
+        errors.append("version must be the literal '2.1.0'")
+    if not str(log.get("$schema", "")).startswith("http"):
+        errors.append("$schema must be a URI")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs must be a non-empty array"]
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver.get("name"), str) or not driver["name"]:
+            errors.append("tool.driver.name must be a non-empty string")
+        rule_ids = set()
+        for descriptor in driver.get("rules", []):
+            if not isinstance(descriptor.get("id"), str):
+                errors.append("reportingDescriptor.id must be a string")
+            else:
+                rule_ids.add(descriptor["id"])
+        if not isinstance(run.get("results"), list):
+            errors.append("run.results must be an array")
+            continue
+        for result in run["results"]:
+            if result.get("ruleId") not in rule_ids:
+                errors.append(
+                    f"result.ruleId {result.get('ruleId')!r} not among "
+                    f"declared driver rules"
+                )
+            message = result.get("message", {})
+            if not isinstance(message.get("text"), str) or not message["text"]:
+                errors.append("result.message.text must be a non-empty string")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                errors.append("result.locations must be a non-empty array")
+                continue
+            physical = locations[0].get("physicalLocation", {})
+            artifact = physical.get("artifactLocation", {})
+            if not isinstance(artifact.get("uri"), str):
+                errors.append("artifactLocation.uri must be a string")
+            region = physical.get("region", {})
+            for key in ("startLine", "startColumn"):
+                value = region.get(key)
+                if not isinstance(value, int) or value < 1:
+                    errors.append(f"region.{key} must be a 1-based integer")
+    return errors
+
+
+class TestRenderSarif:
+    def test_findings_render_as_valid_results(self, make_tree):
+        report = run_lint(make_tree({"pkg/a.py": DIRTY}))
+        assert report.findings
+        log = render_sarif(report)
+        assert check_minimal_sarif_schema(log) == []
+        results = log["runs"][0]["results"]
+        blocking = [r for r in results if r["ruleId"] == "async-blocking"]
+        assert blocking
+        assert blocking[0]["locations"][0]["physicalLocation"]["region"] == {
+            "startLine": 4,
+            "startColumn": 5,  # ast col 4, SARIF is 1-based
+        }
+        assert blocking[0]["level"] == "error"
+
+    def test_fingerprint_matches_baseline_identity(self, make_tree):
+        report = run_lint(make_tree({"pkg/a.py": DIRTY}))
+        log = render_sarif(report)
+        emitted = {
+            r["fingerprints"][FINGERPRINT_KEY]
+            for r in log["runs"][0]["results"]
+        }
+        assert emitted == {f.fingerprint for f in report.findings}
+
+    def test_clean_tree_renders_empty_results(self, make_tree):
+        report = run_lint(make_tree({"pkg/a.py": "def f():\n    pass\n"}))
+        log = render_sarif(report)
+        assert check_minimal_sarif_schema(log) == []
+        assert log["runs"][0]["results"] == []
+        # Every executed rule is still declared in the driver.
+        declared = {d["id"] for d in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert "async-blocking" in declared
+
+    def test_suppressed_findings_are_not_emitted(self, make_tree):
+        source = DIRTY.replace(
+            "time.sleep(1)", "time.sleep(1)  # lint: allow(async-blocking)"
+        )
+        report = run_lint(make_tree({"pkg/a.py": source}))
+        log = render_sarif(report)
+        assert all(
+            r["ruleId"] != "async-blocking"
+            for r in log["runs"][0]["results"]
+        )
+
+
+class TestCliSarif:
+    def test_format_sarif_round_trips(self, make_tree, capsys):
+        root = make_tree({"pkg/a.py": DIRTY})
+        assert main(["lint", str(root), "--no-baseline",
+                     "--format", "sarif"]) == 2
+        log = json.loads(capsys.readouterr().out)
+        assert check_minimal_sarif_schema(log) == []
+        assert any(
+            r["ruleId"] == "async-blocking"
+            for r in log["runs"][0]["results"]
+        )
